@@ -1,0 +1,47 @@
+"""Ablation A2: radix-variance sensitivity of the density approximations.
+
+Equations (5) and (6) hold "when {N_i} has sufficiently small variance".
+The ablation enumerates every radix factorization of N' = 36 of length 3,
+computes the exact density (eq. 4) and the approximation (eq. 5), and
+asserts that the relative error grows with the variance of the radix list
+-- quantifying the paper's caveat.
+"""
+
+import numpy as np
+
+from repro.experiments.scaling import variance_ablation
+
+
+def test_a2_variance_ablation(benchmark, report_table):
+    rows = benchmark.pedantic(
+        variance_ablation, kwargs={"n_prime": 36, "length": 3}, rounds=3, iterations=1
+    )
+
+    assert len(rows) >= 3
+    variances = np.array([row["variance"] for row in rows])
+    errors = np.array([row["relative_error"] for row in rows])
+    # rows are sorted by variance; zero variance would give zero error,
+    # and the correlation between variance and error is strongly positive
+    assert np.all(np.diff(variances) >= 0)
+    assert errors[0] == min(errors)
+    correlation = np.corrcoef(variances, errors)[0, 1]
+    assert correlation > 0.7
+
+    report_table(
+        "A2: eq.(5) approximation error vs radix variance (N' = 36, 3 radices)",
+        ["radices", "variance", "exact eq(4)", "approx eq(5)", "relative error"],
+        [
+            [str(r["radices"]), round(r["variance"], 3), round(r["exact_density"], 5), round(r["approx_density"], 5), round(r["relative_error"], 4)]
+            for r in rows
+        ],
+    )
+
+
+def test_a2_low_variance_regime_is_accurate(benchmark):
+    """In the low-variance regime the approximation error is a few percent at most."""
+    rows = benchmark.pedantic(
+        variance_ablation, kwargs={"n_prime": 64, "length": 3}, rounds=3, iterations=1
+    )
+    low_variance_rows = [r for r in rows if r["variance"] <= 1.0]
+    assert low_variance_rows
+    assert all(r["relative_error"] < 0.1 for r in low_variance_rows)

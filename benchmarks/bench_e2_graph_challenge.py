@@ -1,0 +1,78 @@
+"""Companion experiment E2: Graph Challenge style sparse DNN inference scaling.
+
+The Graph Challenge distributes RadiX-Net-generated sparse DNNs and measures
+inference throughput (edges traversed per second) as the network scales by
+factors of four in neurons per layer.  This benchmark regenerates
+challenge-style instances with this package's generator (scaled to laptop
+sizes), runs the reference ReLU-threshold recurrence, verifies the result
+against a dense reference, and reports the same throughput figure of merit.
+"""
+
+from repro.challenge.generator import challenge_input_batch, generate_challenge_network
+from repro.challenge.inference import sparse_dnn_inference
+from repro.experiments.scaling import graph_challenge_scaling
+from repro.parallel.pipeline import parallel_inference
+
+
+def test_e2_inference_scaling(benchmark, report_table):
+    rows = benchmark.pedantic(
+        graph_challenge_scaling,
+        kwargs={
+            "base_neurons": 64,
+            "sizes": 3,
+            "num_layers": 24,
+            "batch_size": 32,
+            "connections": 8,
+            "seed": 0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    # every size verified against the dense reference
+    assert all(row["verified"] == 1.0 for row in rows)
+    # neurons scale x4 per step, edges scale with them
+    assert rows[1]["neurons"] == 4 * rows[0]["neurons"]
+    assert rows[2]["edges"] > rows[1]["edges"] > rows[0]["edges"]
+
+    report_table(
+        "E2: Graph Challenge inference scaling (x4 neurons per step)",
+        ["neurons/layer", "layers", "edges", "seconds", "edges/s", "categories"],
+        [
+            [
+                int(r["neurons"]),
+                int(r["layers"]),
+                int(r["edges"]),
+                round(r["seconds"], 4),
+                int(r["edges_per_second"]),
+                int(r["categories"]),
+            ]
+            for r in rows
+        ],
+    )
+
+
+def test_e2_single_inference_kernel(benchmark):
+    """Raw kernel timing at one fixed size (pytest-benchmark statistics)."""
+    network = generate_challenge_network(256, 24, connections=8, seed=1)
+    batch = challenge_input_batch(256, 64, seed=2)
+    result = benchmark(sparse_dnn_inference, network, batch)
+    assert result.activations.shape == (64, 256)
+
+
+def test_e2_batch_parallel_inference_matches_serial(benchmark, report_table):
+    """Batch-parallel execution is a pure partition: identical categories."""
+    network = generate_challenge_network(128, 16, connections=8, seed=3)
+    batch = challenge_input_batch(128, 96, seed=4)
+    serial = sparse_dnn_inference(network, batch, record_timing=False)
+
+    result = benchmark.pedantic(
+        parallel_inference, args=(network, batch), kwargs={"parts": 4}, rounds=3, iterations=1
+    )
+    assert list(result.categories) == list(serial.categories)
+
+    report_table(
+        "E2: batch-parallel vs serial inference",
+        ["mode", "batch", "categories"],
+        [["serial", batch.shape[0], serial.categories.size], ["parallel (4 parts)", batch.shape[0], result.categories.size]],
+    )

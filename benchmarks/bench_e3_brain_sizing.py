@@ -1,0 +1,56 @@
+"""Companion experiment E3: RadiX-Net parameters matching brain-like size and sparsity.
+
+The paper's conclusion cites the use of RadiX-Net to "construct a neural
+net simulating the size and sparsity of the human brain" (Wang & Kepner,
+unpublished).  This benchmark reproduces the sizing arithmetic -- choosing
+degree, neurons per layer, and depth to hit target neuron/synapse budgets
+-- and instantiates scaled-down topologies to confirm the design is
+constructible.
+"""
+
+from repro.experiments.scaling import brain_sizing_table
+
+
+def test_e3_brain_sizing_table(benchmark, report_table):
+    rows = benchmark.pedantic(
+        brain_sizing_table, kwargs={"scale": 2e-6, "max_layers": 4}, rounds=1, iterations=1
+    )
+
+    by_target = {row["target"]: row for row in rows}
+    assert set(by_target) == {"mouse", "human"}
+    for row in rows:
+        assert row["neuron_error"] < 0.01
+        assert row["synapse_error"] < 0.5
+        # the brain-scale point is extremely sparse; so is the scaled instance
+        assert row["scaled_instance_density"] < 0.5
+    # human target implies more neurons per layer than mouse
+    assert by_target["human"]["neurons_per_layer"] > by_target["mouse"]["neurons_per_layer"]
+
+    report_table(
+        "E3: brain-scale RadiX-Net sizing",
+        [
+            "target",
+            "neurons (target)",
+            "synapses (target)",
+            "degree",
+            "neurons/layer",
+            "neuron err",
+            "synapse err",
+            "scaled edges",
+            "scaled density",
+        ],
+        [
+            [
+                r["target"],
+                f"{r['target_neurons']:.2e}",
+                f"{r['target_synapses']:.2e}",
+                int(r["degree"]),
+                int(r["neurons_per_layer"]),
+                f"{r['neuron_error']:.1e}",
+                f"{r['synapse_error']:.2f}",
+                int(r["scaled_instance_edges"]),
+                f"{r['scaled_instance_density']:.3f}",
+            ]
+            for r in rows
+        ],
+    )

@@ -1,0 +1,44 @@
+"""Equations (4), (5), (6): exact density, small-variance approximation, asymptotic form.
+
+One row per specification in the panel: the exact density of eq. (4) must
+equal the measured density of the constructed topology, and the eq. (5)
+approximation must be close whenever the radix variance is small.
+"""
+
+import pytest
+
+from repro.experiments.figures import equation4_density_table
+
+
+def test_eq4_density_table(benchmark, report_table):
+    rows = benchmark.pedantic(equation4_density_table, rounds=3, iterations=1)
+
+    assert len(rows) >= 5
+    for row in rows:
+        # eq. (4) is exact
+        assert row["exact_density_eq4"] == pytest.approx(row["measured_density"], rel=1e-12)
+
+    report_table(
+        "Equations (4)-(6): density formulas vs measurement",
+        ["N'", "eq(4) exact", "eq(5) approx", "eq(6) asymptotic", "measured"],
+        [
+            [
+                int(r["n_prime"]),
+                round(r["exact_density_eq4"], 6),
+                round(r["approx_density_eq5"], 6),
+                round(r["asymptotic_eq6"], 6),
+                round(r["measured_density"], 6),
+            ]
+            for r in rows
+        ],
+    )
+
+
+def test_eq4_formula_evaluation_throughput(benchmark):
+    """Closed-form density evaluation is effectively free compared with construction."""
+    from repro.core.density import exact_density
+    from repro.core.radixnet import RadixNetSpec
+
+    spec = RadixNetSpec([(16, 16), (256,)], [1, 4, 4, 1])
+    value = benchmark(exact_density, spec)
+    assert 0.0 < value < 1.0

@@ -1,0 +1,36 @@
+"""Figure 1: the mixed-radix topology N = (2, 2, 2) built from overlapping decision trees.
+
+Regenerates the object of the paper's Figure 1 and checks its defining
+properties: 4 layers of N' = 8 nodes, out-degree 2 at every level, exactly
+one path between every (input, output) pair (Lemma 1), and the
+decision-tree view covering every output node once per root.
+"""
+
+from repro.experiments.figures import figure1_mixed_radix_data
+from repro.viz.ascii import render_adjacency
+
+
+def test_fig1_mixed_radix_construction(benchmark, report_table):
+    data = benchmark(figure1_mixed_radix_data, (2, 2, 2))
+
+    assert data.layer_sizes == (8, 8, 8, 8)
+    assert data.per_layer_out_degree == (2, 2, 2)
+    assert data.symmetric
+    assert all(leaves == tuple(range(8)) for leaves in data.decision_tree_leaf_sets)
+
+    report_table(
+        "Figure 1: mixed-radix topology N=(2,2,2)",
+        ["layer", "nodes", "out_degree"],
+        [[i, 8, d] for i, d in enumerate(data.per_layer_out_degree)],
+    )
+    print(render_adjacency(data.topology.submatrix(0)))
+
+
+def test_fig1_larger_mixed_radix(benchmark):
+    # the same construction at a larger, non-uniform radix list
+    data = benchmark.pedantic(
+        figure1_mixed_radix_data, args=((3, 3, 4),), rounds=3, iterations=1
+    )
+    assert data.layer_sizes == (36, 36, 36, 36)
+    assert data.per_layer_out_degree == (3, 3, 4)
+    assert data.symmetric

@@ -1,0 +1,44 @@
+"""Figure 2: concatenation of mixed-radix topologies into an extended mixed-radix topology.
+
+Builds the Figure-2 style EMR topology (systems with shared product N' = 36,
+last system's product dividing N') and verifies Lemma 2's symmetry and path
+count on it.
+"""
+
+from repro.experiments.figures import figure2_emr_data
+
+
+def test_fig2_emr_concatenation(benchmark, report_table):
+    data = benchmark(figure2_emr_data)
+
+    assert data.n_prime == 36
+    assert data.symmetric
+    assert data.path_count == data.lemma2_prediction
+
+    report_table(
+        "Figure 2: extended mixed-radix concatenation",
+        ["systems", "N'", "layers", "paths (measured)", "paths (Lemma 2)"],
+        [[
+            str(data.systems),
+            data.n_prime,
+            data.topology.num_layers,
+            data.path_count,
+            data.lemma2_prediction,
+        ]],
+    )
+
+
+def test_fig2_constraint_violations_detected(benchmark):
+    """The admissibility constraints of Fig. 2 (bottom right) are enforced."""
+    from repro.core.radixnet import validate_radixnet_constraints
+    from repro.errors import ConstraintError
+
+    def check_both():
+        validate_radixnet_constraints([(3, 3, 4), (6, 6), (6,)])  # admissible
+        try:
+            validate_radixnet_constraints([(3, 3, 4), (5, 5)])  # product mismatch
+        except ConstraintError:
+            return True
+        return False
+
+    assert benchmark(check_both)

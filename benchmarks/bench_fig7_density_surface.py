@@ -1,0 +1,44 @@
+"""Figure 7: density of RadiX-Nets as a function of mu (average radix) and d (radices per system).
+
+Regenerates the density surface from equation (6) and from actually
+constructed uniform RadiX-Nets, asserts they agree, and renders the
+surface as a text heatmap (the paper's log-scale colour plot).
+"""
+
+import numpy as np
+
+from repro.experiments.figures import figure7_density_surface
+from repro.viz.ascii import heatmap
+
+
+def test_fig7_density_surface(benchmark, report_table):
+    data = benchmark.pedantic(
+        figure7_density_surface,
+        kwargs={"mus": (2, 3, 4, 5, 6, 8, 10), "depths": (1, 2, 3, 4, 5)},
+        rounds=3,
+        iterations=1,
+    )
+
+    # formula and constructed topologies agree to machine precision
+    assert data.max_relative_error < 1e-9
+    # density decreases monotonically in both mu (for d > 1) and d
+    surface = data.formula_surface
+    assert np.all(np.diff(surface, axis=0) < 0)
+    assert np.all(np.diff(surface[1:], axis=1) < 0)
+    # corner values from the paper's description: dense at d=1, ~mu^(1-d) elsewhere
+    assert surface[0, 0] == 1.0
+    assert surface[-1, -1] == 10.0 ** (1 - 5)
+
+    report_table(
+        "Figure 7: density vs (mu, d) -- rows are d, columns are mu",
+        ["d \\ mu", *[str(m) for m in data.mus]],
+        [[d, *[f"{v:.2e}" for v in surface[i]]] for i, d in enumerate(data.depths)],
+    )
+    print(
+        heatmap(
+            surface,
+            row_labels=[f"d={d}" for d in data.depths],
+            col_labels=[str(m) for m in data.mus],
+            log_scale=True,
+        )
+    )

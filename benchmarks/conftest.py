@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark prints the table/series it regenerates (so the text output
+of ``pytest benchmarks/ --benchmark-only`` is a self-contained reproduction
+record) and asserts the *shape* of the paper's claim, not absolute timings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.viz.report import format_table
+
+
+def print_experiment_table(title: str, headers: list[str], rows: list[list[object]]) -> None:
+    """Print one experiment's regenerated table under a banner."""
+    banner = f"\n=== {title} ==="
+    print(banner)
+    print(format_table(headers, rows))
+
+
+@pytest.fixture
+def report_table():
+    """Fixture exposing the table printer to benchmark functions."""
+    return print_experiment_table

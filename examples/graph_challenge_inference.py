@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Generate a Graph Challenge style sparse DNN with RadiX-Net and run the inference kernel.
+
+The MIT/IEEE/Amazon Sparse DNN Graph Challenge distributes networks
+generated with RadiX-Net.  This example regenerates challenge-style
+instances at laptop scale, runs the reference recurrence
+``Y <- min(max(Y W + b, 0), 32)``, verifies the surviving categories
+against a dense reference implementation, round-trips the challenge TSV
+format, and reports edges/second across a x4 neuron scaling series.
+
+Run with:  python examples/graph_challenge_inference.py [--neurons 256] [--layers 24]
+"""
+
+import argparse
+import tempfile
+
+from repro.challenge.generator import challenge_input_batch, generate_challenge_network
+from repro.challenge.inference import layer_activation_profile, sparse_dnn_inference
+from repro.challenge.io import load_challenge_network, save_challenge_network
+from repro.challenge.verify import category_checksum, verify_categories
+from repro.experiments.scaling import graph_challenge_scaling
+from repro.viz.report import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--neurons", type=int, default=256)
+    parser.add_argument("--layers", type=int, default=24)
+    parser.add_argument("--connections", type=int, default=8)
+    parser.add_argument("--batch", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    print(f"generating challenge network: {args.neurons} neurons x {args.layers} layers, "
+          f"{args.connections} connections/neuron")
+    network = generate_challenge_network(
+        args.neurons, args.layers, connections=args.connections, seed=args.seed
+    )
+    batch = challenge_input_batch(args.neurons, args.batch, seed=args.seed + 1)
+
+    result = sparse_dnn_inference(network, batch)
+    print(f"edges/layer: {network.topology.num_edges // args.layers}")
+    print(f"inference:   {result.total_seconds:.4f}s, {result.edges_per_second:,.0f} edges/s")
+    print(f"categories:  {result.categories.size} of {args.batch} "
+          f"(checksum {category_checksum(result.categories)})")
+    print(f"verified against dense reference: {verify_categories(network, batch)}")
+
+    profile = layer_activation_profile(network, batch)
+    print(f"activation fraction after first/last layer: {profile[0]:.3f} / {profile[-1]:.3f}")
+    print()
+
+    # Round-trip the challenge TSV interchange format.
+    with tempfile.TemporaryDirectory() as directory:
+        save_challenge_network(network, directory)
+        reloaded = load_challenge_network(directory, args.neurons)
+        assert reloaded.topology.same_topology(network.topology)
+        print(f"TSV round-trip OK ({reloaded.num_layers} layer files)")
+    print()
+
+    # Scaling series (x4 neurons per step), as in the challenge's scaling study.
+    rows = graph_challenge_scaling(
+        base_neurons=max(16, args.neurons // 16),
+        sizes=3,
+        num_layers=min(args.layers, 16),
+        batch_size=32,
+        connections=args.connections,
+        seed=args.seed,
+    )
+    print(format_table(
+        ["neurons/layer", "edges", "seconds", "edges/s", "verified"],
+        [[int(r["neurons"]), int(r["edges"]), f"{r['seconds']:.4f}", f"{r['edges_per_second']:,.0f}", bool(r["verified"])] for r in rows],
+    ))
+
+
+if __name__ == "__main__":
+    main()

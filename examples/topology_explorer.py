@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Explore the RadiX-Net design space: diversity, density surface, and family comparison.
+
+Three short studies in one script:
+
+1. the Figure-7 density surface over (mu, d), rendered as a text heatmap;
+2. the structural diversity of RadiX-Nets vs explicit (Cayley) X-Nets at
+   matched layer width;
+3. a side-by-side property report (density, symmetry, path counts, spectral
+   gap) for a RadiX-Net, a random X-Net, an explicit X-Net, and a dense
+   network at comparable size.
+
+Run with:  python examples/topology_explorer.py
+"""
+
+from repro.analysis.compare import compare_topologies
+from repro.baselines.dense import dense_fnnt
+from repro.baselines.xnet import explicit_xnet, random_xnet
+from repro.core.radixnet import generate_radixnet
+from repro.experiments.figures import figure7_density_surface
+from repro.experiments.scaling import diversity_table
+from repro.viz.ascii import heatmap
+from repro.viz.report import format_report_rows, format_table
+
+
+def density_surface_study() -> None:
+    print("== 1. Density surface (paper Figure 7) ==")
+    data = figure7_density_surface(mus=(2, 3, 4, 5, 6, 8, 10), depths=(1, 2, 3, 4, 5))
+    print(
+        heatmap(
+            data.formula_surface,
+            row_labels=[f"d={d}" for d in data.depths],
+            col_labels=[str(m) for m in data.mus],
+            log_scale=True,
+        )
+    )
+    print(f"max |constructed - formula| / formula: {data.max_relative_error:.2e}")
+    print()
+
+
+def diversity_study() -> None:
+    print("== 2. Structural diversity vs explicit X-Nets ==")
+    rows = diversity_table(n_primes=(8, 12, 16, 24, 36, 48, 64))
+    print(
+        format_table(
+            ["layer width N'", "RadiX-Net configs", "explicit X-Net configs", "ratio"],
+            [[int(r["n_prime"]), int(r["radixnet_configurations"]), int(r["explicit_xnet_configurations"]), f"{r['ratio']:.1f}"] for r in rows],
+        )
+    )
+    print()
+
+
+def family_comparison_study() -> None:
+    print("== 3. Family comparison at matched size ==")
+    radix = generate_radixnet([(4, 4), (16,)], [1, 1, 1, 1], name="radix-net")
+    random_net = random_xnet(radix.layer_sizes, 4, seed=0, name="random-xnet")
+    cayley = explicit_xnet(radix.layer_sizes[0], len(radix.submatrices), 4, name="explicit-xnet")
+    dense = dense_fnnt(radix.layer_sizes, name="dense")
+    reports = compare_topologies([radix, random_net, cayley, dense])
+    print(format_report_rows([r.as_row() for r in reports]))
+    print(
+        "\nthe RadiX-Net and the dense reference are symmetric (uniform path counts); "
+        "the random X-Net and the low-degree explicit X-Net are not, and at this depth "
+        "and degree they are not even fully path-connected -- the deterministic "
+        "guarantee RadiX-Net provides without restricting layer widths."
+    )
+
+
+def main() -> None:
+    density_surface_study()
+    diversity_study()
+    family_comparison_study()
+
+
+if __name__ == "__main__":
+    main()

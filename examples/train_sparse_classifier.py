@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Train a RadiX-Net, a random X-Net, a dense MLP, and a pruned MLP on the same task.
+
+Reproduces the shape of the companion training experiment (E1): a de-novo
+sparse RadiX-Net topology trains to an accuracy comparable with a dense
+network of the same layer widths while using a fraction of the parameters.
+
+Run with:  python examples/train_sparse_classifier.py [--quick]
+"""
+
+import argparse
+
+from repro.experiments.training import accuracy_vs_density
+from repro.viz.report import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="smaller run for smoke-testing")
+    parser.add_argument("--dataset", default="gaussian_mixture", help="registered dataset name")
+    parser.add_argument("--samples", type=int, default=None, help="number of samples")
+    parser.add_argument("--epochs", type=int, default=None, help="training epochs per arm")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    num_samples = args.samples or (320 if args.quick else 800)
+    epochs = args.epochs or (6 if args.quick else 25)
+
+    print(f"dataset={args.dataset} samples={num_samples} epochs={epochs}")
+    result = accuracy_vs_density(
+        dataset=args.dataset,
+        num_samples=num_samples,
+        num_classes=4,
+        layer_widths=(16, 32, 32, 8),
+        epochs=epochs,
+        seed=args.seed,
+    )
+
+    rows = [
+        [arm.name, f"{arm.density:.3f}", arm.parameter_count, f"{arm.val_accuracy:.3f}", f"{arm.train_loss:.3f}"]
+        for arm in result.arms
+    ]
+    print()
+    print(format_table(["arm", "density", "parameters", "val accuracy", "train loss"], rows))
+    print()
+    gap = result.accuracy_gap("radix-net")
+    print(f"dense - radix-net accuracy gap: {gap:+.3f}")
+    print(
+        "interpretation: the de-novo sparse RadiX-Net reaches accuracy in the same "
+        "range as the dense reference at a fraction of the parameters, matching the "
+        "shape of the sparse-training results the paper builds on."
+    )
+
+
+if __name__ == "__main__":
+    main()

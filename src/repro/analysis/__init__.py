@@ -1,0 +1,37 @@
+"""Topology analysis and comparison.
+
+Quantifies the paper's qualitative claims:
+
+* RadiX-Nets satisfy symmetry / path-connectedness while baselines in
+  general do not (:mod:`repro.analysis.compare` reports path-count spectra
+  and connectivity for any topology family side by side);
+* RadiX-Nets are "much more diverse" than explicit X-Nets
+  (:mod:`repro.analysis.diversity` counts admissible configurations for a
+  given layer-width profile);
+* expander quality and degree regularity across families
+  (:mod:`repro.analysis.connectivity`).
+"""
+
+from repro.analysis.compare import TopologyReport, compare_topologies, topology_report
+from repro.analysis.diversity import (
+    count_radixnet_configurations,
+    count_explicit_xnet_configurations,
+    diversity_ratio,
+)
+from repro.analysis.connectivity import (
+    connectivity_fraction,
+    isolated_output_fraction,
+    degree_regularity,
+)
+
+__all__ = [
+    "TopologyReport",
+    "compare_topologies",
+    "topology_report",
+    "count_radixnet_configurations",
+    "count_explicit_xnet_configurations",
+    "diversity_ratio",
+    "connectivity_fraction",
+    "isolated_output_fraction",
+    "degree_regularity",
+]

@@ -1,0 +1,96 @@
+"""Side-by-side topology comparison reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.expander import expansion_summary
+from repro.core.theory import path_count_spectrum
+from repro.topology.fnnt import FNNT
+from repro.topology.properties import (
+    degree_statistics,
+    is_path_connected,
+    is_symmetric,
+)
+
+
+@dataclass(frozen=True)
+class TopologyReport:
+    """Summary statistics of one topology, as reported by the comparison harness."""
+
+    name: str
+    layer_sizes: tuple[int, ...]
+    num_edges: int
+    density: float
+    path_connected: bool
+    symmetric: bool
+    path_count_min: int
+    path_count_max: int
+    disconnected_pairs: int
+    worst_spectral_gap: float
+    out_regular: bool
+
+    @property
+    def path_count_uniform(self) -> bool:
+        """True if every (input, output) pair has the same positive path count."""
+        return self.symmetric
+
+    def as_row(self) -> dict[str, object]:
+        """Dictionary form used by the text report tables."""
+        return {
+            "name": self.name,
+            "layers": "x".join(str(s) for s in self.layer_sizes),
+            "edges": self.num_edges,
+            "density": round(self.density, 6),
+            "connected": self.path_connected,
+            "symmetric": self.symmetric,
+            "paths_min": self.path_count_min,
+            "paths_max": self.path_count_max,
+            "zero_pairs": self.disconnected_pairs,
+            "spectral_gap": round(self.worst_spectral_gap, 4),
+            "out_regular": self.out_regular,
+        }
+
+
+def topology_report(topology: FNNT) -> TopologyReport:
+    """Compute the full comparison report for one topology."""
+    spectrum = path_count_spectrum(topology)
+    positive_counts = [count for count in spectrum if count > 0]
+    disconnected = spectrum.get(0, 0)
+    degrees = degree_statistics(topology)
+    return TopologyReport(
+        name=topology.name,
+        layer_sizes=topology.layer_sizes,
+        num_edges=topology.num_edges,
+        density=topology.density(),
+        path_connected=is_path_connected(topology),
+        symmetric=is_symmetric(topology),
+        path_count_min=min(positive_counts) if positive_counts else 0,
+        path_count_max=max(positive_counts) if positive_counts else 0,
+        disconnected_pairs=int(disconnected),
+        worst_spectral_gap=expansion_summary(topology).worst_gap,
+        out_regular=all(stat.out_regular for stat in degrees),
+    )
+
+
+def compare_topologies(topologies: list[FNNT]) -> list[TopologyReport]:
+    """Reports for a list of topologies (same order as the input)."""
+    return [topology_report(t) for t in topologies]
+
+
+def density_matched(reports: list[TopologyReport], *, tolerance: float = 0.15) -> bool:
+    """True if all reported densities lie within ``tolerance`` (relative) of the first.
+
+    The training comparison (experiment E1) is only meaningful when the
+    sparse families being compared have matched parameter budgets; this
+    helper is the guard the harness applies before reporting accuracy
+    differences.
+    """
+    if not reports:
+        return True
+    reference = reports[0].density
+    if reference == 0:
+        return False
+    return all(abs(r.density - reference) / reference <= tolerance for r in reports)

@@ -1,0 +1,50 @@
+"""Connectivity audits for arbitrary FNNTs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology.fnnt import FNNT
+from repro.topology.properties import degree_statistics, path_count_matrix
+
+
+def connectivity_fraction(topology: FNNT) -> float:
+    """Fraction of (input, output) pairs joined by at least one path.
+
+    1.0 means path-connected; random sparse baselines at low density fall
+    well below 1.0, which is the failure mode symmetry rules out.
+    """
+    counts = path_count_matrix(topology).to_dense()
+    return float(np.count_nonzero(counts) / counts.size)
+
+
+def isolated_output_fraction(topology: FNNT) -> float:
+    """Fraction of output nodes unreachable from *any* input node."""
+    counts = path_count_matrix(topology).to_dense()
+    reachable = (counts > 0).any(axis=0)
+    return float(1.0 - reachable.mean())
+
+
+def degree_regularity(topology: FNNT) -> float:
+    """A scalar regularity score in [0, 1]: 1 when every layer is in- and out-regular.
+
+    Computed as the mean over layers of
+    ``min_degree / max_degree`` for both directions (0 when any degree is
+    0, which a valid FNNT forbids anyway).
+    """
+    stats = degree_statistics(topology)
+    scores = []
+    for s in stats:
+        out_score = s.out_degree_min / s.out_degree_max if s.out_degree_max else 0.0
+        in_score = s.in_degree_min / s.in_degree_max if s.in_degree_max else 0.0
+        scores.append(0.5 * (out_score + in_score))
+    return float(np.mean(scores))
+
+
+def path_count_dispersion(topology: FNNT) -> float:
+    """Coefficient of variation of per-pair path counts (0 for symmetric nets)."""
+    counts = path_count_matrix(topology).to_dense().ravel()
+    mean = counts.mean()
+    if mean == 0:
+        return float("inf")
+    return float(counts.std() / mean)

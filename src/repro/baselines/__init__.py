@@ -1,0 +1,36 @@
+"""Baseline sparse and dense topology constructions.
+
+RadiX-Net's claims are relative to three families:
+
+* **dense** fully-connected DNN topologies (the reference point of the
+  density definition);
+* **X-Nets** (Prabhu et al., "Deep Expander Networks"): sparse layers built
+  from expander graphs.  Random X-Linear layers pick a fixed number of
+  outgoing edges per node at random; *explicit* X-Linear layers are Cayley
+  graphs of cyclic groups and therefore require equal adjacent layer
+  widths -- the restriction RadiX-Net removes;
+* **pruned** networks: a dense network trained and then sparsified by
+  magnitude pruning (the classical route to sparse DNNs the paper's
+  introduction surveys).
+
+This subpackage also provides expander-quality metrics (spectral gap) used
+to compare the families.
+"""
+
+from repro.baselines.dense import dense_fnnt
+from repro.baselines.cayley import cayley_graph_submatrix, cayley_xnet
+from repro.baselines.xnet import random_xnet, explicit_xnet
+from repro.baselines.pruning import magnitude_prune_mask, prune_model_to_topology
+from repro.baselines.expander import spectral_gap, expansion_summary
+
+__all__ = [
+    "dense_fnnt",
+    "cayley_graph_submatrix",
+    "cayley_xnet",
+    "random_xnet",
+    "explicit_xnet",
+    "magnitude_prune_mask",
+    "prune_model_to_topology",
+    "spectral_gap",
+    "expansion_summary",
+]

@@ -1,0 +1,90 @@
+"""Cayley-graph layers (the substrate of *explicit* X-Nets).
+
+Prabhu et al. construct deterministic expander layers as Cayley graphs of
+the cyclic group ``Z_n`` with a symmetric generator set ``S``: layer nodes
+on both sides are the group elements and node ``g`` connects to ``g + s``
+for every ``s in S``.  Because a Cayley graph is defined on a single vertex
+set, explicit X-Linear layers force adjacent layers to have the same number
+of nodes -- precisely the limitation RadiX-Net lifts.
+
+This module implements cyclic-group Cayley layers and stacks them into a
+full "explicit X-Net" baseline topology.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.topology.fnnt import FNNT
+from repro.utils.validation import check_positive_int
+
+
+def symmetric_generator_set(n: int, degree: int) -> tuple[int, ...]:
+    """A canonical symmetric generator set of ``Z_n`` with ``degree`` elements.
+
+    Picks ``{±1, ±2, ...}`` (and ``n/2`` when needed for odd degree on even
+    ``n``) so that the set is closed under negation modulo ``n``, which
+    makes the Cayley graph undirected-regular as required by the expander
+    construction.  Zero is never included.
+    """
+    n = check_positive_int(n, "n", minimum=2)
+    degree = check_positive_int(degree, "degree")
+    if degree >= n:
+        raise ValidationError(f"degree must be < n (got degree={degree}, n={n})")
+    generators: list[int] = []
+    step = 1
+    while len(generators) < degree and step <= n // 2:
+        generators.append(step)
+        if len(generators) < degree and (n - step) % n != step:
+            generators.append(n - step)
+        step += 1
+    if len(generators) < degree:
+        raise ValidationError(
+            f"cannot build a symmetric generator set of size {degree} in Z_{n}"
+        )
+    return tuple(sorted(generators[:degree]))
+
+
+def cayley_graph_submatrix(n: int, generators: Sequence[int]) -> CSRMatrix:
+    """Adjacency submatrix of the Cayley-graph layer ``Z_n`` with generators ``S``.
+
+    Node ``g`` on the input side connects to ``(g + s) mod n`` on the output
+    side for every ``s in S``; the result is an ``n x n`` 0/1 matrix with
+    every row and column of degree ``|S|`` (a circulant, like the
+    mixed-radix submatrices -- the structural kinship the paper exploits).
+    """
+    n = check_positive_int(n, "n", minimum=2)
+    gens = sorted({int(g) % n for g in generators})
+    if not gens:
+        raise ValidationError("generators must be non-empty")
+    if any(g == 0 for g in gens):
+        raise ValidationError("generators must not include the identity (0)")
+    source = np.repeat(np.arange(n, dtype=np.int64), len(gens))
+    offsets = np.tile(np.asarray(gens, dtype=np.int64), n)
+    target = (source + offsets) % n
+    return COOMatrix((n, n), source, target, np.ones(source.size)).to_csr()
+
+
+def cayley_xnet(
+    width: int,
+    depth: int,
+    degree: int,
+    *,
+    name: str = "explicit-xnet",
+) -> FNNT:
+    """An explicit X-Net: ``depth`` stacked Cayley-graph layers of equal ``width``.
+
+    Every layer must have the same width -- the structural constraint of
+    explicit X-Nets that the paper contrasts with RadiX-Net's free choice of
+    dense widths ``D``.
+    """
+    width = check_positive_int(width, "width", minimum=2)
+    depth = check_positive_int(depth, "depth")
+    generators = symmetric_generator_set(width, degree)
+    submatrix = cayley_graph_submatrix(width, generators)
+    return FNNT([submatrix] * depth, validate=False, name=name)

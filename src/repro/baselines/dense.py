@@ -1,0 +1,46 @@
+"""Dense (fully-connected) FNNT construction.
+
+The paper's density definition is relative to the unique fully-connected
+FNNT on a given ordered collection of layer sizes (Fig. 3); this module
+provides that reference object.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import ValidationError
+from repro.sparse.csr import CSRMatrix
+from repro.topology.fnnt import FNNT
+from repro.utils.validation import check_positive_int
+
+
+def dense_fnnt(layer_sizes: Sequence[int], *, name: str = "dense") -> FNNT:
+    """The unique fully-connected FNNT with the given layer sizes.
+
+    >>> dense_fnnt([3, 5, 2]).num_edges
+    25
+    """
+    sizes = [check_positive_int(s, "layer size") for s in layer_sizes]
+    if len(sizes) < 2:
+        raise ValidationError("layer_sizes must contain at least two layers")
+    submatrices = [
+        CSRMatrix.ones((sizes[i], sizes[i + 1])) for i in range(len(sizes) - 1)
+    ]
+    return FNNT(submatrices, validate=False, name=name)
+
+
+def dense_edge_count(layer_sizes: Sequence[int]) -> int:
+    """Edge count of the fully-connected FNNT: ``sum_i |U_{i-1}| * |U_i|``."""
+    sizes = [check_positive_int(s, "layer size") for s in layer_sizes]
+    if len(sizes) < 2:
+        raise ValidationError("layer_sizes must contain at least two layers")
+    return sum(sizes[i] * sizes[i + 1] for i in range(len(sizes) - 1))
+
+
+def dense_parameter_count(layer_sizes: Sequence[int], *, include_biases: bool = True) -> int:
+    """Trainable parameter count of a dense MLP with the given layer sizes."""
+    edges = dense_edge_count(layer_sizes)
+    if not include_biases:
+        return edges
+    return edges + sum(int(s) for s in layer_sizes[1:])

@@ -1,0 +1,68 @@
+"""Expander-quality metrics.
+
+X-Nets justify their sparse layers through expander-graph theory: a
+bipartite layer whose second singular value (equivalently, spectral gap of
+the bipartite adjacency operator) is well separated from the first mixes
+information between layers quickly.  These metrics let the analysis module
+compare mixed-radix layers, Cayley layers, and random layers on an equal
+footing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.sparse.csr import CSRMatrix
+from repro.topology.fnnt import FNNT
+
+
+def singular_values(matrix: CSRMatrix | np.ndarray) -> np.ndarray:
+    """All singular values of an adjacency submatrix, descending."""
+    dense = matrix.to_dense() if isinstance(matrix, CSRMatrix) else np.asarray(matrix, dtype=np.float64)
+    if dense.ndim != 2:
+        raise ValidationError("expected a 2-D adjacency submatrix")
+    return np.linalg.svd(dense, compute_uv=False)
+
+
+def spectral_gap(matrix: CSRMatrix | np.ndarray, *, normalized: bool = True) -> float:
+    """Gap between the top two singular values of a layer's adjacency submatrix.
+
+    For a ``k``-regular bipartite layer the top singular value is ``k``;
+    the (normalized) gap ``1 - sigma_2 / sigma_1`` is the expander-mixing
+    figure of merit: 1.0 for a perfect expander (e.g. the complete bipartite
+    layer), near 0 for a poorly mixing layer.
+    """
+    sigma = singular_values(matrix)
+    if sigma.size == 1:
+        return 1.0
+    top, second = float(sigma[0]), float(sigma[1])
+    if top == 0.0:
+        raise ValidationError("adjacency submatrix is identically zero")
+    gap = top - second
+    return gap / top if normalized else gap
+
+
+@dataclass(frozen=True)
+class ExpansionSummary:
+    """Spectral expansion summary of every layer of an FNNT."""
+
+    per_layer_gap: tuple[float, ...]
+
+    @property
+    def worst_gap(self) -> float:
+        """The smallest (worst) per-layer normalized spectral gap."""
+        return min(self.per_layer_gap)
+
+    @property
+    def mean_gap(self) -> float:
+        """The mean per-layer normalized spectral gap."""
+        return float(np.mean(self.per_layer_gap))
+
+
+def expansion_summary(topology: FNNT) -> ExpansionSummary:
+    """Normalized spectral gap of each layer of ``topology``."""
+    gaps = tuple(spectral_gap(w) for w in topology.submatrices)
+    return ExpansionSummary(per_layer_gap=gaps)

@@ -1,0 +1,70 @@
+"""Magnitude pruning baselines.
+
+The classical route to sparse DNNs (LeCun et al., Han et al.) trains a
+dense network and then removes the smallest-magnitude weights.  The paper
+contrasts that *post hoc* sparsification with RadiX-Net's *de novo*
+sparsity; the training benchmark (experiment E1) therefore includes a
+magnitude-pruned dense model as a third arm.
+
+These functions operate on weight matrices / trained models from
+:mod:`repro.nn` and produce either binary masks or an :class:`FNNT`
+describing the surviving topology.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.sparse.csr import CSRMatrix
+from repro.topology.fnnt import FNNT
+from repro.utils.validation import check_probability
+
+
+def magnitude_prune_mask(weights: np.ndarray, target_density: float) -> np.ndarray:
+    """Binary mask keeping the largest-magnitude fraction ``target_density`` of weights.
+
+    At least one weight per row and per column is always retained so the
+    surviving topology remains a valid FNNT (no dead neurons).
+    """
+    target_density = check_probability(target_density, "target_density")
+    w = np.asarray(weights, dtype=np.float64)
+    if w.ndim != 2:
+        raise ValidationError("weights must be a 2-D matrix")
+    keep = max(1, int(round(target_density * w.size)))
+    threshold = np.partition(np.abs(w).ravel(), w.size - keep)[w.size - keep]
+    mask = np.abs(w) >= threshold
+    # guarantee FNNT validity: each row and column keeps its largest entry
+    row_best = np.argmax(np.abs(w), axis=1)
+    mask[np.arange(w.shape[0]), row_best] = True
+    col_best = np.argmax(np.abs(w), axis=0)
+    mask[col_best, np.arange(w.shape[1])] = True
+    return mask
+
+
+def prune_weights(weights: np.ndarray, target_density: float) -> np.ndarray:
+    """Return a copy of ``weights`` with pruned entries set to zero."""
+    mask = magnitude_prune_mask(weights, target_density)
+    return np.where(mask, np.asarray(weights, dtype=np.float64), 0.0)
+
+
+def prune_model_to_topology(weight_matrices: list[np.ndarray], target_density: float, *, name: str = "pruned") -> FNNT:
+    """Prune every layer of a trained MLP and return the surviving topology.
+
+    ``weight_matrices`` are the per-layer ``(fan_in, fan_out)`` weight
+    arrays of a trained dense model (e.g. ``model.weight_matrices()`` from
+    :mod:`repro.nn`).
+    """
+    if not weight_matrices:
+        raise ValidationError("weight_matrices must be non-empty")
+    submatrices = []
+    for w in weight_matrices:
+        mask = magnitude_prune_mask(w, target_density)
+        submatrices.append(CSRMatrix.from_dense(mask.astype(np.float64)))
+    return FNNT(submatrices, name=name)
+
+
+def pruned_density(weight_matrices: list[np.ndarray], target_density: float) -> float:
+    """Realized density after pruning (>= target because of the validity repair)."""
+    topo = prune_model_to_topology(weight_matrices, target_density)
+    return topo.density()

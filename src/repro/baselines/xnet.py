@@ -1,0 +1,97 @@
+"""X-Net baseline topologies (Prabhu et al., "Deep Expander Networks").
+
+Two flavours:
+
+* :func:`random_xnet` -- every node of the *smaller* side of each layer
+  pair keeps a fixed number of edges chosen uniformly at random (random
+  bipartite expander).  Path-connectedness holds only probabilistically.
+* :func:`explicit_xnet` -- deterministic Cayley-graph layers; adjacent
+  layers are forced to share the same width (see
+  :mod:`repro.baselines.cayley`).
+
+Both return :class:`repro.topology.fnnt.FNNT` objects so they can be
+trained, analysed, and benchmarked through exactly the same code paths as
+RadiX-Nets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.baselines.cayley import cayley_xnet
+from repro.topology.fnnt import FNNT
+from repro.topology.random_graphs import _repair_empty_rows_cols
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive_int
+
+
+def random_xnet(
+    layer_sizes: Sequence[int],
+    out_degree: int,
+    *,
+    seed: RngLike = None,
+    name: str = "random-xnet",
+) -> FNNT:
+    """A random X-Net: expander-style sparse layers with fixed per-node degree.
+
+    For each adjacent layer pair, edges are assigned from the side with
+    fewer nodes so that the expected degree is balanced; every node on the
+    chosen side receives exactly ``out_degree`` edges (clipped to the other
+    side's width), then empty rows/columns are repaired.  This mirrors the
+    X-Linear construction where the explicit expander degree ``D`` is the
+    sparsity knob.
+    """
+    sizes = [check_positive_int(s, "layer size") for s in layer_sizes]
+    if len(sizes) < 2:
+        raise ValidationError("layer_sizes must contain at least two layers")
+    out_degree = check_positive_int(out_degree, "out_degree")
+    rng = ensure_rng(seed)
+    submatrices = []
+    for i in range(len(sizes) - 1):
+        rows, cols = sizes[i], sizes[i + 1]
+        mask = np.zeros((rows, cols), dtype=bool)
+        if rows <= cols:
+            k = min(out_degree, cols)
+            for r in range(rows):
+                mask[r, rng.choice(cols, size=k, replace=False)] = True
+        else:
+            k = min(out_degree, rows)
+            for c in range(cols):
+                mask[rng.choice(rows, size=k, replace=False), c] = True
+        mask = _repair_empty_rows_cols(mask, rng)
+        submatrices.append(mask.astype(np.float64))
+    return FNNT(submatrices, name=name)
+
+
+def explicit_xnet(
+    width: int,
+    depth: int,
+    degree: int,
+    *,
+    name: str = "explicit-xnet",
+) -> FNNT:
+    """A deterministic (Cayley-graph) X-Net with equal layer widths.
+
+    Thin wrapper over :func:`repro.baselines.cayley.cayley_xnet`, exposed
+    here so the three baseline families (dense / random X-Net / explicit
+    X-Net) are importable from one module.
+    """
+    return cayley_xnet(width, depth, degree, name=name)
+
+
+def xnet_density(layer_sizes: Sequence[int], out_degree: int) -> float:
+    """Expected density of a random X-Net (ignoring the rare repair edges)."""
+    sizes = [check_positive_int(s, "layer size") for s in layer_sizes]
+    if len(sizes) < 2:
+        raise ValidationError("layer_sizes must contain at least two layers")
+    out_degree = check_positive_int(out_degree, "out_degree")
+    edges = 0
+    dense_edges = 0
+    for i in range(len(sizes) - 1):
+        rows, cols = sizes[i], sizes[i + 1]
+        edges += min(rows, cols) * min(out_degree, max(rows, cols))
+        dense_edges += rows * cols
+    return edges / dense_edges

@@ -1,0 +1,26 @@
+"""Brain-scale sizing of RadiX-Nets.
+
+The paper notes (Conclusions) that RadiX-Net is used to construct "a neural
+net simulating the size and sparsity of the human brain" (Wang & Kepner,
+unpublished).  That companion work is not published, so this subpackage
+reproduces the *sizing arithmetic*: given target neuron and synapse counts
+(and therefore a target connections-per-neuron figure), find RadiX-Net
+parameters ``(N*, D)`` whose generated topology matches those targets, and
+instantiate scaled-down versions that fit in memory.
+"""
+
+from repro.brain.sizing import (
+    BrainScaleTarget,
+    HUMAN_BRAIN,
+    MOUSE_BRAIN,
+    size_radixnet_for_target,
+    instantiate_scaled,
+)
+
+__all__ = [
+    "BrainScaleTarget",
+    "HUMAN_BRAIN",
+    "MOUSE_BRAIN",
+    "size_radixnet_for_target",
+    "instantiate_scaled",
+]

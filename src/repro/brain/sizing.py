@@ -1,0 +1,162 @@
+"""Sizing RadiX-Nets to brain-like neuron/synapse budgets.
+
+A layered RadiX-Net with uniform dense width ``D``, per-layer node count
+``n = D * N'``, ``L`` edge layers, and per-node out-degree ``k`` (the
+product of the dense fan-out ``D`` and the radix of that layer) has
+
+    neurons  = n * (L + 1)
+    synapses = n * L * k
+
+Given targets for neurons, synapses, and depth, :func:`size_radixnet_for_target`
+chooses the radix (connections per neuron), ``N'``, and ``D`` that
+reproduce the target connections-per-neuron ratio, reporting the relative
+error on each quantity.  :func:`instantiate_scaled` builds an actual
+in-memory topology after dividing the counts by a scale factor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.core.radixnet import RadixNetSpec, generate_from_spec
+from repro.numeral.factorization import balanced_radix_list
+from repro.topology.fnnt import FNNT
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class BrainScaleTarget:
+    """A target size/sparsity point: total neurons, total synapses, layer count."""
+
+    name: str
+    neurons: float
+    synapses: float
+    layers: int
+
+    @property
+    def synapses_per_neuron(self) -> float:
+        """Average out-degree implied by the target."""
+        return self.synapses / self.neurons
+
+    @property
+    def implied_density(self) -> float:
+        """Density of a layered net with these totals relative to dense layers."""
+        neurons_per_layer = self.neurons / (self.layers + 1)
+        return self.synapses_per_neuron / neurons_per_layer
+
+
+#: Approximate human brain: ~8.6e10 neurons, ~1e14 synapses.
+HUMAN_BRAIN = BrainScaleTarget(name="human", neurons=8.6e10, synapses=1.0e14, layers=120)
+
+#: Approximate mouse brain: ~7.1e7 neurons, ~1e11 synapses.
+MOUSE_BRAIN = BrainScaleTarget(name="mouse", neurons=7.1e7, synapses=1.0e11, layers=32)
+
+
+@dataclass(frozen=True)
+class SizingResult:
+    """Chosen RadiX-Net parameters for a brain-scale target."""
+
+    target: BrainScaleTarget
+    radix: int
+    n_prime: int
+    dense_width: int
+    layers: int
+    neurons_per_layer: int
+    achieved_neurons: float
+    achieved_synapses: float
+
+    @property
+    def neuron_error(self) -> float:
+        """Relative error on the neuron count."""
+        return abs(self.achieved_neurons - self.target.neurons) / self.target.neurons
+
+    @property
+    def synapse_error(self) -> float:
+        """Relative error on the synapse count."""
+        return abs(self.achieved_synapses - self.target.synapses) / self.target.synapses
+
+    def spec(self, *, max_nodes: int | None = None) -> RadixNetSpec:
+        """A RadiX-Net specification realizing (a possibly scaled copy of) this sizing."""
+        scale_note = "" if max_nodes is None else "-scaled"
+        radices = balanced_radix_list(self.n_prime, max(1, round(math.log(self.n_prime, self.radix))))
+        widths = [self.dense_width] * (len(radices) + 1)
+        return RadixNetSpec([radices], widths, name=f"brain-{self.target.name}{scale_note}")
+
+
+def size_radixnet_for_target(
+    target: BrainScaleTarget,
+    *,
+    radix: int | None = None,
+) -> SizingResult:
+    """Choose RadiX-Net parameters matching a brain-scale target.
+
+    The per-neuron out-degree (``radix``, i.e. connections contributed by
+    the mixed-radix structure at dense width 1) defaults to the rounded
+    target synapses-per-neuron divided by the layer count... in practice the
+    challenge-style construction keeps degree constant per layer, so
+    ``degree = synapses_per_neuron`` rounded to the nearest power of two.
+    ``N'`` and the dense width are then set so the per-layer neuron count
+    matches the target.
+    """
+    if target.neurons <= 0 or target.synapses <= 0 or target.layers <= 0:
+        raise ValidationError("target quantities must be positive")
+    degree = radix if radix is not None else int(2 ** round(math.log2(max(2.0, target.synapses_per_neuron))))
+    degree = check_positive_int(degree, "radix", minimum=2)
+    neurons_per_layer = max(degree, int(round(target.neurons / (target.layers + 1))))
+    # round neurons_per_layer up to a multiple of the degree so an exact
+    # mixed-radix layer exists
+    neurons_per_layer = int(math.ceil(neurons_per_layer / degree) * degree)
+    n_prime = neurons_per_layer  # dense width 1: all structure in the radix part
+    dense_width = 1
+    achieved_neurons = float(neurons_per_layer * (target.layers + 1))
+    achieved_synapses = float(neurons_per_layer * target.layers * degree)
+    return SizingResult(
+        target=target,
+        radix=degree,
+        n_prime=n_prime,
+        dense_width=dense_width,
+        layers=target.layers,
+        neurons_per_layer=neurons_per_layer,
+        achieved_neurons=achieved_neurons,
+        achieved_synapses=achieved_synapses,
+    )
+
+
+def instantiate_scaled(
+    sizing: SizingResult,
+    *,
+    scale: float = 1e-6,
+    max_layers: int = 8,
+    max_neurons: int = 512,
+) -> FNNT:
+    """Materialize a scaled-down topology preserving the design's *sparsity shape*.
+
+    ``scale`` divides the per-layer neuron count, clipped to
+    ``[8, max_neurons]``; ``max_layers`` caps the depth.  The per-neuron
+    degree is the full-size degree when it still fits (at most a quarter of
+    the scaled layer width, so the instance stays clearly sparse) and is
+    reduced proportionally otherwise -- the full 1e14-synapse design cannot
+    be held in memory, which is exactly why the scaled instance exists.
+    """
+    if not 0 < scale <= 1:
+        raise ValidationError("scale must be in (0, 1]")
+    max_layers = check_positive_int(max_layers, "max_layers")
+    max_neurons = check_positive_int(max_neurons, "max_neurons", minimum=8)
+    raw_neurons = int(np.clip(round(sizing.neurons_per_layer * scale), 8, max_neurons))
+    degree = max(2, min(sizing.radix, raw_neurons // 4))
+    scaled_neurons = int(math.ceil(raw_neurons / degree) * degree)
+    layers = min(sizing.layers, max_layers)
+    from repro.challenge.generator import generate_challenge_network
+
+    network = generate_challenge_network(
+        scaled_neurons,
+        layers,
+        connections=degree,
+        shuffle_neurons=False,
+        seed=0,
+    )
+    return network.topology

@@ -1,0 +1,32 @@
+"""Graph Challenge style sparse DNN inference.
+
+The MIT/IEEE/Amazon Graph Challenge "Sparse Deep Neural Network" benchmark
+distributes large sparse networks **generated with RadiX-Net** and asks
+implementations to run the inference recurrence
+
+    Y_{l+1} = ReLU( Y_l W_l + b_l ),  clamped to [0, threshold]
+
+over all layers, then report which inputs remain active (the "categories").
+This subpackage regenerates challenge-style instances directly from the
+RadiX-Net construction (scaled to laptop sizes), provides the reference
+inference engine in both dense-batch and sparse-batch forms, and
+round-trips the challenge's TSV interchange format.
+"""
+
+from repro.challenge.generator import ChallengeNetwork, generate_challenge_network, challenge_input_batch
+from repro.challenge.inference import sparse_dnn_inference, infer_categories, InferenceResult
+from repro.challenge.io import save_challenge_network, load_challenge_network
+from repro.challenge.verify import verify_categories, category_checksum
+
+__all__ = [
+    "ChallengeNetwork",
+    "generate_challenge_network",
+    "challenge_input_batch",
+    "sparse_dnn_inference",
+    "infer_categories",
+    "InferenceResult",
+    "save_challenge_network",
+    "load_challenge_network",
+    "verify_categories",
+    "category_checksum",
+]

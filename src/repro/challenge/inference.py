@@ -1,0 +1,118 @@
+"""The Graph Challenge sparse DNN inference kernel.
+
+The reference recurrence (Kepner et al., "Sparse Deep Neural Network Graph
+Challenge") is, for activation matrix ``Y`` with one row per input sample:
+
+    Z = Y W_l + B_l          (bias broadcast to active rows)
+    Y = min(max(Z, 0), threshold)
+
+after the last layer, the *categories* are the rows of ``Y`` with any
+positive entry.  This module implements the recurrence with either dense
+or sparse activation storage and reports per-layer timing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ShapeError, ValidationError
+from repro.challenge.generator import ChallengeNetwork
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import spmm, sparse_transpose
+
+
+@dataclass
+class InferenceResult:
+    """Outcome of a sparse DNN inference run."""
+
+    activations: np.ndarray
+    categories: np.ndarray
+    layer_seconds: list[float] = field(default_factory=list)
+    edges_traversed: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        """Total inference wall-clock time across layers."""
+        return float(sum(self.layer_seconds))
+
+    @property
+    def edges_per_second(self) -> float:
+        """The Graph Challenge throughput figure of merit (edges / second)."""
+        total = self.total_seconds
+        return self.edges_traversed / total if total > 0 else float("inf")
+
+
+def sparse_dnn_inference(
+    network: ChallengeNetwork,
+    inputs: np.ndarray,
+    *,
+    record_timing: bool = True,
+) -> InferenceResult:
+    """Run the challenge inference recurrence over all layers of ``network``.
+
+    ``inputs`` is a dense ``(batch, neurons)`` activation matrix (sparse
+    batches are supported by the caller simply passing mostly-zero rows --
+    the kernel exploits sparsity through the CSR weight matrices).
+    """
+    y = np.asarray(inputs, dtype=np.float64)
+    if y.ndim != 2 or y.shape[1] != network.neurons:
+        raise ShapeError(
+            f"inputs must have shape (batch, {network.neurons}), got {y.shape}"
+        )
+    layer_seconds: list[float] = []
+    edges = 0
+    for weight, bias in zip(network.weights, network.biases):
+        start = time.perf_counter() if record_timing else 0.0
+        y = _layer_step(y, weight, bias, network.threshold)
+        if record_timing:
+            layer_seconds.append(time.perf_counter() - start)
+        edges += weight.nnz
+    categories = np.flatnonzero(y.sum(axis=1) > 0)
+    return InferenceResult(
+        activations=y,
+        categories=categories,
+        layer_seconds=layer_seconds,
+        edges_traversed=edges * y.shape[0] if y.shape[0] else edges,
+    )
+
+
+def _layer_step(y: np.ndarray, weight: CSRMatrix, bias: np.ndarray, threshold: float) -> np.ndarray:
+    """One layer of the recurrence: ``min(max(Y W + b, 0), threshold)``.
+
+    The bias is only added to rows that have any active input, matching the
+    GraphBLAS reference implementation (bias enters through the semiring on
+    existing entries, so fully-inactive samples stay inactive).
+    """
+    z = spmm(sparse_transpose(weight), y.T).T
+    active_rows = y.sum(axis=1) > 0
+    z[active_rows] += bias
+    np.maximum(z, 0.0, out=z)
+    np.minimum(z, threshold, out=z)
+    return z
+
+
+def infer_categories(network: ChallengeNetwork, inputs: np.ndarray) -> np.ndarray:
+    """Convenience wrapper returning only the surviving category indices."""
+    return sparse_dnn_inference(network, inputs, record_timing=False).categories
+
+
+def layer_activation_profile(network: ChallengeNetwork, inputs: np.ndarray) -> list[float]:
+    """Fraction of nonzero activations after every layer (diagnostic curve).
+
+    The challenge instances are tuned so activations neither die out nor
+    saturate; this profile is the quickest way to confirm a generated
+    instance behaves like the real ones.
+    """
+    y = np.asarray(inputs, dtype=np.float64)
+    if y.ndim != 2 or y.shape[1] != network.neurons:
+        raise ValidationError(
+            f"inputs must have shape (batch, {network.neurons}), got {y.shape}"
+        )
+    profile = []
+    for weight, bias in zip(network.weights, network.biases):
+        y = _layer_step(y, weight, bias, network.threshold)
+        profile.append(float(np.count_nonzero(y) / y.size))
+    return profile

@@ -1,0 +1,95 @@
+"""Graph Challenge interchange format (TSV) for whole networks.
+
+Layout on disk (mirrors the official distribution):
+
+    <directory>/
+        neuron<N>-l<i>.tsv     one file per layer, lines "row<TAB>col<TAB>weight",
+                               1-based indices
+        neuron<N>-meta.tsv     one line: neurons, layers, threshold, bias[0]
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import SerializationError
+from repro.challenge.generator import ChallengeNetwork
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.topology.fnnt import FNNT
+
+
+def save_challenge_network(network: ChallengeNetwork, directory: str | os.PathLike) -> Path:
+    """Write a challenge network to a directory of TSV files; returns the directory."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    n = network.neurons
+    for i, weight in enumerate(network.weights, start=1):
+        coo = weight.to_coo().coalesce()
+        path = directory / f"neuron{n}-l{i}.tsv"
+        with path.open("w", encoding="utf-8") as handle:
+            for r, c, v in zip(coo.rows, coo.cols, coo.values):
+                handle.write(f"{int(r) + 1}\t{int(c) + 1}\t{v:.17g}\n")
+    meta = directory / f"neuron{n}-meta.tsv"
+    with meta.open("w", encoding="utf-8") as handle:
+        handle.write(
+            f"{n}\t{network.num_layers}\t{network.threshold:.17g}\t{float(network.biases[0][0]):.17g}\n"
+        )
+    return directory
+
+
+def load_challenge_network(directory: str | os.PathLike, neurons: int) -> ChallengeNetwork:
+    """Load a challenge network previously written by :func:`save_challenge_network`."""
+    directory = Path(directory)
+    meta_path = directory / f"neuron{neurons}-meta.tsv"
+    if not meta_path.exists():
+        raise SerializationError(f"metadata file not found: {meta_path}")
+    fields = meta_path.read_text(encoding="utf-8").strip().split("\t")
+    if len(fields) != 4:
+        raise SerializationError(f"malformed metadata file: {meta_path}")
+    n, num_layers = int(fields[0]), int(fields[1])
+    threshold, bias_value = float(fields[2]), float(fields[3])
+    if n != int(neurons):
+        raise SerializationError(
+            f"metadata neuron count {n} does not match requested {neurons}"
+        )
+    weights: list[CSRMatrix] = []
+    submatrices: list[CSRMatrix] = []
+    biases: list[np.ndarray] = []
+    for i in range(1, num_layers + 1):
+        path = directory / f"neuron{n}-l{i}.tsv"
+        if not path.exists():
+            raise SerializationError(f"layer file not found: {path}")
+        rows, cols, vals = [], [], []
+        with path.open("r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                parts = line.split("\t")
+                if len(parts) != 3:
+                    raise SerializationError(
+                        f"{path}:{line_number}: expected 3 fields, got {len(parts)}"
+                    )
+                rows.append(int(parts[0]) - 1)
+                cols.append(int(parts[1]) - 1)
+                vals.append(float(parts[2]))
+        weight = COOMatrix(
+            (n, n),
+            np.asarray(rows, dtype=np.int64),
+            np.asarray(cols, dtype=np.int64),
+            np.asarray(vals, dtype=np.float64),
+        ).to_csr()
+        weights.append(weight)
+        submatrices.append(weight.astype_binary())
+        biases.append(np.full(n, bias_value))
+    topology = FNNT(submatrices, validate=False, name=f"graph-challenge-{n}x{num_layers}")
+    return ChallengeNetwork(
+        topology=topology,
+        weights=tuple(weights),
+        biases=tuple(biases),
+        threshold=threshold,
+    )

@@ -1,0 +1,40 @@
+"""Verification of Graph Challenge inference results.
+
+The official benchmark checks submissions by comparing the surviving
+category list against a reference.  Here the reference is a deliberately
+naive dense re-implementation of the recurrence; :func:`verify_categories`
+cross-checks the production kernel against it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.challenge.generator import ChallengeNetwork
+from repro.challenge.inference import sparse_dnn_inference
+
+
+def reference_categories(network: ChallengeNetwork, inputs: np.ndarray) -> np.ndarray:
+    """Dense NumPy reference implementation of the inference recurrence."""
+    y = np.asarray(inputs, dtype=np.float64).copy()
+    for weight, bias in zip(network.weights, network.biases):
+        z = y @ weight.to_dense()
+        active = y.sum(axis=1) > 0
+        z[active] += bias
+        y = np.clip(z, 0.0, network.threshold)
+    return np.flatnonzero(y.sum(axis=1) > 0)
+
+
+def verify_categories(network: ChallengeNetwork, inputs: np.ndarray) -> bool:
+    """True if the sparse kernel and the dense reference agree on the categories."""
+    sparse_result = sparse_dnn_inference(network, inputs, record_timing=False)
+    dense_result = reference_categories(network, inputs)
+    return bool(np.array_equal(sparse_result.categories, dense_result))
+
+
+def category_checksum(categories: np.ndarray) -> str:
+    """A stable hex digest of a category list (for recording results compactly)."""
+    data = np.asarray(categories, dtype=np.int64).tobytes()
+    return hashlib.sha256(data).hexdigest()[:16]

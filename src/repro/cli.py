@@ -1,0 +1,194 @@
+"""Command-line interface.
+
+A small ``argparse`` front end over the library, so a topology can be
+generated, inspected, verified, and exported without writing Python::
+
+    python -m repro.cli generate --systems "2,2;2,2" --widths 1,2,2,2,1 --out net.npz
+    python -m repro.cli info net.npz
+    python -m repro.cli verify --systems "2,2;2,2" --widths 1,2,2,2,1
+    python -m repro.cli density --systems "3,3;9" --widths 1,1,1,1
+    python -m repro.cli challenge --neurons 128 --layers 12 --connections 8
+    python -m repro.cli design --layer-widths 32,64,64,16
+
+Every subcommand prints a plain-text report and exits 0 on success, 2 on
+argument errors (argparse convention), 1 on library errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.errors import ReproError
+
+
+def _parse_int_list(text: str, name: str) -> list[int]:
+    try:
+        return [int(part) for part in text.replace(" ", "").split(",") if part != ""]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"{name} must be a comma-separated integer list") from exc
+
+
+def parse_systems(text: str) -> list[tuple[int, ...]]:
+    """Parse ``"2,2;2,2"`` into ``[(2, 2), (2, 2)]``."""
+    systems = []
+    for chunk in text.split(";"):
+        values = _parse_int_list(chunk, "systems")
+        if not values:
+            raise argparse.ArgumentTypeError("each system needs at least one radix")
+        systems.append(tuple(values))
+    if not systems:
+        raise argparse.ArgumentTypeError("at least one mixed-radix system is required")
+    return systems
+
+
+def parse_widths(text: str) -> list[int]:
+    """Parse ``"1,2,2,2,1"`` into ``[1, 2, 2, 2, 1]``."""
+    values = _parse_int_list(text, "widths")
+    if not values:
+        raise argparse.ArgumentTypeError("widths must be non-empty")
+    return values
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a RadiX-Net and save it")
+    generate.add_argument("--systems", type=parse_systems, required=True, help='mixed-radix systems, e.g. "2,2;2,2"')
+    generate.add_argument("--widths", type=parse_widths, required=True, help='dense widths, e.g. "1,2,2,2,1"')
+    generate.add_argument("--out", default=None, help="output .npz path (optional)")
+    generate.add_argument("--name", default="radix-net")
+
+    info = subparsers.add_parser("info", help="report the properties of a saved topology")
+    info.add_argument("path", help="topology .npz file written by `generate`")
+
+    verify = subparsers.add_parser("verify", help="verify Theorem 1 on a specification")
+    verify.add_argument("--systems", type=parse_systems, required=True)
+    verify.add_argument("--widths", type=parse_widths, required=True)
+
+    density = subparsers.add_parser("density", help="report eq. (4)/(5)/(6) densities for a specification")
+    density.add_argument("--systems", type=parse_systems, required=True)
+    density.add_argument("--widths", type=parse_widths, required=True)
+
+    challenge = subparsers.add_parser("challenge", help="generate a Graph Challenge style network and run inference")
+    challenge.add_argument("--neurons", type=int, default=128)
+    challenge.add_argument("--layers", type=int, default=12)
+    challenge.add_argument("--connections", type=int, default=8)
+    challenge.add_argument("--batch", type=int, default=32)
+    challenge.add_argument("--seed", type=int, default=0)
+
+    design = subparsers.add_parser("design", help="find a specification matching layer widths")
+    design.add_argument("--layer-widths", type=parse_widths, required=True)
+    design.add_argument("--max-n-prime", type=int, default=None)
+
+    return parser
+
+
+# --------------------------------------------------------------------------- #
+# subcommand implementations
+# --------------------------------------------------------------------------- #
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.core.radixnet import generate_radixnet
+    from repro.topology.io import save_npz
+
+    net = generate_radixnet(args.systems, args.widths, name=args.name)
+    print(f"generated {net!r}")
+    if args.out:
+        path = save_npz(net, args.out)
+        print(f"saved to {path}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.analysis.compare import topology_report
+    from repro.topology.io import load_npz
+    from repro.viz.report import format_report_rows
+
+    net = load_npz(args.path)
+    print(format_report_rows([topology_report(net).as_row()]))
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.core.radixnet import RadixNetSpec
+    from repro.core.theory import verify_theorem_1
+
+    spec = RadixNetSpec(args.systems, args.widths)
+    check = verify_theorem_1(spec)
+    print(f"specification: {spec}")
+    print(f"symmetric: {check.symmetric}")
+    print(f"paths per (input, output) pair: measured {check.measured_paths}, predicted {check.predicted_paths}")
+    print(f"Theorem 1 verified: {check.matches_prediction}")
+    return 0 if check.matches_prediction else 1
+
+
+def _cmd_density(args: argparse.Namespace) -> int:
+    from repro.core.density import approximate_density, asymptotic_density, effective_depth, exact_density
+    from repro.core.radixnet import RadixNetSpec
+
+    spec = RadixNetSpec(args.systems, args.widths)
+    mu = spec.mean_radix()
+    print(f"specification: {spec}")
+    print(f"exact density (eq. 4):       {exact_density(spec):.6g}")
+    print(f"approximation (eq. 5, mu/N'): {approximate_density(spec):.6g}")
+    print(f"asymptotic (eq. 6, 1/mu^(d-1)): {asymptotic_density(mu, effective_depth(spec)):.6g}")
+    return 0
+
+
+def _cmd_challenge(args: argparse.Namespace) -> int:
+    from repro.challenge.generator import challenge_input_batch, generate_challenge_network
+    from repro.challenge.inference import sparse_dnn_inference
+    from repro.challenge.verify import verify_categories
+
+    network = generate_challenge_network(
+        args.neurons, args.layers, connections=args.connections, seed=args.seed
+    )
+    batch = challenge_input_batch(args.neurons, args.batch, seed=args.seed + 1)
+    result = sparse_dnn_inference(network, batch)
+    print(f"network: {network!r}")
+    print(f"inference: {result.total_seconds:.4f}s, {result.edges_per_second:,.0f} edges/s")
+    print(f"categories: {result.categories.size} of {args.batch}")
+    verified = verify_categories(network, batch)
+    print(f"verified against dense reference: {verified}")
+    return 0 if verified else 1
+
+
+def _cmd_design(args: argparse.Namespace) -> int:
+    from repro.core.designer import design_for_widths
+    from repro.core.density import exact_density
+
+    result = design_for_widths(args.layer_widths, max_n_prime=args.max_n_prime)
+    print(f"target widths:   {tuple(args.layer_widths)}")
+    print(f"achieved widths: {result.achieved}")
+    print(f"specification:   {result.spec}")
+    print(f"density:         {exact_density(result.spec):.6g}")
+    print(f"width error:     {result.error}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "info": _cmd_info,
+    "verify": _cmd_verify,
+    "density": _cmd_density,
+    "challenge": _cmd_challenge,
+    "design": _cmd_design,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in examples
+    sys.exit(main())

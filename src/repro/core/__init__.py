@@ -1,0 +1,76 @@
+"""The RadiX-Net construction (the paper's primary contribution).
+
+Modules
+-------
+``permutation``
+    Cyclic permutation matrices (paper eq. (2)) in CSR form.
+``mixed_radix_topology``
+    The mixed-radix topology induced by a single mixed-radix numeral
+    system (paper eq. (1), Figure 1).
+``kronecker``
+    Kronecker expansion of adjacency submatrices with dense layer widths
+    (paper eq. (3), Figure 5).
+``radixnet``
+    The full generator (paper Figure 6): constraint validation, extended
+    mixed-radix concatenation, Kronecker expansion, and the
+    :class:`RadixNetSpec` convenience wrapper.
+``density``
+    The density theory of equations (4), (5), (6) and Figure 7.
+``theory``
+    Predictions of Lemma 1 / Lemma 2 / Theorem 1 (symmetry and exact
+    per-pair path counts) used for verification.
+``designer``
+    Parameter search: find admissible ``(N*, D)`` hitting target layer
+    widths or target densities.
+"""
+
+from repro.core.permutation import cyclic_permutation_matrix, paper_permutation_matrix
+from repro.core.mixed_radix_topology import (
+    mixed_radix_submatrix,
+    mixed_radix_topology,
+)
+from repro.core.kronecker import kron_expand_submatrices
+from repro.core.radixnet import (
+    RadixNetSpec,
+    validate_radixnet_constraints,
+    generate_extended_mixed_radix,
+    generate_radixnet,
+)
+from repro.core.density import (
+    exact_density,
+    approximate_density,
+    asymptotic_density,
+    density_surface,
+)
+from repro.core.theory import (
+    predicted_emr_path_count,
+    predicted_radixnet_path_count,
+    verify_theorem_1,
+)
+from repro.core.designer import (
+    design_for_widths,
+    design_for_density,
+    DesignResult,
+)
+
+__all__ = [
+    "cyclic_permutation_matrix",
+    "paper_permutation_matrix",
+    "mixed_radix_submatrix",
+    "mixed_radix_topology",
+    "kron_expand_submatrices",
+    "RadixNetSpec",
+    "validate_radixnet_constraints",
+    "generate_extended_mixed_radix",
+    "generate_radixnet",
+    "exact_density",
+    "approximate_density",
+    "asymptotic_density",
+    "density_surface",
+    "predicted_emr_path_count",
+    "predicted_radixnet_path_count",
+    "verify_theorem_1",
+    "design_for_widths",
+    "design_for_density",
+    "DesignResult",
+]

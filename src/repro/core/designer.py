@@ -1,0 +1,154 @@
+"""Parameter search for RadiX-Net specifications.
+
+The paper emphasizes that RadiX-Nets allow "diverse layer architectures":
+given desired layer widths (e.g. an MLP shaped 256-512-512-10) or a target
+density, there are many admissible ``(N*, D)`` pairs.  This module searches
+that space:
+
+* :func:`design_for_widths` -- find a specification whose expanded layer
+  sizes ``D_i * N'`` match (or dominate) requested widths, to drive the
+  neural-network training experiments;
+* :func:`design_for_density` -- find a specification with exact density as
+  close as possible to a requested value, used by the density ablations.
+
+The searches are exhaustive over small factorization spaces (the relevant
+``N'`` values are modest) and deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.core.density import exact_density
+from repro.core.radixnet import RadixNetSpec
+from repro.numeral.factorization import balanced_radix_list, divisors, radix_lists_with_product
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class DesignResult:
+    """Outcome of a designer search."""
+
+    spec: RadixNetSpec
+    target: tuple[float, ...] | float
+    achieved: tuple[int, ...] | float
+    error: float
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"DesignResult(spec={self.spec!r}, target={self.target!r}, "
+            f"achieved={self.achieved!r}, error={self.error:.4g})"
+        )
+
+
+def design_for_widths(
+    layer_widths: Sequence[int],
+    *,
+    radices_per_system: int = 2,
+    max_n_prime: int | None = None,
+) -> DesignResult:
+    """Find a RadiX-Net spec whose expanded layer sizes match ``layer_widths``.
+
+    The expanded size of layer ``i`` is ``D_i * N'``; for each candidate
+    ``N'`` (a common divisor of every requested width, bounded by
+    ``max_n_prime``) we set ``D_i = width_i / N'`` and build one mixed-radix
+    system of ``radices_per_system`` balanced radices per pair of adjacent
+    hidden layers.  The candidate with the largest feasible ``N'``
+    (sparsest construction) is returned.
+
+    Raises :class:`ValidationError` if no admissible ``N' >= 2`` exists
+    (e.g. the widths are coprime).
+    """
+    widths = [check_positive_int(w, "layer width") for w in layer_widths]
+    if len(widths) < 2:
+        raise ValidationError("at least two layer widths are required")
+    common = math.gcd(*widths)
+    if max_n_prime is not None:
+        max_n_prime = check_positive_int(max_n_prime, "max_n_prime")
+    candidates = [d for d in divisors(common) if d >= 2]
+    if max_n_prime is not None:
+        candidates = [d for d in candidates if d <= max_n_prime]
+    if not candidates:
+        raise ValidationError(
+            f"no common divisor >= 2 of the requested widths {tuple(widths)} "
+            "is available for N'"
+        )
+    num_edge_layers = len(widths) - 1
+    best: DesignResult | None = None
+    for n_prime in sorted(candidates, reverse=True):
+        try:
+            lengths = _system_lengths(num_edge_layers, radices_per_system)
+            systems = [
+                tuple(balanced_radix_list(n_prime, length)) for length in lengths
+            ]
+        except ValidationError:
+            continue
+        d = [w // n_prime for w in widths]
+        spec = RadixNetSpec(systems, d, name=f"designed-N{n_prime}")
+        achieved = tuple(s for s in spec.layer_sizes)
+        error = float(sum(abs(a - t) for a, t in zip(achieved, widths)))
+        result = DesignResult(spec=spec, target=tuple(float(w) for w in widths), achieved=achieved, error=error)
+        if error == 0.0:
+            return result
+        if best is None or error < best.error:
+            best = result
+    if best is None:
+        raise ValidationError(
+            "no admissible RadiX-Net specification found for the requested widths"
+        )
+    return best
+
+
+def _system_lengths(num_edge_layers: int, radices_per_system: int) -> list[int]:
+    """Split ``num_edge_layers`` radices into systems of ``radices_per_system``.
+
+    The trailing system absorbs the remainder (it may be shorter), which is
+    admissible because only the last system's product is allowed to differ.
+    """
+    radices_per_system = check_positive_int(radices_per_system, "radices_per_system")
+    full, remainder = divmod(num_edge_layers, radices_per_system)
+    lengths = [radices_per_system] * full
+    if remainder:
+        lengths.append(remainder)
+    if not lengths:
+        raise ValidationError("num_edge_layers must be >= 1")
+    return lengths
+
+
+def design_for_density(
+    target_density: float,
+    num_layers: int,
+    *,
+    max_n_prime: int = 256,
+    width: int = 1,
+) -> DesignResult:
+    """Find a single-system RadiX-Net spec with density close to ``target_density``.
+
+    Searches single mixed-radix systems (every radix list with product up to
+    ``max_n_prime`` and length ``num_layers``) with uniform dense widths and
+    returns the spec minimizing ``|exact_density - target|``.
+    """
+    if not 0.0 < target_density <= 1.0:
+        raise ValidationError(f"target_density must be in (0, 1], got {target_density}")
+    num_layers = check_positive_int(num_layers, "num_layers")
+    width = check_positive_int(width, "width")
+    best: DesignResult | None = None
+    for n_prime in range(2, max_n_prime + 1):
+        for radices in radix_lists_with_product(n_prime, max_length=num_layers):
+            if len(radices) != num_layers:
+                continue
+            spec = RadixNetSpec([radices], [width] * (num_layers + 1), name=f"density-{n_prime}")
+            achieved = exact_density(spec)
+            error = abs(achieved - target_density)
+            if best is None or error < best.error:
+                best = DesignResult(
+                    spec=spec, target=float(target_density), achieved=achieved, error=error
+                )
+    if best is None:
+        raise ValidationError(
+            "no specification found; increase max_n_prime or reduce num_layers"
+        )
+    return best

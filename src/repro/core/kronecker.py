@@ -1,0 +1,88 @@
+"""Kronecker expansion of adjacency submatrices (paper equation (3), Figure 5).
+
+The final step of the RadiX-Net construction replaces every extended
+mixed-radix adjacency submatrix ``W_i`` by ``W*_i (x) W_i`` where ``W*_i``
+is the all-ones ``D_{i-1} x D_i`` adjacency submatrix of an arbitrary
+dense DNN with layer widths ``D = (D_0, ..., D_M)``.  The expanded layer
+``i`` therefore has ``D_i * N'`` nodes, and the dense widths become a free
+set of parameters that diversify the family without disturbing symmetry.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import kron
+from repro.utils.validation import check_positive_int
+
+
+def kron_expand_submatrices(
+    submatrices: Sequence[CSRMatrix],
+    widths: Sequence[int],
+) -> list[CSRMatrix]:
+    """Apply equation (3): ``W_i -> 1_{D_{i-1}, D_i} (x) W_i`` for every level.
+
+    Parameters
+    ----------
+    submatrices:
+        The extended mixed-radix adjacency submatrices ``(W_1, ..., W_M)``.
+    widths:
+        Dense layer widths ``(D_0, ..., D_M)``; must have exactly one more
+        entry than ``submatrices``.
+    """
+    if len(widths) != len(submatrices) + 1:
+        raise ValidationError(
+            f"widths must have {len(submatrices) + 1} entries "
+            f"(one per node layer), got {len(widths)}"
+        )
+    d = [check_positive_int(w, f"widths[{i}]") for i, w in enumerate(widths)]
+    expanded = []
+    for i, w in enumerate(submatrices):
+        ones_block = CSRMatrix.ones((d[i], d[i + 1]))
+        expanded.append(kron(ones_block, w))
+    return expanded
+
+
+def kron_node_index(dense_index: int, radix_index: int, n_prime: int) -> int:
+    """Flat node index of the pair (dense copy, mixed-radix node) after expansion.
+
+    After ``1_{D x D'} (x) W`` the node ``(dense_index, radix_index)`` of an
+    expanded layer occupies flat position ``dense_index * N' + radix_index``
+    -- the standard Kronecker row ordering.  Exposed so downstream code
+    (e.g. mapping trained weights back onto mixed-radix coordinates) does
+    not re-derive the convention.
+    """
+    if not 0 <= radix_index < n_prime:
+        raise ValidationError(
+            f"radix_index must be in [0, {n_prime - 1}], got {radix_index}"
+        )
+    if dense_index < 0:
+        raise ValidationError(f"dense_index must be >= 0, got {dense_index}")
+    return int(dense_index) * int(n_prime) + int(radix_index)
+
+
+def kron_node_coordinates(flat_index: int, n_prime: int) -> tuple[int, int]:
+    """Inverse of :func:`kron_node_index`: recover (dense copy, mixed-radix node)."""
+    if flat_index < 0:
+        raise ValidationError(f"flat_index must be >= 0, got {flat_index}")
+    return int(flat_index) // int(n_prime), int(flat_index) % int(n_prime)
+
+
+def expanded_layer_sizes(widths: Sequence[int], n_prime: int) -> tuple[int, ...]:
+    """Node counts of the expanded topology: ``D_i * N'`` per layer."""
+    n_prime = check_positive_int(n_prime, "n_prime")
+    return tuple(check_positive_int(w, "width") * n_prime for w in widths)
+
+
+def dense_reference_edge_count(widths: Sequence[int], n_prime: int) -> int:
+    """Edge count of the fully-connected FNNT on the expanded layer sizes.
+
+    This is the denominator of the paper's density definition for a
+    RadiX-Net: ``sum_i (D_{i-1} N') (D_i N')``.
+    """
+    sizes = expanded_layer_sizes(widths, n_prime)
+    return int(sum(int(sizes[i]) * int(sizes[i + 1]) for i in range(len(sizes) - 1)))

@@ -1,0 +1,138 @@
+"""Mixed-radix topologies (paper equation (1), Figure 1).
+
+The mixed-radix topology induced by a numeral system
+``N = (N_1, ..., N_L)`` has ``L + 1`` layers of ``N'`` nodes each
+(``N' = prod(N)``), with edges from node ``j`` in layer ``i-1`` to nodes
+``(j + n * nu_i) mod N'`` in layer ``i`` for ``n = 0, ..., N_i - 1``,
+where ``nu_i = prod_{k < i} N_k`` is the place value of radix ``i``.
+
+Equivalently (paper eq. (1)) the adjacency submatrix of level ``i`` is
+
+    W_i = sum_{n=0}^{N_i - 1} C^(n * nu_i)
+
+for the cyclic up-shift permutation matrix ``C``.  Figure 1 of the paper
+shows the same object as ``N'`` overlapping depth-``L`` decision trees,
+one rooted at every node of the input layer; :func:`decision_tree_leaves`
+exposes that view for testing and visualization.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.numeral.mixed_radix import MixedRadixSystem
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.topology.fnnt import FNNT
+
+
+def _coerce_system(system: MixedRadixSystem | Sequence[int]) -> MixedRadixSystem:
+    if isinstance(system, MixedRadixSystem):
+        return system
+    return MixedRadixSystem(system)
+
+
+def mixed_radix_submatrix(
+    system: MixedRadixSystem | Sequence[int],
+    level: int,
+    *,
+    modulus: int | None = None,
+) -> CSRMatrix:
+    """The adjacency submatrix ``W_{level+1}`` of the mixed-radix topology.
+
+    Parameters
+    ----------
+    system:
+        The mixed-radix numeral system ``N``.
+    level:
+        0-based radix index (``level = i - 1`` for the paper's ``W_i``).
+    modulus:
+        Number of nodes per layer.  Defaults to the system's own capacity
+        ``N'``; the RadiX-Net generator passes the *shared* ``N'`` here so
+        that the final numeral system (whose product merely divides ``N'``)
+        still produces ``N' x N'`` submatrices, exactly as in the Figure-6
+        algorithm where the permutation matrix is built once from the first
+        system's product.
+    """
+    mrs = _coerce_system(system)
+    radix = mrs[level]
+    place_value = mrs.place_value(level)
+    n_prime = int(modulus) if modulus is not None else mrs.capacity
+    # Row j has edges to (j + n * place_value) mod N' for n = 0..radix-1.
+    source = np.repeat(np.arange(n_prime, dtype=np.int64), radix)
+    offsets = np.tile(np.arange(radix, dtype=np.int64) * place_value, n_prime)
+    target = (source + offsets) % n_prime
+    return COOMatrix((n_prime, n_prime), source, target, np.ones(source.size)).to_csr()
+
+
+def mixed_radix_submatrices(
+    system: MixedRadixSystem | Sequence[int],
+    *,
+    modulus: int | None = None,
+) -> list[CSRMatrix]:
+    """All adjacency submatrices ``(W_1, ..., W_L)`` of the mixed-radix topology."""
+    mrs = _coerce_system(system)
+    return [
+        mixed_radix_submatrix(mrs, level, modulus=modulus)
+        for level in range(mrs.length)
+    ]
+
+
+def mixed_radix_topology(
+    system: MixedRadixSystem | Sequence[int],
+    *,
+    modulus: int | None = None,
+    name: str | None = None,
+) -> FNNT:
+    """The mixed-radix topology induced by ``system`` as an :class:`FNNT`.
+
+    >>> net = mixed_radix_topology((2, 2, 2))
+    >>> net.layer_sizes
+    (8, 8, 8, 8)
+    >>> net.is_symmetric()
+    True
+    """
+    mrs = _coerce_system(system)
+    label = name or f"mixed-radix-{'x'.join(str(r) for r in mrs.radices)}"
+    return FNNT(mixed_radix_submatrices(mrs, modulus=modulus), validate=False, name=label)
+
+
+def decision_tree_edges(system: MixedRadixSystem | Sequence[int], root: int) -> list[tuple[int, int, int]]:
+    """Edges of the single decision tree rooted at input node ``root``.
+
+    Figure 1 of the paper constructs the mixed-radix topology as ``N'``
+    overlapping decision trees.  The tree rooted at ``root`` reaches, at
+    depth ``i``, the nodes ``(root + v) mod N'`` for every value ``v``
+    representable by the first ``i`` radices.  Returns a list of
+    ``(level, source_node, target_node)`` tuples.
+    """
+    mrs = _coerce_system(system)
+    n_prime = mrs.capacity
+    edges: list[tuple[int, int, int]] = []
+    frontier = [int(root) % n_prime]
+    for level in range(mrs.length):
+        radix = mrs[level]
+        place_value = mrs.place_value(level)
+        next_frontier: list[int] = []
+        for node in frontier:
+            for n in range(radix):
+                child = (node + n * place_value) % n_prime
+                edges.append((level, node, child))
+                next_frontier.append(child)
+        frontier = next_frontier
+    return edges
+
+
+def decision_tree_leaves(system: MixedRadixSystem | Sequence[int], root: int) -> list[int]:
+    """Leaf nodes of the decision tree rooted at ``root``.
+
+    For a full mixed-radix system the leaves are exactly all ``N'`` nodes,
+    each reached once -- this is the combinatorial content of Lemma 1
+    (exactly one path between every input/output pair).
+    """
+    mrs = _coerce_system(system)
+    edges = decision_tree_edges(mrs, root)
+    last_level = mrs.length - 1
+    return [target for level, _, target in edges if level == last_level]

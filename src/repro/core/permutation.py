@@ -1,0 +1,61 @@
+"""Cyclic permutation matrices (paper equation (2)).
+
+The mixed-radix adjacency submatrices of equation (1) are sums of powers
+of an ``N' x N'`` cyclic permutation matrix.  Two orientations appear in
+the paper:
+
+* the *textual* construction ("create edges from node ``j`` in ``U_{i-1}``
+  to node ``j + n * nu_i (mod N')`` in ``U_i``"), which corresponds to the
+  **up-shift** matrix ``C`` with ``C[j, (j + 1) mod N'] = 1``;
+* the displayed matrix of equation (2), which is the transpose (down-shift)
+  ``P`` with ``P[j, (j - 1) mod N'] = 1``.
+
+The two generate transposed submatrices, i.e. the same topology with the
+roles of the layers' node labels negated modulo ``N'`` -- all graph
+properties (regularity, symmetry, path counts, density) are identical.  We
+take the textual orientation as primary (:func:`cyclic_permutation_matrix`
+with ``offset=+1``) and expose the displayed form as
+:func:`paper_permutation_matrix` for fidelity tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+from repro.utils.validation import check_positive_int
+
+
+def cyclic_permutation_matrix(n: int, offset: int = 1) -> CSRMatrix:
+    """The ``n x n`` cyclic permutation matrix with ``M[j, (j + offset) mod n] = 1``.
+
+    ``offset`` may be any integer (negative offsets shift the other way);
+    powers of the unit-offset matrix satisfy
+    ``cyclic_permutation_matrix(n, k) == matrix_power(cyclic_permutation_matrix(n, 1), k)``
+    for ``k >= 0``.
+    """
+    n = check_positive_int(n, "n")
+    columns = (np.arange(n, dtype=np.int64) + int(offset)) % n
+    indptr = np.arange(n + 1, dtype=np.int64)
+    return CSRMatrix((n, n), indptr, columns, np.ones(n))
+
+
+def paper_permutation_matrix(n: int) -> CSRMatrix:
+    """The permutation matrix exactly as displayed in the paper's equation (2).
+
+    First row is ``(0, ..., 0, 1)`` and the remaining rows carry the
+    identity ``I_{n-1}`` in their leading columns, i.e.
+    ``P[j, (j - 1) mod n] = 1``.  This equals
+    ``cyclic_permutation_matrix(n, offset=-1)`` and is the transpose of the
+    unit up-shift matrix.
+    """
+    return cyclic_permutation_matrix(n, offset=-1)
+
+
+def permutation_power(n: int, exponent: int) -> CSRMatrix:
+    """``C^exponent`` for the unit up-shift matrix ``C``, computed in closed form.
+
+    Avoids repeated SpGEMM: the power of a cyclic shift is simply a cyclic
+    shift by ``exponent``.
+    """
+    return cyclic_permutation_matrix(n, offset=int(exponent))

@@ -1,0 +1,132 @@
+"""Predictions of the paper's Lemma 1, Lemma 2, and Theorem 1.
+
+* Lemma 1: a mixed-radix topology is symmetric with exactly **one** path
+  between every (input, output) pair.
+* Lemma 2: an extended mixed-radix topology built from ``M`` systems that
+  all share product ``N'`` is symmetric with ``(N')^(M-1)`` paths per pair.
+* Theorem 1: a RadiX-Net is symmetric with
+  ``(N')^(M-1) * prod_{i=1..Mbar-1} D_i`` paths per pair.
+
+The paper allows the **last** system's product ``Q`` to be a proper
+divisor of ``N'``; in that case the constants above generalize to
+``(N')^(M-2) * Q`` and ``(N')^(M-2) * Q * prod D_i`` respectively (the
+last system contributes ``Q`` rather than ``N'`` fan-out), which reduces
+to the paper's formula when ``Q = N'``.  The verification helpers below
+compute the generalized constant and check it against the actual chain
+product of the constructed topology.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.radixnet import RadixNetSpec, SystemLike, generate_from_spec
+from repro.numeral.mixed_radix import MixedRadixSystem
+from repro.topology.fnnt import FNNT
+from repro.topology.properties import path_count_matrix
+
+
+def predicted_mixed_radix_path_count() -> int:
+    """Lemma 1: every (input, output) pair of a mixed-radix topology has one path."""
+    return 1
+
+
+def predicted_emr_path_count(systems: Sequence[SystemLike]) -> int:
+    """Lemma 2 path count for an extended mixed-radix topology.
+
+    Returns ``(N')^(M-2) * Q`` where ``Q`` is the last system's product;
+    this equals the paper's ``(N')^(M-1)`` whenever ``Q = N'``.
+    For a single system the count is 1 when ``Q = N'``; if a single system
+    under-fills ``N'`` the topology is not even path-connected and the
+    prediction does not apply.
+    """
+    mrs = [s if isinstance(s, MixedRadixSystem) else MixedRadixSystem(s) for s in systems]
+    if len(mrs) == 1:
+        return 1
+    n_prime = mrs[0].capacity
+    q = mrs[-1].capacity
+    return int(n_prime ** (len(mrs) - 2) * q)
+
+
+def predicted_radixnet_path_count(spec: RadixNetSpec) -> int:
+    """Theorem 1 path count (generalized to a divisor-product last system).
+
+    ``(N')^(M-2) * Q * prod_{i=1..Mbar-1} D_i`` -- the product runs over the
+    *interior* dense widths only (``D_0`` and ``D_Mbar`` excluded), exactly
+    as in the paper's statement.
+    """
+    emr = predicted_emr_path_count(spec.systems)
+    interior = spec.widths[1:-1]
+    return int(emr * math.prod(interior)) if interior else int(emr)
+
+
+@dataclass(frozen=True)
+class TheoremCheck:
+    """Result of verifying a symmetry/path-count prediction on a topology."""
+
+    predicted_paths: int
+    measured_min: int
+    measured_max: int
+    symmetric: bool
+    matches_prediction: bool
+
+    @property
+    def measured_paths(self) -> int:
+        """The common path count when the topology is symmetric."""
+        return self.measured_min
+
+
+def _check_against(topology: FNNT, predicted: int) -> TheoremCheck:
+    counts = path_count_matrix(topology).to_dense()
+    measured_min = int(round(float(counts.min())))
+    measured_max = int(round(float(counts.max())))
+    symmetric = bool(measured_min == measured_max and measured_min > 0)
+    return TheoremCheck(
+        predicted_paths=int(predicted),
+        measured_min=measured_min,
+        measured_max=measured_max,
+        symmetric=symmetric,
+        matches_prediction=bool(symmetric and measured_min == int(predicted)),
+    )
+
+
+def verify_lemma_1(system: SystemLike) -> TheoremCheck:
+    """Verify Lemma 1 on the mixed-radix topology of ``system``."""
+    from repro.core.mixed_radix_topology import mixed_radix_topology
+
+    return _check_against(mixed_radix_topology(system), predicted_mixed_radix_path_count())
+
+
+def verify_lemma_2(systems: Sequence[SystemLike]) -> TheoremCheck:
+    """Verify Lemma 2 on the extended mixed-radix topology of ``systems``."""
+    from repro.core.radixnet import generate_extended_mixed_radix
+
+    return _check_against(
+        generate_extended_mixed_radix(systems), predicted_emr_path_count(systems)
+    )
+
+
+def verify_theorem_1(spec: RadixNetSpec, *, topology: FNNT | None = None) -> TheoremCheck:
+    """Verify Theorem 1 on the RadiX-Net generated from ``spec``.
+
+    ``topology`` may be supplied to avoid regenerating an already-built net.
+    """
+    net = topology if topology is not None else generate_from_spec(spec)
+    return _check_against(net, predicted_radixnet_path_count(spec))
+
+
+def path_count_spectrum(topology: FNNT) -> dict[int, int]:
+    """Histogram of per-pair path counts, ``{path_count: number_of_pairs}``.
+
+    A symmetric topology has a single key; baselines such as random
+    Erdos-Renyi layers typically spread over many values (including 0 for
+    disconnected pairs), which is the quantitative contrast the analysis
+    module reports.
+    """
+    counts = path_count_matrix(topology).to_dense()
+    values, frequencies = np.unique(counts.astype(np.int64), return_counts=True)
+    return {int(v): int(f) for v, f in zip(values, frequencies)}

@@ -1,0 +1,34 @@
+"""Synthetic datasets.
+
+The training experiments of the sparse-DNN literature use MNIST-class
+image tasks.  Because this reproduction has no network access, the
+datasets here are generated procedurally but preserve the property that
+matters for the sparse-vs-dense comparison: a classification task that a
+dense MLP learns to high accuracy and that is non-trivial (classes overlap
+in raw pixel/feature space).
+
+* :func:`synthetic_mnist` -- 28x28 grayscale images of stroke-rendered
+  digit-like glyphs with random translation, scaling, and noise;
+* :func:`gaussian_mixture` -- k-class Gaussian blobs with controllable
+  overlap;
+* :func:`two_spirals` -- the classic two-interleaved-spirals task;
+* :func:`teacher_student` -- regression targets produced by a fixed random
+  "teacher" network.
+"""
+
+from repro.datasets.synthetic_mnist import synthetic_mnist, render_glyph, GLYPH_STROKES
+from repro.datasets.gaussians import gaussian_mixture
+from repro.datasets.spirals import two_spirals
+from repro.datasets.teacher_student import teacher_student
+from repro.datasets.registry import DATASETS, load_dataset
+
+__all__ = [
+    "synthetic_mnist",
+    "render_glyph",
+    "GLYPH_STROKES",
+    "gaussian_mixture",
+    "two_spirals",
+    "teacher_student",
+    "DATASETS",
+    "load_dataset",
+]

@@ -1,0 +1,40 @@
+"""Dataset registry: load any bundled dataset by name."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.datasets.gaussians import gaussian_mixture
+from repro.datasets.spirals import two_spirals
+from repro.datasets.synthetic_mnist import synthetic_mnist
+from repro.datasets.teacher_student import teacher_student
+from repro.utils.rng import RngLike
+
+DatasetLoader = Callable[..., tuple[np.ndarray, np.ndarray]]
+
+#: Name -> loader mapping used by the experiment harness and the examples.
+DATASETS: dict[str, DatasetLoader] = {
+    "synthetic_mnist": synthetic_mnist,
+    "gaussian_mixture": gaussian_mixture,
+    "two_spirals": two_spirals,
+    "teacher_student": teacher_student,
+}
+
+
+def load_dataset(name: str, num_samples: int, *, seed: RngLike = None, **kwargs) -> tuple[np.ndarray, np.ndarray]:
+    """Load a registered dataset by name.
+
+    >>> x, y = load_dataset("gaussian_mixture", 64, seed=0)
+    >>> x.shape[0]
+    64
+    """
+    try:
+        loader = DATASETS[name]
+    except KeyError as exc:
+        raise ValidationError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+        ) from exc
+    return loader(num_samples, seed=seed, **kwargs)

@@ -1,0 +1,57 @@
+"""The two-interleaved-spirals task (a classic nonlinearly separable benchmark)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def two_spirals(
+    num_samples: int,
+    *,
+    noise: float = 0.1,
+    turns: float = 1.5,
+    embed_dim: int | None = None,
+    seed: RngLike = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Generate the two-spirals binary classification task.
+
+    ``turns`` controls how many revolutions each spiral makes; ``noise`` is
+    the standard deviation of positional jitter.  With ``embed_dim`` the
+    2-D points are embedded into a higher-dimensional space via a fixed
+    random rotation (padding with zeros first), which makes the task a more
+    realistic MLP workload.  Returns ``(features, labels in {0, 1})``.
+    """
+    if num_samples < 2:
+        raise ValidationError("num_samples must be at least 2")
+    if noise < 0:
+        raise ValidationError("noise must be >= 0")
+    if turns <= 0:
+        raise ValidationError("turns must be positive")
+    rng = ensure_rng(seed)
+    per_class = num_samples // 2
+    counts = [per_class, num_samples - per_class]
+    points = []
+    labels = []
+    for class_index, count in enumerate(counts):
+        t = rng.uniform(0.0, 1.0, size=count)
+        radius = t
+        angle = 2.0 * np.pi * turns * t + np.pi * class_index
+        x = radius * np.cos(angle) + rng.normal(0.0, noise, size=count)
+        y = radius * np.sin(angle) + rng.normal(0.0, noise, size=count)
+        points.append(np.stack([x, y], axis=1))
+        labels.append(np.full(count, class_index, dtype=np.int64))
+    features = np.concatenate(points)
+    targets = np.concatenate(labels)
+    order = rng.permutation(num_samples)
+    features, targets = features[order], targets[order]
+    if embed_dim is not None:
+        if embed_dim < 2:
+            raise ValidationError("embed_dim must be >= 2")
+        padded = np.zeros((num_samples, embed_dim))
+        padded[:, :2] = features
+        rotation, _ = np.linalg.qr(rng.normal(size=(embed_dim, embed_dim)))
+        features = padded @ rotation
+    return features, targets

@@ -1,0 +1,46 @@
+"""Teacher-student regression data.
+
+A fixed random two-layer "teacher" network defines the target function;
+students (dense or sparse) are trained to match it.  This is the cleanest
+setting in which to probe the paper's expressive-power discussion: the
+target is exactly representable by a dense network of known size, and the
+question is how well sparse topologies of equal width approximate it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def teacher_student(
+    num_samples: int,
+    *,
+    input_dim: int = 16,
+    hidden_dim: int = 32,
+    output_dim: int = 1,
+    input_scale: float = 1.0,
+    seed: RngLike = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Generate regression data from a fixed random tanh teacher network.
+
+    Returns ``(features, targets)`` where
+    ``targets = V tanh(W x + b)`` for teacher parameters drawn once from
+    the seeded generator (so the same seed always gives the same teacher).
+    """
+    if num_samples <= 0:
+        raise ValidationError("num_samples must be positive")
+    if min(input_dim, hidden_dim, output_dim) < 1:
+        raise ValidationError("dimensions must be positive")
+    if input_scale <= 0:
+        raise ValidationError("input_scale must be positive")
+    rng = ensure_rng(seed)
+    teacher_w = rng.normal(0.0, 1.0 / np.sqrt(input_dim), size=(input_dim, hidden_dim))
+    teacher_b = rng.normal(0.0, 0.1, size=hidden_dim)
+    teacher_v = rng.normal(0.0, 1.0 / np.sqrt(hidden_dim), size=(hidden_dim, output_dim))
+    features = rng.normal(0.0, input_scale, size=(num_samples, input_dim))
+    hidden = np.tanh(features @ teacher_w + teacher_b)
+    targets = hidden @ teacher_v
+    return features, targets

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch the whole family with a single ``except`` clause while still being
+able to distinguish configuration problems from numerical/shape problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (bad radix list, bad widths, ...)."""
+
+
+class ConstraintError(ValidationError):
+    """A RadiX-Net admissibility constraint was violated.
+
+    The paper requires (Section III.A) that all mixed-radix systems except
+    possibly the last share the same product ``N'`` and that the product of
+    the last system divides ``N'``.  Violations raise this error.
+    """
+
+
+class ShapeError(ReproError, ValueError):
+    """Matrix/vector shapes are inconsistent for the requested operation."""
+
+
+class TopologyError(ReproError):
+    """An FNNT is malformed (empty layer, zero-out-degree interior node, ...)."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative routine (training, search) failed to converge."""
+
+
+class SerializationError(ReproError):
+    """A topology or model file could not be read or written."""

@@ -1,0 +1,58 @@
+"""Experiment harnesses.
+
+These modules contain the logic behind the benchmark suite (one benchmark
+per paper figure/table plus the companion experiments), factored into the
+library so the examples, the tests, and ``pytest-benchmark`` targets all
+drive the same code.
+
+* :mod:`repro.experiments.figures` -- regenerate the data behind every
+  figure of the paper (Figures 1-7) and the equation-(4)-(6) table;
+* :mod:`repro.experiments.training` -- the accuracy-versus-density
+  training comparison (companion experiment E1);
+* :mod:`repro.experiments.scaling` -- Graph Challenge inference scaling
+  (companion experiment E2) and the brain-scale sizing table (E3).
+"""
+
+from repro.experiments.figures import (
+    figure1_mixed_radix_data,
+    figure2_emr_data,
+    figure3_fnnt_data,
+    figure4_adjacency_data,
+    figure5_kronecker_data,
+    figure6_generator_scaling,
+    figure7_density_surface,
+    equation4_density_table,
+    theorem1_path_count_table,
+)
+from repro.experiments.training import (
+    TrainingComparisonResult,
+    accuracy_vs_density,
+    train_topology_on_dataset,
+)
+from repro.experiments.scaling import (
+    graph_challenge_scaling,
+    brain_sizing_table,
+    width_ablation,
+    variance_ablation,
+    diversity_table,
+)
+
+__all__ = [
+    "figure1_mixed_radix_data",
+    "figure2_emr_data",
+    "figure3_fnnt_data",
+    "figure4_adjacency_data",
+    "figure5_kronecker_data",
+    "figure6_generator_scaling",
+    "figure7_density_surface",
+    "equation4_density_table",
+    "theorem1_path_count_table",
+    "TrainingComparisonResult",
+    "accuracy_vs_density",
+    "train_topology_on_dataset",
+    "graph_challenge_scaling",
+    "brain_sizing_table",
+    "width_ablation",
+    "variance_ablation",
+    "diversity_table",
+]

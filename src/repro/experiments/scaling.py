@@ -1,0 +1,172 @@
+"""Scaling and ablation experiments (companion experiments E2, E3; ablations A1-A3)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.diversity import (
+    count_explicit_xnet_configurations,
+    count_radixnet_configurations,
+)
+from repro.brain.sizing import (
+    BrainScaleTarget,
+    HUMAN_BRAIN,
+    MOUSE_BRAIN,
+    instantiate_scaled,
+    size_radixnet_for_target,
+)
+from repro.challenge.generator import (
+    challenge_input_batch,
+    generate_challenge_network,
+    scale_series,
+)
+from repro.challenge.inference import sparse_dnn_inference
+from repro.challenge.verify import verify_categories
+from repro.core.density import approximate_density, exact_density
+from repro.core.radixnet import RadixNetSpec
+from repro.numeral.factorization import radix_lists_with_product
+
+
+def graph_challenge_scaling(
+    *,
+    base_neurons: int = 16,
+    sizes: int = 3,
+    num_layers: int = 12,
+    batch_size: int = 32,
+    connections: int = 4,
+    seed: int = 0,
+) -> list[dict[str, float]]:
+    """Experiment E2: inference throughput as the network scales (x4 per step).
+
+    Mirrors the Graph Challenge scaling study: neurons per layer grow by a
+    factor of four per step while layers and batch stay fixed; the reported
+    figure of merit is edges traversed per second.  Each row also records
+    whether the sparse kernel agreed with the dense reference.
+    """
+    rows = []
+    for neurons in scale_series(base_neurons, sizes):
+        network = generate_challenge_network(
+            neurons, num_layers, connections=connections, seed=seed
+        )
+        batch = challenge_input_batch(neurons, batch_size, seed=seed)
+        result = sparse_dnn_inference(network, batch)
+        rows.append(
+            {
+                "neurons": float(neurons),
+                "layers": float(num_layers),
+                "edges": float(network.topology.num_edges),
+                "seconds": result.total_seconds,
+                "edges_per_second": result.edges_per_second,
+                "categories": float(result.categories.size),
+                "verified": float(verify_categories(network, batch)),
+            }
+        )
+    return rows
+
+
+def brain_sizing_table(*, scale: float = 2e-6, max_layers: int = 4) -> list[dict[str, float]]:
+    """Experiment E3: RadiX-Net parameters matching brain-like size/sparsity targets."""
+    rows = []
+    for target in (MOUSE_BRAIN, HUMAN_BRAIN):
+        sizing = size_radixnet_for_target(target)
+        scaled = instantiate_scaled(sizing, scale=scale, max_layers=max_layers)
+        rows.append(
+            {
+                "target": target.name,
+                "target_neurons": target.neurons,
+                "target_synapses": target.synapses,
+                "degree": float(sizing.radix),
+                "neurons_per_layer": float(sizing.neurons_per_layer),
+                "achieved_neurons": sizing.achieved_neurons,
+                "achieved_synapses": sizing.achieved_synapses,
+                "neuron_error": sizing.neuron_error,
+                "synapse_error": sizing.synapse_error,
+                "scaled_instance_edges": float(scaled.num_edges),
+                "scaled_instance_density": scaled.density(),
+            }
+        )
+    return rows
+
+
+def width_ablation(
+    *,
+    systems: tuple[tuple[int, ...], ...] = ((2, 2), (2, 2)),
+    width_choices: tuple[int, ...] = (1, 2, 4, 8, 16),
+) -> list[dict[str, float]]:
+    """Ablation A1: the effect of the dense widths D on density.
+
+    Equation (5) predicts the effect is negligible when the radix variance
+    is small; the rows report the exact density (eq. 4) as the interior
+    widths grow, so the benchmark can assert the spread stays within the
+    formula's error bound.
+    """
+    rows = []
+    num_radices = sum(len(s) for s in systems)
+    for width in width_choices:
+        widths = [1] + [width] * (num_radices - 1) + [1]
+        spec = RadixNetSpec(list(systems), widths)
+        rows.append(
+            {
+                "interior_width": float(width),
+                "exact_density": exact_density(spec),
+                "approx_density": approximate_density(spec),
+                "relative_gap": abs(exact_density(spec) - approximate_density(spec))
+                / approximate_density(spec),
+            }
+        )
+    return rows
+
+
+def variance_ablation(*, n_prime: int = 36, length: int = 3) -> list[dict[str, float]]:
+    """Ablation A2: accuracy of the eq.-(5) approximation vs radix variance.
+
+    All radix lists of the given length and product are enumerated; the
+    relative error between eq. (4) and eq. (5) is reported together with
+    the list's variance, so the benchmark can assert the error grows with
+    variance (the paper's 'sufficiently small variance' caveat).
+    """
+    rows = []
+    for radices in radix_lists_with_product(n_prime, max_length=length):
+        if len(radices) != length:
+            continue
+        spec = RadixNetSpec([radices, (n_prime,)], [1] * (length + 2))
+        mean = float(np.mean(spec.flattened_radices))
+        variance = float(np.var(radices))
+        rows.append(
+            {
+                "radices": radices,
+                "variance": variance,
+                "exact_density": exact_density(spec),
+                "approx_density": approximate_density(spec),
+                "relative_error": abs(exact_density(spec) - approximate_density(spec))
+                / exact_density(spec),
+            }
+        )
+    rows.sort(key=lambda row: row["variance"])
+    return rows
+
+
+def diversity_table(
+    *,
+    n_primes: tuple[int, ...] = (8, 12, 16, 24, 36, 48, 64),
+    num_systems: int = 2,
+) -> list[dict[str, float]]:
+    """Ablation A3: RadiX-Net configuration count vs explicit X-Net count.
+
+    Substantiates the diversity claim of the abstract: the RadiX-Net count
+    grows with the divisor structure of ``N'`` while the explicit X-Net
+    count grows only linearly in the layer width.
+    """
+    rows = []
+    for n_prime in n_primes:
+        radix_count = count_radixnet_configurations(n_prime, num_systems)
+        xnet_count = count_explicit_xnet_configurations(n_prime)
+        rows.append(
+            {
+                "n_prime": float(n_prime),
+                "radixnet_configurations": float(radix_count),
+                "explicit_xnet_configurations": float(xnet_count),
+                "ratio": radix_count / xnet_count,
+            }
+        )
+    return rows

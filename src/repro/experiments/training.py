@@ -1,0 +1,202 @@
+"""Training comparison experiments (companion experiment E1).
+
+The sparse-training companion work (Alford & Kepner, "Training Sparse
+Neural Networks") trains RadiX-Net topologies against dense and pruned
+networks on MNIST-class data and reports accuracy as a function of
+density.  This harness reproduces that comparison on the synthetic
+datasets bundled with the package:
+
+* build topology families (RadiX-Net, random X-Net, dense, pruned dense)
+  at matched layer widths;
+* train each through the identical :class:`repro.nn.train.Trainer`;
+* report accuracy, parameter count, and density per arm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.pruning import prune_model_to_topology
+from repro.baselines.xnet import random_xnet
+from repro.core.designer import design_for_widths
+from repro.datasets.registry import load_dataset
+from repro.nn.builder import dense_model, input_adapter_matrix, model_from_topology
+from repro.nn.data import one_hot, train_val_split
+from repro.nn.optimizers import Adam
+from repro.nn.train import Trainer
+from repro.topology.fnnt import FNNT
+from repro.utils.rng import RngLike
+
+
+@dataclass(frozen=True)
+class ArmResult:
+    """Result of training one arm (one topology family) of the comparison."""
+
+    name: str
+    density: float
+    parameter_count: int
+    val_accuracy: float
+    train_loss: float
+    epochs_run: int
+
+
+@dataclass
+class TrainingComparisonResult:
+    """All arms of an accuracy-versus-density comparison."""
+
+    dataset: str
+    layer_widths: tuple[int, ...]
+    arms: list[ArmResult] = field(default_factory=list)
+
+    def arm(self, name: str) -> ArmResult:
+        """Look up an arm by name."""
+        for result in self.arms:
+            if result.name == name:
+                return result
+        raise KeyError(f"no arm named {name!r}; have {[a.name for a in self.arms]}")
+
+    @property
+    def dense_accuracy(self) -> float:
+        """Validation accuracy of the dense reference arm."""
+        return self.arm("dense").val_accuracy
+
+    def accuracy_gap(self, name: str) -> float:
+        """Dense accuracy minus the named arm's accuracy (positive = dense better)."""
+        return self.dense_accuracy - self.arm(name).val_accuracy
+
+
+def train_topology_on_dataset(
+    topology: FNNT | None,
+    features: np.ndarray,
+    labels: np.ndarray,
+    *,
+    num_classes: int,
+    layer_widths: tuple[int, ...] | None = None,
+    epochs: int = 20,
+    learning_rate: float = 5e-3,
+    batch_size: int = 32,
+    seed: RngLike = 0,
+    name: str = "model",
+) -> tuple[ArmResult, list[np.ndarray]]:
+    """Train one model (sparse if a topology is given, dense otherwise).
+
+    Returns the :class:`ArmResult` plus the trained weight matrices (used
+    by the pruning arm, which prunes the trained dense model).
+
+    The dataset's feature dimension is adapted to the topology's input
+    width with a fixed random projection, and the number of classes is
+    padded to the topology's output width, exactly as described in
+    DESIGN.md (the RadiX-Net layer widths are multiples of ``N'``).
+    """
+    targets = one_hot(labels, num_classes)
+    if topology is not None:
+        model = model_from_topology(topology, seed=seed, name=name)
+    else:
+        if layer_widths is None:
+            raise ValueError("layer_widths required for the dense arm")
+        model = dense_model(layer_widths, seed=seed, name=name)
+    adapter = input_adapter_matrix(features.shape[1], model.input_size, seed=seed)
+    projected = np.asarray(features, dtype=np.float64) @ adapter
+    if model.output_size < num_classes:
+        raise ValueError(
+            f"model output width {model.output_size} is smaller than the number "
+            f"of classes {num_classes}"
+        )
+    if model.output_size > num_classes:
+        targets = np.pad(targets, ((0, 0), (0, model.output_size - num_classes)))
+    train_x, train_y, val_x, val_y = train_val_split(projected, targets, val_fraction=0.25, seed=seed)
+    trainer = Trainer(model, Adam(learning_rate), batch_size=batch_size, seed=seed)
+    history = trainer.fit(train_x, train_y, epochs=epochs, val_x=val_x, val_y=val_y)
+    result = ArmResult(
+        name=name,
+        density=model.realized_topology_density(),
+        parameter_count=model.parameter_count,
+        val_accuracy=history.best_val_accuracy,
+        train_loss=history.final_train_loss,
+        epochs_run=history.epochs_run,
+    )
+    return result, model.weight_matrices()
+
+
+def accuracy_vs_density(
+    *,
+    dataset: str = "gaussian_mixture",
+    num_samples: int = 800,
+    num_classes: int = 4,
+    layer_widths: tuple[int, ...] = (16, 32, 32, 8),
+    epochs: int = 20,
+    seed: int = 0,
+    dataset_kwargs: dict | None = None,
+) -> TrainingComparisonResult:
+    """Run the full four-arm comparison: RadiX-Net, random X-Net, dense, pruned.
+
+    All sparse arms are built at (approximately) the same layer widths as
+    the dense arm; the pruned arm prunes the trained dense model down to
+    the RadiX-Net's density and retrains briefly.
+    """
+    kwargs = dict(dataset_kwargs or {})
+    if dataset in ("gaussian_mixture",):
+        kwargs.setdefault("num_classes", num_classes)
+    features, labels = load_dataset(dataset, num_samples, seed=seed, **kwargs)
+    result = TrainingComparisonResult(dataset=dataset, layer_widths=tuple(layer_widths))
+
+    # RadiX-Net arm: design a spec matching the requested layer widths.
+    design = design_for_widths(list(layer_widths))
+    radix_topology = design.spec
+    from repro.core.radixnet import generate_from_spec
+
+    radix_net = generate_from_spec(radix_topology)
+    radix_arm, _ = train_topology_on_dataset(
+        radix_net,
+        features,
+        labels,
+        num_classes=num_classes,
+        epochs=epochs,
+        seed=seed,
+        name="radix-net",
+    )
+    result.arms.append(radix_arm)
+
+    # Random X-Net arm at matched density: choose out-degree to match the
+    # RadiX-Net arm's density as closely as possible.
+    matched_degree = max(1, int(round(radix_arm.density * max(layer_widths))))
+    xnet_topology = random_xnet(radix_net.layer_sizes, matched_degree, seed=seed)
+    xnet_arm, _ = train_topology_on_dataset(
+        xnet_topology,
+        features,
+        labels,
+        num_classes=num_classes,
+        epochs=epochs,
+        seed=seed,
+        name="random-xnet",
+    )
+    result.arms.append(xnet_arm)
+
+    # Dense arm on the same layer widths as the RadiX-Net.
+    dense_arm, dense_weights = train_topology_on_dataset(
+        None,
+        features,
+        labels,
+        num_classes=num_classes,
+        layer_widths=radix_net.layer_sizes,
+        epochs=epochs,
+        seed=seed,
+        name="dense",
+    )
+    result.arms.append(dense_arm)
+
+    # Pruned arm: prune the trained dense model to the RadiX-Net density and retrain.
+    pruned_topology = prune_model_to_topology(dense_weights, radix_arm.density, name="pruned")
+    pruned_arm, _ = train_topology_on_dataset(
+        pruned_topology,
+        features,
+        labels,
+        num_classes=num_classes,
+        epochs=max(1, epochs // 2),
+        seed=seed,
+        name="pruned",
+    )
+    result.arms.append(pruned_arm)
+    return result

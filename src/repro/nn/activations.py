@@ -1,0 +1,93 @@
+"""Activation functions with analytic derivatives.
+
+Each activation is an :class:`Activation` instance carrying a forward map
+and the derivative *as a function of the forward output* (all activations
+used here admit that form, which avoids storing pre-activations).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Activation:
+    """An elementwise activation: forward map plus derivative w.r.t. output."""
+
+    name: str
+    forward: Callable[[np.ndarray], np.ndarray]
+    derivative_from_output: Callable[[np.ndarray], np.ndarray]
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Activation({self.name!r})"
+
+
+def _relu_forward(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def _relu_derivative(y: np.ndarray) -> np.ndarray:
+    return (y > 0.0).astype(np.float64)
+
+
+def _sigmoid_forward(x: np.ndarray) -> np.ndarray:
+    # numerically stable piecewise evaluation
+    out = np.empty_like(x, dtype=np.float64)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def _sigmoid_derivative(y: np.ndarray) -> np.ndarray:
+    return y * (1.0 - y)
+
+
+def _tanh_forward(x: np.ndarray) -> np.ndarray:
+    return np.tanh(x)
+
+
+def _tanh_derivative(y: np.ndarray) -> np.ndarray:
+    return 1.0 - y * y
+
+
+def _identity_forward(x: np.ndarray) -> np.ndarray:
+    return x
+
+
+def _identity_derivative(y: np.ndarray) -> np.ndarray:
+    return np.ones_like(y)
+
+
+relu = Activation("relu", _relu_forward, _relu_derivative)
+sigmoid = Activation("sigmoid", _sigmoid_forward, _sigmoid_derivative)
+tanh = Activation("tanh", _tanh_forward, _tanh_derivative)
+identity = Activation("identity", _identity_forward, _identity_derivative)
+
+_REGISTRY = {a.name: a for a in (relu, sigmoid, tanh, identity)}
+
+
+def get_activation(name: str | Activation) -> Activation:
+    """Look up an activation by name (or pass an Activation through)."""
+    if isinstance(name, Activation):
+        return name
+    try:
+        return _REGISTRY[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown activation {name!r}; available: {sorted(_REGISTRY)}"
+        ) from exc
+
+
+def softmax_stable(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis`` (used by the cross-entropy loss)."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)

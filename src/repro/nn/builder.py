@@ -1,0 +1,106 @@
+"""Build trainable models from topologies.
+
+:func:`model_from_topology` is the bridge between the combinatorial half of
+the package (FNNTs -- RadiX-Nets, X-Nets, random graphs, dense reference
+nets) and the training half: every adjacency submatrix becomes the
+connectivity mask of a :class:`repro.nn.layers.MaskedSparseLayer` (or a
+plain :class:`DenseLayer` when the submatrix is all ones), so any topology
+family can be trained, evaluated, and compared through identical code.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.nn.layers import DenseLayer, MaskedSparseLayer
+from repro.nn.model import FeedforwardNetwork
+from repro.topology.fnnt import FNNT
+from repro.utils.rng import RngLike, spawn_rngs
+
+
+def model_from_topology(
+    topology: FNNT,
+    *,
+    hidden_activation: str = "relu",
+    output_activation: str = "identity",
+    seed: RngLike = None,
+    fan_in_correction: bool = True,
+    force_masked: bool = False,
+    name: str | None = None,
+) -> FeedforwardNetwork:
+    """Build a trainable model whose connectivity is exactly ``topology``.
+
+    All layers except the last use ``hidden_activation``; the last layer
+    uses ``output_activation`` (identity by default so a cross-entropy loss
+    can apply its own softmax).  Fully-dense submatrices become ordinary
+    :class:`DenseLayer` objects unless ``force_masked`` is set (useful when
+    benchmarking the masked code path itself).
+    """
+    layer_count = len(topology.submatrices)
+    seeds = spawn_rngs(seed, layer_count)
+    layers = []
+    for index, submatrix in enumerate(topology.submatrices):
+        activation = output_activation if index == layer_count - 1 else hidden_activation
+        is_dense = submatrix.nnz == submatrix.shape[0] * submatrix.shape[1]
+        if is_dense and not force_masked:
+            layers.append(
+                DenseLayer(
+                    submatrix.shape[0],
+                    submatrix.shape[1],
+                    activation=activation,
+                    seed=seeds[index],
+                )
+            )
+        else:
+            layers.append(
+                MaskedSparseLayer(
+                    submatrix,
+                    activation=activation,
+                    seed=seeds[index],
+                    fan_in_correction=fan_in_correction,
+                )
+            )
+    return FeedforwardNetwork(layers, name=name or topology.name)
+
+
+def dense_model(
+    layer_sizes: Sequence[int],
+    *,
+    hidden_activation: str = "relu",
+    output_activation: str = "identity",
+    seed: RngLike = None,
+    name: str = "dense-model",
+) -> FeedforwardNetwork:
+    """Build a fully-connected model with the given layer sizes."""
+    sizes = [int(s) for s in layer_sizes]
+    if len(sizes) < 2 or any(s <= 0 for s in sizes):
+        raise ValidationError("layer_sizes must contain at least two positive integers")
+    seeds = spawn_rngs(seed, len(sizes) - 1)
+    layers = []
+    for i in range(len(sizes) - 1):
+        activation = output_activation if i == len(sizes) - 2 else hidden_activation
+        layers.append(
+            DenseLayer(sizes[i], sizes[i + 1], activation=activation, seed=seeds[i])
+        )
+    return FeedforwardNetwork(layers, name=name)
+
+
+def input_adapter_matrix(input_dim: int, topology_input: int, *, seed: RngLike = None) -> np.ndarray:
+    """A fixed random projection mapping raw features onto a topology's input width.
+
+    RadiX-Net input widths are multiples of ``N'`` and rarely match a
+    dataset's raw feature count exactly; the experiment harness uses this
+    deterministic projection (not trained) to adapt dimensions, following
+    the usual practice of zero-padding/projecting in the sparse-training
+    literature.  If the sizes already match, the identity matrix is
+    returned.
+    """
+    if input_dim <= 0 or topology_input <= 0:
+        raise ValidationError("dimensions must be positive")
+    if input_dim == topology_input:
+        return np.eye(input_dim)
+    rng = spawn_rngs(seed, 1)[0]
+    return rng.normal(0.0, 1.0 / np.sqrt(input_dim), size=(input_dim, topology_input))

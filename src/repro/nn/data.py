@@ -1,0 +1,100 @@
+"""Data handling utilities: one-hot encoding, splits, batching, normalization."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.errors import ShapeError, ValidationError
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def one_hot(labels: np.ndarray, num_classes: int | None = None) -> np.ndarray:
+    """One-hot encode integer class labels into a ``(n, num_classes)`` float matrix."""
+    arr = np.asarray(labels, dtype=np.int64).ravel()
+    if arr.size == 0:
+        raise ValidationError("labels must be non-empty")
+    if arr.min() < 0:
+        raise ValidationError("labels must be non-negative")
+    if num_classes is None:
+        num_classes = int(arr.max()) + 1
+    if arr.max() >= num_classes:
+        raise ValidationError(
+            f"label {int(arr.max())} out of range for num_classes={num_classes}"
+        )
+    encoded = np.zeros((arr.size, num_classes), dtype=np.float64)
+    encoded[np.arange(arr.size), arr] = 1.0
+    return encoded
+
+
+def train_val_split(
+    features: np.ndarray,
+    labels: np.ndarray,
+    *,
+    val_fraction: float = 0.2,
+    seed: RngLike = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split into (train_x, train_y, val_x, val_y)."""
+    x = np.asarray(features)
+    y = np.asarray(labels)
+    if x.shape[0] != y.shape[0]:
+        raise ShapeError("features and labels must have the same number of samples")
+    if not 0.0 < val_fraction < 1.0:
+        raise ValidationError("val_fraction must be in (0, 1)")
+    rng = ensure_rng(seed)
+    order = rng.permutation(x.shape[0])
+    x, y = x[order], y[order]
+    val_size = max(1, int(round(val_fraction * x.shape[0])))
+    if val_size >= x.shape[0]:
+        raise ValidationError("val_fraction leaves no training samples")
+    return x[val_size:], y[val_size:], x[:val_size], y[:val_size]
+
+
+def minibatches(
+    features: np.ndarray,
+    labels: np.ndarray,
+    batch_size: int,
+    *,
+    shuffle: bool = True,
+    seed: RngLike = None,
+    drop_last: bool = False,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(batch_x, batch_y)`` minibatches."""
+    x = np.asarray(features)
+    y = np.asarray(labels)
+    if x.shape[0] != y.shape[0]:
+        raise ShapeError("features and labels must have the same number of samples")
+    if batch_size <= 0:
+        raise ValidationError("batch_size must be positive")
+    indices = np.arange(x.shape[0])
+    if shuffle:
+        ensure_rng(seed).shuffle(indices)
+    for start in range(0, x.shape[0], batch_size):
+        batch = indices[start : start + batch_size]
+        if drop_last and batch.size < batch_size:
+            break
+        yield x[batch], y[batch]
+
+
+def standardize(
+    features: np.ndarray,
+    *,
+    mean: np.ndarray | None = None,
+    std: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Standardize features to zero mean, unit variance per column.
+
+    Returns ``(standardized, mean, std)``; pass the returned ``mean`` and
+    ``std`` back in to apply the training-set statistics to held-out data.
+    Columns with zero variance are left unscaled.
+    """
+    x = np.asarray(features, dtype=np.float64)
+    if x.ndim != 2:
+        raise ShapeError("features must be 2-D (samples, features)")
+    if mean is None:
+        mean = x.mean(axis=0)
+    if std is None:
+        std = x.std(axis=0)
+    safe_std = np.where(std > 0, std, 1.0)
+    return (x - mean) / safe_std, mean, std

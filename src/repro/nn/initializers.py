@@ -1,0 +1,59 @@
+"""Weight initializers, including sparse fan-in correction.
+
+When a layer is sparse, the *effective* fan-in of each output unit is its
+in-degree in the topology, not the full input width.  Using the dense
+fan-in would under-scale the surviving weights and slow sparse training --
+one of the practical observations of the training-sparse-networks
+companion work.  :func:`sparse_corrected_scale` computes the per-unit
+correction factor used by :class:`repro.nn.layers.MaskedSparseLayer`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def glorot_uniform(fan_in: int, fan_out: int, *, seed: RngLike = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialization for a ``(fan_in, fan_out)`` weight matrix."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValidationError("fan_in and fan_out must be positive")
+    rng = ensure_rng(seed)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def he_normal(fan_in: int, fan_out: int, *, seed: RngLike = None) -> np.ndarray:
+    """He (Kaiming) normal initialization, appropriate for ReLU networks."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValidationError("fan_in and fan_out must be positive")
+    rng = ensure_rng(seed)
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=(fan_in, fan_out))
+
+
+def sparse_corrected_scale(mask: np.ndarray) -> np.ndarray:
+    """Per-output-unit scale factor ``sqrt(fan_in_dense / fan_in_effective)``.
+
+    Multiplying a dense-initialized weight column by this factor restores
+    the output-variance that the missing connections would otherwise
+    remove.  Columns with zero in-degree (which a valid FNNT never has)
+    get scale 1.0.
+    """
+    m = np.asarray(mask, dtype=bool)
+    if m.ndim != 2:
+        raise ValidationError("mask must be 2-D")
+    effective_fan_in = m.sum(axis=0).astype(np.float64)
+    dense_fan_in = float(m.shape[0])
+    scale = np.ones(m.shape[1], dtype=np.float64)
+    nonzero = effective_fan_in > 0
+    scale[nonzero] = np.sqrt(dense_fan_in / effective_fan_in[nonzero])
+    return scale
+
+
+def zeros_bias(fan_out: int) -> np.ndarray:
+    """All-zero bias vector."""
+    if fan_out <= 0:
+        raise ValidationError("fan_out must be positive")
+    return np.zeros(fan_out, dtype=np.float64)

@@ -1,0 +1,223 @@
+"""Network layers.
+
+Three affine layer types share one interface (``forward``, ``backward``,
+``parameters``, ``gradients``):
+
+* :class:`DenseLayer` -- ordinary fully-connected affine layer;
+* :class:`MaskedSparseLayer` -- a dense weight array multiplied elementwise
+  by a fixed binary mask derived from an FNNT adjacency submatrix.  The
+  mask is applied in both the forward and the gradient path, so pruned
+  connections stay exactly zero throughout training.  This is the standard
+  way to train a fixed sparse topology on dense hardware and is how the
+  sparse-training companion experiments were run.
+* :class:`CSRSparseLayer` -- weights stored in a CSR matrix; forward-only
+  (inference), used by the Graph Challenge engine and for deploying
+  trained masked layers in a genuinely sparse representation.
+
+All layers operate on batches shaped ``(batch, features)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError, ValidationError
+from repro.nn.activations import Activation, get_activation
+from repro.nn.initializers import glorot_uniform, he_normal, sparse_corrected_scale, zeros_bias
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import spmm, sparse_transpose
+from repro.utils.rng import RngLike
+
+
+class DenseLayer:
+    """A fully-connected affine layer followed by an elementwise activation."""
+
+    def __init__(
+        self,
+        fan_in: int,
+        fan_out: int,
+        *,
+        activation: str | Activation = "relu",
+        seed: RngLike = None,
+        init: str = "he",
+    ) -> None:
+        if fan_in <= 0 or fan_out <= 0:
+            raise ValidationError("fan_in and fan_out must be positive")
+        self.fan_in = int(fan_in)
+        self.fan_out = int(fan_out)
+        self.activation = get_activation(activation)
+        if init == "he":
+            self.weights = he_normal(fan_in, fan_out, seed=seed)
+        elif init == "glorot":
+            self.weights = glorot_uniform(fan_in, fan_out, seed=seed)
+        else:
+            raise ValidationError(f"unknown init {init!r}; use 'he' or 'glorot'")
+        self.biases = zeros_bias(fan_out)
+        self.weight_gradient = np.zeros_like(self.weights)
+        self.bias_gradient = np.zeros_like(self.biases)
+        self._last_input: np.ndarray | None = None
+        self._last_output: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    def forward(self, inputs: np.ndarray, *, training: bool = True) -> np.ndarray:
+        """Compute ``activation(inputs @ W + b)``."""
+        x = np.asarray(inputs, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.fan_in:
+            raise ShapeError(
+                f"inputs must have shape (batch, {self.fan_in}), got {x.shape}"
+            )
+        pre_activation = x @ self.effective_weights() + self.biases
+        output = self.activation(pre_activation)
+        if training:
+            self._last_input = x
+            self._last_output = output
+        return output
+
+    def backward(self, upstream_gradient: np.ndarray) -> np.ndarray:
+        """Accumulate parameter gradients and return the gradient w.r.t. the inputs."""
+        if self._last_input is None or self._last_output is None:
+            raise ValidationError("backward called before a training-mode forward pass")
+        grad = np.asarray(upstream_gradient, dtype=np.float64)
+        if grad.shape != self._last_output.shape:
+            raise ShapeError(
+                f"upstream gradient shape {grad.shape} does not match output "
+                f"shape {self._last_output.shape}"
+            )
+        local = grad * self.activation.derivative_from_output(self._last_output)
+        self.weight_gradient = self._last_input.T @ local
+        self.bias_gradient = local.sum(axis=0)
+        self._mask_gradient()
+        return local @ self.effective_weights().T
+
+    def _mask_gradient(self) -> None:
+        """Hook for sparse subclasses: restrict the weight gradient to the mask."""
+
+    def effective_weights(self) -> np.ndarray:
+        """The weight matrix actually applied in the forward pass."""
+        return self.weights
+
+    # ------------------------------------------------------------------ #
+    def parameters(self) -> list[np.ndarray]:
+        """The trainable parameter arrays (weights, biases) -- mutated in place by optimizers."""
+        return [self.weights, self.biases]
+
+    def gradients(self) -> list[np.ndarray]:
+        """Gradients corresponding to :meth:`parameters`."""
+        return [self.weight_gradient, self.bias_gradient]
+
+    @property
+    def parameter_count(self) -> int:
+        """Number of trainable scalars in the layer."""
+        return self.weights.size + self.biases.size
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"{type(self).__name__}(fan_in={self.fan_in}, fan_out={self.fan_out}, "
+            f"activation={self.activation.name!r})"
+        )
+
+
+class MaskedSparseLayer(DenseLayer):
+    """A sparse affine layer: dense storage, binary connectivity mask.
+
+    The mask never changes; weights outside the mask are zero at
+    initialization and their gradients are zeroed every backward pass, so
+    the realized connectivity is exactly the supplied FNNT submatrix.
+    Initialization applies the sparse fan-in correction of
+    :func:`repro.nn.initializers.sparse_corrected_scale`.
+    """
+
+    def __init__(
+        self,
+        mask: np.ndarray | CSRMatrix,
+        *,
+        activation: str | Activation = "relu",
+        seed: RngLike = None,
+        init: str = "he",
+        fan_in_correction: bool = True,
+    ) -> None:
+        mask_dense = mask.to_dense() if isinstance(mask, CSRMatrix) else np.asarray(mask, dtype=np.float64)
+        if mask_dense.ndim != 2:
+            raise ShapeError("mask must be a 2-D adjacency submatrix")
+        binary = (mask_dense != 0.0).astype(np.float64)
+        super().__init__(binary.shape[0], binary.shape[1], activation=activation, seed=seed, init=init)
+        self.mask = binary
+        if fan_in_correction:
+            self.weights *= sparse_corrected_scale(binary)[None, :]
+        self.weights *= self.mask
+        self.weight_gradient = np.zeros_like(self.weights)
+
+    def _mask_gradient(self) -> None:
+        self.weight_gradient *= self.mask
+
+    def effective_weights(self) -> np.ndarray:
+        """Weights with the connectivity mask applied (defensive re-masking)."""
+        return self.weights * self.mask
+
+    @property
+    def connection_count(self) -> int:
+        """Number of actual (unmasked) connections."""
+        return int(self.mask.sum())
+
+    @property
+    def density(self) -> float:
+        """Fraction of possible connections that exist."""
+        return self.connection_count / self.mask.size
+
+    @property
+    def parameter_count(self) -> int:
+        """Trainable scalars: one weight per connection plus the biases."""
+        return self.connection_count + self.biases.size
+
+
+class CSRSparseLayer:
+    """Inference-only sparse affine layer with CSR-stored weights.
+
+    Computes ``activation(x @ W + b)`` where ``W`` is a
+    :class:`repro.sparse.csr.CSRMatrix` of shape ``(fan_in, fan_out)``.
+    Used by the Graph Challenge inference engine and by
+    :meth:`repro.nn.model.FeedforwardNetwork.to_sparse_inference`.
+    """
+
+    def __init__(
+        self,
+        weights: CSRMatrix,
+        biases: np.ndarray | None = None,
+        *,
+        activation: str | Activation = "relu",
+    ) -> None:
+        if not isinstance(weights, CSRMatrix):
+            raise ValidationError("weights must be a CSRMatrix")
+        self.weights = weights
+        self.fan_in, self.fan_out = weights.shape
+        self.biases = (
+            np.zeros(self.fan_out) if biases is None else np.asarray(biases, dtype=np.float64).ravel()
+        )
+        if self.biases.size != self.fan_out:
+            raise ShapeError(
+                f"biases must have length {self.fan_out}, got {self.biases.size}"
+            )
+        self.activation = get_activation(activation)
+        # x @ W computed as (W^T @ x^T)^T; cache the transpose once.
+        self._weights_t = sparse_transpose(weights)
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Compute ``activation(inputs @ W + b)`` for a batch of inputs."""
+        x = np.asarray(inputs, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.fan_in:
+            raise ShapeError(
+                f"inputs must have shape (batch, {self.fan_in}), got {x.shape}"
+            )
+        pre_activation = spmm(self._weights_t, x.T).T + self.biases
+        return self.activation(pre_activation)
+
+    @property
+    def parameter_count(self) -> int:
+        """Stored weights plus biases."""
+        return self.weights.nnz + self.biases.size
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"CSRSparseLayer(fan_in={self.fan_in}, fan_out={self.fan_out}, "
+            f"nnz={self.weights.nnz}, activation={self.activation.name!r})"
+        )

@@ -1,0 +1,68 @@
+"""Loss functions.
+
+Each loss exposes ``value(predictions, targets)`` and
+``gradient(predictions, targets)`` where the gradient is taken with respect
+to the *pre-activation logits* of the output layer (the model applies no
+activation on its last layer when used with :class:`CrossEntropyLoss`, and
+the identity activation when used with :class:`MeanSquaredErrorLoss`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.activations import softmax_stable
+
+
+def _check_shapes(predictions: np.ndarray, targets: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    p = np.asarray(predictions, dtype=np.float64)
+    t = np.asarray(targets, dtype=np.float64)
+    if p.shape != t.shape:
+        raise ShapeError(f"predictions {p.shape} and targets {t.shape} must match")
+    if p.ndim != 2:
+        raise ShapeError("predictions and targets must be 2-D (batch, features)")
+    return p, t
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy over logits with one-hot (or soft) targets."""
+
+    name = "cross_entropy"
+
+    def value(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        """Mean cross-entropy of the batch."""
+        p, t = _check_shapes(logits, targets)
+        probabilities = softmax_stable(p, axis=1)
+        clipped = np.clip(probabilities, 1e-12, 1.0)
+        return float(-np.mean(np.sum(t * np.log(clipped), axis=1)))
+
+    def gradient(self, logits: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Gradient of the mean loss with respect to the logits."""
+        p, t = _check_shapes(logits, targets)
+        probabilities = softmax_stable(p, axis=1)
+        return (probabilities - t) / p.shape[0]
+
+    def predictions(self, logits: np.ndarray) -> np.ndarray:
+        """Class probabilities implied by the logits."""
+        return softmax_stable(np.asarray(logits, dtype=np.float64), axis=1)
+
+
+class MeanSquaredErrorLoss:
+    """Mean squared error over raw outputs (regression)."""
+
+    name = "mse"
+
+    def value(self, outputs: np.ndarray, targets: np.ndarray) -> float:
+        """Mean of squared differences over all entries of the batch."""
+        p, t = _check_shapes(outputs, targets)
+        return float(np.mean((p - t) ** 2))
+
+    def gradient(self, outputs: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Gradient of the mean loss with respect to the outputs."""
+        p, t = _check_shapes(outputs, targets)
+        return 2.0 * (p - t) / p.size
+
+    def predictions(self, outputs: np.ndarray) -> np.ndarray:
+        """Regression predictions are the raw outputs."""
+        return np.asarray(outputs, dtype=np.float64)

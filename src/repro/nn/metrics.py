@@ -1,0 +1,65 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError, ValidationError
+
+
+def _to_labels(values: np.ndarray) -> np.ndarray:
+    """Accept either integer labels or one-hot/probability rows."""
+    arr = np.asarray(values)
+    if arr.ndim == 1:
+        return arr.astype(np.int64)
+    if arr.ndim == 2:
+        return np.argmax(arr, axis=1).astype(np.int64)
+    raise ShapeError("labels must be 1-D class ids or 2-D one-hot/probability rows")
+
+
+def accuracy(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Fraction of samples whose predicted class matches the target class."""
+    pred = _to_labels(predictions)
+    true = _to_labels(targets)
+    if pred.shape != true.shape:
+        raise ShapeError(f"predictions {pred.shape} and targets {true.shape} must match")
+    if pred.size == 0:
+        raise ValidationError("cannot compute accuracy of an empty batch")
+    return float(np.mean(pred == true))
+
+
+def top_k_accuracy(scores: np.ndarray, targets: np.ndarray, k: int = 5) -> float:
+    """Fraction of samples whose target class is among the top-``k`` scores."""
+    s = np.asarray(scores, dtype=np.float64)
+    if s.ndim != 2:
+        raise ShapeError("scores must be 2-D (batch, classes)")
+    if k <= 0 or k > s.shape[1]:
+        raise ValidationError(f"k must be in [1, {s.shape[1]}], got {k}")
+    true = _to_labels(targets)
+    if true.shape[0] != s.shape[0]:
+        raise ShapeError("scores and targets have different batch sizes")
+    top_k = np.argpartition(-s, kth=k - 1, axis=1)[:, :k]
+    return float(np.mean(np.any(top_k == true[:, None], axis=1)))
+
+
+def confusion_matrix(predictions: np.ndarray, targets: np.ndarray, num_classes: int | None = None) -> np.ndarray:
+    """Confusion matrix ``C[true, predicted]`` with integer counts."""
+    pred = _to_labels(predictions)
+    true = _to_labels(targets)
+    if pred.shape != true.shape:
+        raise ShapeError("predictions and targets must have the same length")
+    if num_classes is None:
+        num_classes = int(max(pred.max(initial=0), true.max(initial=0))) + 1
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (true, pred), 1)
+    return matrix
+
+
+def per_class_accuracy(predictions: np.ndarray, targets: np.ndarray, num_classes: int | None = None) -> np.ndarray:
+    """Recall of each class (diagonal of the row-normalized confusion matrix)."""
+    matrix = confusion_matrix(predictions, targets, num_classes)
+    totals = matrix.sum(axis=1).astype(np.float64)
+    result = np.zeros(matrix.shape[0], dtype=np.float64)
+    nonzero = totals > 0
+    result[nonzero] = np.diag(matrix)[nonzero] / totals[nonzero]
+    return result

@@ -1,0 +1,142 @@
+"""First-order optimizers.
+
+Every optimizer mutates the model's parameter arrays in place given the
+aligned gradient arrays (``model.parameters()`` / ``model.gradients()``).
+State (momentum buffers, moment estimates) is keyed by position so a single
+optimizer instance must stay attached to a single model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+class SGD:
+    """Plain stochastic gradient descent with optional weight decay."""
+
+    def __init__(self, learning_rate: float = 0.01, *, weight_decay: float = 0.0) -> None:
+        if learning_rate <= 0:
+            raise ValidationError("learning_rate must be positive")
+        if weight_decay < 0:
+            raise ValidationError("weight_decay must be >= 0")
+        self.learning_rate = float(learning_rate)
+        self.weight_decay = float(weight_decay)
+
+    def step(self, parameters: list[np.ndarray], gradients: list[np.ndarray]) -> None:
+        """Apply one update to every parameter array in place."""
+        for param, grad in zip(parameters, gradients):
+            update = grad
+            if self.weight_decay:
+                update = update + self.weight_decay * param
+            param -= self.learning_rate * update
+
+
+class Momentum(SGD):
+    """SGD with classical or Nesterov momentum."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.01,
+        momentum: float = 0.9,
+        *,
+        nesterov: bool = False,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(learning_rate, weight_decay=weight_decay)
+        if not 0.0 <= momentum < 1.0:
+            raise ValidationError("momentum must be in [0, 1)")
+        self.momentum = float(momentum)
+        self.nesterov = bool(nesterov)
+        self._velocity: list[np.ndarray] | None = None
+
+    def step(self, parameters: list[np.ndarray], gradients: list[np.ndarray]) -> None:
+        if self._velocity is None:
+            self._velocity = [np.zeros_like(p) for p in parameters]
+        for param, grad, velocity in zip(parameters, gradients, self._velocity):
+            update = grad
+            if self.weight_decay:
+                update = update + self.weight_decay * param
+            velocity *= self.momentum
+            velocity -= self.learning_rate * update
+            if self.nesterov:
+                param += self.momentum * velocity - self.learning_rate * update
+            else:
+                param += velocity
+
+
+class RMSProp:
+    """RMSProp: divide the learning rate by a running RMS of gradients."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        decay: float = 0.9,
+        epsilon: float = 1e-8,
+    ) -> None:
+        if learning_rate <= 0:
+            raise ValidationError("learning_rate must be positive")
+        if not 0.0 <= decay < 1.0:
+            raise ValidationError("decay must be in [0, 1)")
+        self.learning_rate = float(learning_rate)
+        self.decay = float(decay)
+        self.epsilon = float(epsilon)
+        self._mean_square: list[np.ndarray] | None = None
+
+    def step(self, parameters: list[np.ndarray], gradients: list[np.ndarray]) -> None:
+        """Apply one update to every parameter array in place."""
+        if self._mean_square is None:
+            self._mean_square = [np.zeros_like(p) for p in parameters]
+        for param, grad, mean_square in zip(parameters, gradients, self._mean_square):
+            mean_square *= self.decay
+            mean_square += (1.0 - self.decay) * grad * grad
+            param -= self.learning_rate * grad / (np.sqrt(mean_square) + self.epsilon)
+
+
+class Adam:
+    """Adam optimizer (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+        *,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if learning_rate <= 0:
+            raise ValidationError("learning_rate must be positive")
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValidationError("beta1 and beta2 must be in [0, 1)")
+        self.learning_rate = float(learning_rate)
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.epsilon = float(epsilon)
+        self.weight_decay = float(weight_decay)
+        self._step_count = 0
+        self._first_moment: list[np.ndarray] | None = None
+        self._second_moment: list[np.ndarray] | None = None
+
+    def step(self, parameters: list[np.ndarray], gradients: list[np.ndarray]) -> None:
+        """Apply one Adam update to every parameter array in place."""
+        if self._first_moment is None or self._second_moment is None:
+            self._first_moment = [np.zeros_like(p) for p in parameters]
+            self._second_moment = [np.zeros_like(p) for p in parameters]
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1 ** self._step_count
+        bias2 = 1.0 - self.beta2 ** self._step_count
+        for param, grad, m, v in zip(
+            parameters, gradients, self._first_moment, self._second_moment
+        ):
+            update = grad
+            if self.weight_decay:
+                update = update + self.weight_decay * param
+            m *= self.beta1
+            m += (1.0 - self.beta1) * update
+            v *= self.beta2
+            v += (1.0 - self.beta2) * update * update
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)

@@ -1,0 +1,64 @@
+"""Learning-rate schedules.
+
+Schedules are callables ``schedule(epoch) -> learning_rate`` that the
+:class:`repro.nn.train.Trainer` applies to the optimizer before each epoch.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ValidationError
+
+
+class ConstantSchedule:
+    """Always return the same learning rate."""
+
+    def __init__(self, learning_rate: float) -> None:
+        if learning_rate <= 0:
+            raise ValidationError("learning_rate must be positive")
+        self.learning_rate = float(learning_rate)
+
+    def __call__(self, epoch: int) -> float:
+        return self.learning_rate
+
+
+class StepDecaySchedule:
+    """Multiply the learning rate by ``factor`` every ``step_size`` epochs."""
+
+    def __init__(self, initial: float, *, factor: float = 0.5, step_size: int = 10) -> None:
+        if initial <= 0:
+            raise ValidationError("initial learning rate must be positive")
+        if not 0 < factor <= 1:
+            raise ValidationError("factor must be in (0, 1]")
+        if step_size <= 0:
+            raise ValidationError("step_size must be positive")
+        self.initial = float(initial)
+        self.factor = float(factor)
+        self.step_size = int(step_size)
+
+    def __call__(self, epoch: int) -> float:
+        if epoch < 0:
+            raise ValidationError("epoch must be >= 0")
+        return self.initial * (self.factor ** (epoch // self.step_size))
+
+
+class CosineSchedule:
+    """Cosine annealing from ``initial`` to ``minimum`` over ``total_epochs``."""
+
+    def __init__(self, initial: float, total_epochs: int, *, minimum: float = 0.0) -> None:
+        if initial <= 0:
+            raise ValidationError("initial learning rate must be positive")
+        if total_epochs <= 0:
+            raise ValidationError("total_epochs must be positive")
+        if minimum < 0 or minimum > initial:
+            raise ValidationError("minimum must be in [0, initial]")
+        self.initial = float(initial)
+        self.total_epochs = int(total_epochs)
+        self.minimum = float(minimum)
+
+    def __call__(self, epoch: int) -> float:
+        if epoch < 0:
+            raise ValidationError("epoch must be >= 0")
+        progress = min(epoch, self.total_epochs) / self.total_epochs
+        return self.minimum + 0.5 * (self.initial - self.minimum) * (1.0 + math.cos(math.pi * progress))

@@ -1,0 +1,164 @@
+"""Training loop.
+
+The :class:`Trainer` owns a model, a loss, and an optimizer, and runs
+minibatch gradient descent with optional validation, learning-rate
+scheduling, gradient clipping, and early stopping.  It records a
+:class:`TrainingHistory` used by the experiment harness to report
+accuracy-versus-density curves.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.nn.data import minibatches
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.metrics import accuracy
+from repro.nn.model import FeedforwardNetwork
+from repro.utils.rng import RngLike, spawn_rngs
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch training curves."""
+
+    train_loss: list[float] = field(default_factory=list)
+    train_accuracy: list[float] = field(default_factory=list)
+    val_loss: list[float] = field(default_factory=list)
+    val_accuracy: list[float] = field(default_factory=list)
+    learning_rates: list[float] = field(default_factory=list)
+
+    @property
+    def epochs_run(self) -> int:
+        """Number of completed epochs."""
+        return len(self.train_loss)
+
+    @property
+    def best_val_accuracy(self) -> float:
+        """Highest validation accuracy seen (0.0 if no validation data)."""
+        return max(self.val_accuracy) if self.val_accuracy else 0.0
+
+    @property
+    def final_train_loss(self) -> float:
+        """Training loss of the last completed epoch."""
+        if not self.train_loss:
+            raise ValidationError("no epochs have been run")
+        return self.train_loss[-1]
+
+
+class Trainer:
+    """Minibatch gradient-descent trainer for :class:`FeedforwardNetwork`."""
+
+    def __init__(
+        self,
+        model: FeedforwardNetwork,
+        optimizer,
+        *,
+        loss=None,
+        batch_size: int = 32,
+        lr_schedule: Callable[[int], float] | None = None,
+        gradient_clip: float | None = None,
+        seed: RngLike = None,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValidationError("batch_size must be positive")
+        if gradient_clip is not None and gradient_clip <= 0:
+            raise ValidationError("gradient_clip must be positive when given")
+        self.model = model
+        self.optimizer = optimizer
+        self.loss = loss if loss is not None else CrossEntropyLoss()
+        self.batch_size = int(batch_size)
+        self.lr_schedule = lr_schedule
+        self.gradient_clip = gradient_clip
+        self.seed = seed
+        self.history = TrainingHistory()
+
+    # ------------------------------------------------------------------ #
+    def _clip_gradients(self, gradients: list[np.ndarray]) -> None:
+        if self.gradient_clip is None:
+            return
+        total_norm = float(np.sqrt(sum(float(np.sum(g * g)) for g in gradients)))
+        if total_norm > self.gradient_clip and total_norm > 0:
+            scale = self.gradient_clip / total_norm
+            for g in gradients:
+                g *= scale
+
+    def train_epoch(self, features: np.ndarray, targets: np.ndarray, *, epoch_seed: RngLike = None) -> float:
+        """One pass over the training data; returns the mean batch loss."""
+        losses = []
+        for batch_x, batch_y in minibatches(
+            features, targets, self.batch_size, shuffle=True, seed=epoch_seed
+        ):
+            outputs = self.model.forward(batch_x, training=True)
+            losses.append(self.loss.value(outputs, batch_y))
+            gradient = self.loss.gradient(outputs, batch_y)
+            self.model.backward(gradient)
+            grads = self.model.gradients()
+            self._clip_gradients(grads)
+            self.optimizer.step(self.model.parameters(), grads)
+        if not losses:
+            raise ValidationError("training data produced no minibatches")
+        return float(np.mean(losses))
+
+    def evaluate(self, features: np.ndarray, targets: np.ndarray) -> tuple[float, float]:
+        """Return ``(loss, accuracy)`` on a held-out set without updating weights."""
+        outputs = self.model.predict(features)
+        return self.loss.value(outputs, targets), accuracy(outputs, targets)
+
+    def fit(
+        self,
+        train_x: np.ndarray,
+        train_y: np.ndarray,
+        *,
+        epochs: int = 10,
+        val_x: np.ndarray | None = None,
+        val_y: np.ndarray | None = None,
+        early_stopping_patience: int | None = None,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """Train for up to ``epochs`` epochs, optionally with early stopping.
+
+        Early stopping monitors validation accuracy and halts after
+        ``early_stopping_patience`` epochs without improvement.
+        """
+        if epochs <= 0:
+            raise ValidationError("epochs must be positive")
+        has_validation = val_x is not None and val_y is not None
+        if early_stopping_patience is not None and not has_validation:
+            raise ValidationError("early stopping requires validation data")
+        epoch_rngs = spawn_rngs(self.seed, epochs)
+        best_val = -np.inf
+        epochs_without_improvement = 0
+        for epoch in range(epochs):
+            if self.lr_schedule is not None and hasattr(self.optimizer, "learning_rate"):
+                self.optimizer.learning_rate = float(self.lr_schedule(epoch))
+            current_lr = float(getattr(self.optimizer, "learning_rate", np.nan))
+            train_loss = self.train_epoch(train_x, train_y, epoch_seed=epoch_rngs[epoch])
+            train_acc = accuracy(self.model.predict(train_x), train_y)
+            self.history.train_loss.append(train_loss)
+            self.history.train_accuracy.append(train_acc)
+            self.history.learning_rates.append(current_lr)
+            if has_validation:
+                val_loss, val_acc = self.evaluate(val_x, val_y)
+                self.history.val_loss.append(val_loss)
+                self.history.val_accuracy.append(val_acc)
+                if val_acc > best_val:
+                    best_val = val_acc
+                    epochs_without_improvement = 0
+                else:
+                    epochs_without_improvement += 1
+                if (
+                    early_stopping_patience is not None
+                    and epochs_without_improvement >= early_stopping_patience
+                ):
+                    break
+            if verbose:  # pragma: no cover - console output
+                message = f"epoch {epoch + 1}/{epochs} loss={train_loss:.4f} acc={train_acc:.4f}"
+                if has_validation:
+                    message += f" val_acc={self.history.val_accuracy[-1]:.4f}"
+                print(message)
+        return self.history

@@ -1,0 +1,29 @@
+"""Mixed-radix numeral systems.
+
+A mixed-radix numeral system ``N = (N_1, ..., N_L)`` (all radices >= 2)
+bijectively represents the integers ``{0, ..., N' - 1}`` where
+``N' = prod(N)``, via
+
+    (n_1, ..., n_L)  <->  sum_i n_i * prod_{j<i} N_j .
+
+Mixed-radix systems are the combinatorial substrate of the RadiX-Net
+construction (paper Section II).
+"""
+
+from repro.numeral.mixed_radix import MixedRadixSystem
+from repro.numeral.factorization import (
+    divisors,
+    prime_factorization,
+    factorizations_with_length,
+    radix_lists_with_product,
+    balanced_radix_list,
+)
+
+__all__ = [
+    "MixedRadixSystem",
+    "divisors",
+    "prime_factorization",
+    "factorizations_with_length",
+    "radix_lists_with_product",
+    "balanced_radix_list",
+]

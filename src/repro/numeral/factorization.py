@@ -1,0 +1,129 @@
+"""Integer factorization helpers for designing mixed-radix systems.
+
+The RadiX-Net designer (``repro.core.designer``) needs to enumerate radix
+lists whose product equals a target ``N'`` (all but the last system must
+share a product) or divides it (the last system).  These are purely
+combinatorial routines over small integers; they are exact, deterministic,
+and independent of NumPy.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator
+
+from repro.errors import ValidationError
+from repro.utils.validation import check_positive_int
+
+
+def prime_factorization(n: int) -> dict[int, int]:
+    """Return the prime factorization of ``n >= 1`` as ``{prime: exponent}``.
+
+    >>> prime_factorization(360)
+    {2: 3, 3: 2, 5: 1}
+    """
+    n = check_positive_int(n, "n", minimum=1)
+    factors: dict[int, int] = {}
+    remaining = n
+    divisor = 2
+    while divisor * divisor <= remaining:
+        while remaining % divisor == 0:
+            factors[divisor] = factors.get(divisor, 0) + 1
+            remaining //= divisor
+        divisor += 1 if divisor == 2 else 2
+    if remaining > 1:
+        factors[remaining] = factors.get(remaining, 0) + 1
+    return factors
+
+
+def divisors(n: int, *, proper: bool = False) -> list[int]:
+    """Return the sorted divisors of ``n >= 1``.
+
+    With ``proper=True`` the number itself is excluded (but 1 is kept).
+    """
+    n = check_positive_int(n, "n", minimum=1)
+    small, large = [], []
+    d = 1
+    while d * d <= n:
+        if n % d == 0:
+            small.append(d)
+            if d != n // d:
+                large.append(n // d)
+        d += 1
+    result = small + large[::-1]
+    if proper and result and result[-1] == n and n != 1:
+        result = result[:-1]
+    return result
+
+
+def factorizations_with_length(n: int, length: int, *, min_factor: int = 2) -> Iterator[tuple[int, ...]]:
+    """Yield all ordered factorizations of ``n`` into exactly ``length`` factors.
+
+    Every factor is ``>= min_factor``.  Order matters because radix order
+    changes the topology (different place values), so ``(2, 3)`` and
+    ``(3, 2)`` are distinct results.
+
+    >>> sorted(factorizations_with_length(12, 2))
+    [(2, 6), (3, 4), (4, 3), (6, 2)]
+    """
+    n = check_positive_int(n, "n", minimum=1)
+    length = check_positive_int(length, "length", minimum=1)
+    min_factor = check_positive_int(min_factor, "min_factor", minimum=1)
+
+    def _recurse(remaining: int, slots: int) -> Iterator[tuple[int, ...]]:
+        if slots == 1:
+            if remaining >= min_factor:
+                yield (remaining,)
+            return
+        for factor in divisors(remaining):
+            if factor < min_factor:
+                continue
+            if remaining // factor < min_factor ** (slots - 1):
+                continue
+            for rest in _recurse(remaining // factor, slots - 1):
+                yield (factor, *rest)
+
+    yield from _recurse(n, length)
+
+
+def radix_lists_with_product(product: int, *, max_length: int | None = None) -> list[tuple[int, ...]]:
+    """All ordered radix lists (every radix >= 2) whose product is ``product``.
+
+    ``max_length`` bounds the list length; by default it is the maximum
+    possible length ``log2(product)``.
+
+    This enumerates the *diversity* of admissible mixed-radix systems for a
+    fixed ``N'`` -- the quantity behind the paper's claim that RadiX-Nets
+    are "much more diverse" than explicit X-Nets (see ``repro.analysis``).
+    """
+    product = check_positive_int(product, "product", minimum=2)
+    longest = int(math.log2(product))
+    if max_length is None:
+        max_length = longest
+    else:
+        max_length = check_positive_int(max_length, "max_length", minimum=1)
+    results: list[tuple[int, ...]] = []
+    for length in range(1, min(max_length, longest) + 1):
+        results.extend(factorizations_with_length(product, length))
+    return results
+
+
+def balanced_radix_list(product: int, length: int) -> tuple[int, ...]:
+    """A low-variance radix list of the given ``length`` with the given ``product``.
+
+    Used by the designer to approach the paper's small-variance regime in
+    which density ``~ 1 / mu^(d-1)`` (eq. (6)).  Raises if no factorization
+    of that length exists.
+    """
+    best: tuple[int, ...] | None = None
+    best_var = math.inf
+    for candidate in factorizations_with_length(product, length):
+        mean = sum(candidate) / length
+        var = sum((c - mean) ** 2 for c in candidate) / length
+        if var < best_var or (var == best_var and best is not None and candidate < best):
+            best, best_var = candidate, var
+    if best is None:
+        raise ValidationError(
+            f"no radix list of length {length} with product {product} exists"
+        )
+    return best

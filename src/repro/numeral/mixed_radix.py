@@ -1,0 +1,189 @@
+"""The :class:`MixedRadixSystem` class.
+
+Implements the bijection between digit tuples and integers described in the
+paper's Mathematical Preliminaries, plus the derived quantities used by the
+topology construction (place values, digit extraction, enumeration).
+
+The paper's convention: for ``N = (N_1, ..., N_L)`` the digit ``n_i`` has
+place value ``prod_{j<i} N_j`` -- i.e. the *first* radix is the least
+significant digit.  We follow that convention exactly so equation (1) of
+the paper maps one-to-one onto :meth:`MixedRadixSystem.place_value`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.validation import check_radix_list
+
+
+@dataclass(frozen=True)
+class MixedRadixSystem:
+    """A mixed-radix numeral system ``N = (N_1, ..., N_L)``.
+
+    Parameters
+    ----------
+    radices:
+        Ordered radices, each an integer ``>= 2``.  ``radices[0]`` is the
+        least-significant digit's radix (paper convention).
+
+    Examples
+    --------
+    >>> mrs = MixedRadixSystem((2, 3, 4))
+    >>> mrs.capacity
+    24
+    >>> mrs.encode((1, 2, 3))
+    23
+    >>> mrs.decode(23)
+    (1, 2, 3)
+    """
+
+    radices: tuple[int, ...]
+
+    def __init__(self, radices: Sequence[int]) -> None:
+        object.__setattr__(self, "radices", check_radix_list(radices))
+
+    # ------------------------------------------------------------------ #
+    # basic quantities
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.radices)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.radices)
+
+    def __getitem__(self, index: int) -> int:
+        return self.radices[index]
+
+    @property
+    def length(self) -> int:
+        """Number of radices ``L`` (the paper's per-system depth)."""
+        return len(self.radices)
+
+    @property
+    def capacity(self) -> int:
+        """``N' = prod(N)``: the number of representable integers."""
+        return math.prod(self.radices)
+
+    @property
+    def mean_radix(self) -> float:
+        """Arithmetic mean of the radices (the paper's ``mu`` per system)."""
+        return float(np.mean(self.radices))
+
+    @property
+    def radix_variance(self) -> float:
+        """Population variance of the radices (controls eq. (5)/(6) accuracy)."""
+        return float(np.var(self.radices))
+
+    def place_value(self, index: int) -> int:
+        """Place value ``nu_i = prod_{j < index} N_j`` of digit ``index`` (0-based).
+
+        This is exactly the exponent step used in the paper's equation (1):
+        the adjacency submatrix for radix ``N_i`` is ``sum_j P^{j * nu_i}``.
+        """
+        if not 0 <= index < len(self.radices):
+            raise ValidationError(
+                f"digit index must be in [0, {len(self.radices) - 1}], got {index}"
+            )
+        return math.prod(self.radices[:index])
+
+    def place_values(self) -> tuple[int, ...]:
+        """All place values ``(nu_1, ..., nu_L)``."""
+        return tuple(self.place_value(i) for i in range(len(self.radices)))
+
+    # ------------------------------------------------------------------ #
+    # encode / decode
+    # ------------------------------------------------------------------ #
+    def encode(self, digits: Sequence[int]) -> int:
+        """Map a digit tuple ``(n_1, ..., n_L)`` to its integer value."""
+        if len(digits) != len(self.radices):
+            raise ValidationError(
+                f"expected {len(self.radices)} digits, got {len(digits)}"
+            )
+        value = 0
+        for i, (digit, radix) in enumerate(zip(digits, self.radices)):
+            if isinstance(digit, bool) or not isinstance(digit, (int, np.integer)):
+                raise ValidationError(f"digit {i} must be an integer, got {digit!r}")
+            if not 0 <= int(digit) < radix:
+                raise ValidationError(
+                    f"digit {i} must be in [0, {radix - 1}], got {digit}"
+                )
+            value += int(digit) * self.place_value(i)
+        return value
+
+    def decode(self, value: int) -> tuple[int, ...]:
+        """Map an integer in ``[0, N')`` to its digit tuple."""
+        if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+            raise ValidationError(f"value must be an integer, got {value!r}")
+        value = int(value)
+        if not 0 <= value < self.capacity:
+            raise ValidationError(
+                f"value must be in [0, {self.capacity - 1}], got {value}"
+            )
+        digits = []
+        remaining = value
+        for radix in self.radices:
+            digits.append(remaining % radix)
+            remaining //= radix
+        return tuple(digits)
+
+    def digit(self, value: int, index: int) -> int:
+        """Extract the single digit ``index`` of ``value`` without full decode."""
+        return (int(value) // self.place_value(index)) % self.radices[index]
+
+    def enumerate_digits(self) -> Iterator[tuple[int, ...]]:
+        """Yield the digit tuples of ``0, 1, ..., N' - 1`` in order."""
+        for value in range(self.capacity):
+            yield self.decode(value)
+
+    def decode_array(self, values: np.ndarray | Sequence[int]) -> np.ndarray:
+        """Vectorized decode: returns an ``(len(values), L)`` digit matrix."""
+        arr = np.asarray(values, dtype=np.int64)
+        if arr.ndim != 1:
+            raise ValidationError("values must be a 1-D sequence of integers")
+        if arr.size and (arr.min() < 0 or arr.max() >= self.capacity):
+            raise ValidationError(
+                f"values must lie in [0, {self.capacity - 1}]"
+            )
+        digits = np.empty((arr.size, len(self.radices)), dtype=np.int64)
+        remaining = arr.copy()
+        for i, radix in enumerate(self.radices):
+            digits[:, i] = remaining % radix
+            remaining //= radix
+        return digits
+
+    def encode_array(self, digits: np.ndarray) -> np.ndarray:
+        """Vectorized encode of an ``(n, L)`` digit matrix to integer values."""
+        arr = np.asarray(digits, dtype=np.int64)
+        if arr.ndim != 2 or arr.shape[1] != len(self.radices):
+            raise ValidationError(
+                f"digits must have shape (n, {len(self.radices)}), got {arr.shape}"
+            )
+        radix_row = np.asarray(self.radices, dtype=np.int64)
+        if arr.size and ((arr < 0).any() or (arr >= radix_row).any()):
+            raise ValidationError("digit out of range for its radix")
+        place = np.asarray(self.place_values(), dtype=np.int64)
+        return arr @ place
+
+    # ------------------------------------------------------------------ #
+    # misc
+    # ------------------------------------------------------------------ #
+    def is_uniform(self) -> bool:
+        """True if all radices are equal (a fixed-radix system)."""
+        return len(set(self.radices)) == 1
+
+    def compatible_with(self, other: "MixedRadixSystem") -> bool:
+        """True if both systems have the same capacity ``N'``.
+
+        This is the equality constraint the paper imposes on all but the
+        last system in a RadiX-Net specification.
+        """
+        return self.capacity == other.capacity
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"MixedRadixSystem(radices={self.radices!r})"

@@ -1,0 +1,29 @@
+"""Parallel and chunked execution helpers.
+
+Large RadiX-Net instances (Graph Challenge style inference over many
+layers, parameter sweeps over many specifications) parallelize naturally
+over either the *batch* dimension (inference) or the *configuration*
+dimension (sweeps).  This subpackage provides:
+
+* :func:`chunked` / :func:`partition_batch` -- deterministic partitioning
+  helpers;
+* :func:`parallel_map` -- process-pool map with a serial fallback,
+  safe to call from tests and benchmarks (falls back automatically when a
+  pool cannot be created, e.g. in restricted sandboxes);
+* :func:`parallel_inference` -- batch-parallel Graph Challenge inference.
+"""
+
+from repro.parallel.executor import parallel_map, serial_map, effective_worker_count
+from repro.parallel.partition import chunked, partition_batch, balanced_chunk_sizes
+from repro.parallel.pipeline import parallel_inference, sweep_specs
+
+__all__ = [
+    "parallel_map",
+    "serial_map",
+    "effective_worker_count",
+    "chunked",
+    "partition_batch",
+    "balanced_chunk_sizes",
+    "parallel_inference",
+    "sweep_specs",
+]

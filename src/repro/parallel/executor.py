@@ -1,0 +1,62 @@
+"""Process-pool execution with a serial fallback.
+
+The guidance for scientific Python parallelism applies: the work unit must
+be coarse enough to amortize process start-up and pickling, and the code
+must degrade gracefully where multiprocessing is unavailable (sandboxes,
+restricted CI runners).  ``parallel_map`` therefore takes a
+``min_chunk_for_parallel`` threshold and silently falls back to the serial
+path when the pool cannot be created or the input is small.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import TypeVar
+
+from repro.errors import ValidationError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def effective_worker_count(requested: int | None = None) -> int:
+    """Number of worker processes to use: requested, else ``cpu_count - 1`` (min 1)."""
+    if requested is not None:
+        if requested < 1:
+            raise ValidationError("worker count must be >= 1")
+        return int(requested)
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def serial_map(func: Callable[[T], R], items: Iterable[T]) -> list[R]:
+    """Plain serial map returning a list (the fallback path of ``parallel_map``)."""
+    return [func(item) for item in items]
+
+
+def parallel_map(
+    func: Callable[[T], R],
+    items: Sequence[T],
+    *,
+    workers: int | None = None,
+    min_items_for_parallel: int = 4,
+    chunksize: int = 1,
+) -> list[R]:
+    """Map ``func`` over ``items`` using a process pool when worthwhile.
+
+    Falls back to the serial path when there are fewer than
+    ``min_items_for_parallel`` items, when only one worker is available, or
+    when the pool cannot be created (``OSError`` / ``PermissionError`` in
+    restricted environments).  ``func`` must be picklable (a module-level
+    function), as usual for process pools.
+    """
+    items = list(items)
+    worker_count = effective_worker_count(workers)
+    if len(items) < max(2, min_items_for_parallel) or worker_count == 1:
+        return serial_map(func, items)
+    try:
+        with ProcessPoolExecutor(max_workers=worker_count) as pool:
+            return list(pool.map(func, items, chunksize=max(1, chunksize)))
+    except (OSError, PermissionError, RuntimeError):
+        return serial_map(func, items)

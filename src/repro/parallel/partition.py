@@ -1,0 +1,56 @@
+"""Deterministic partitioning of work."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import TypeVar
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+T = TypeVar("T")
+
+
+def balanced_chunk_sizes(total: int, parts: int) -> list[int]:
+    """Split ``total`` items into ``parts`` contiguous chunks differing by at most one.
+
+    >>> balanced_chunk_sizes(10, 3)
+    [4, 3, 3]
+    """
+    if total < 0:
+        raise ValidationError("total must be >= 0")
+    if parts <= 0:
+        raise ValidationError("parts must be >= 1")
+    base, remainder = divmod(total, parts)
+    return [base + (1 if i < remainder else 0) for i in range(parts)]
+
+
+def chunked(items: Sequence[T], parts: int) -> list[list[T]]:
+    """Partition a sequence into ``parts`` balanced contiguous chunks (may be empty)."""
+    sizes = balanced_chunk_sizes(len(items), parts)
+    chunks: list[list[T]] = []
+    start = 0
+    for size in sizes:
+        chunks.append(list(items[start : start + size]))
+        start += size
+    return chunks
+
+
+def partition_batch(batch: np.ndarray, parts: int) -> list[np.ndarray]:
+    """Partition the rows of a 2-D batch into balanced contiguous sub-batches.
+
+    Empty sub-batches are dropped so downstream kernels never see
+    zero-row inputs.
+    """
+    arr = np.asarray(batch)
+    if arr.ndim != 2:
+        raise ValidationError("batch must be 2-D (samples, features)")
+    sizes = balanced_chunk_sizes(arr.shape[0], parts)
+    pieces = []
+    start = 0
+    for size in sizes:
+        if size > 0:
+            pieces.append(arr[start : start + size])
+        start += size
+    return pieces

@@ -1,0 +1,83 @@
+"""Parallel experiment pipelines.
+
+Two coarse-grained parallel workloads used by the benchmarks:
+
+* :func:`parallel_inference` -- Graph Challenge inference with the input
+  batch partitioned across workers (the recurrence is independent per
+  input row, so this is embarrassingly parallel and reproduces the
+  batch-parallel strategy of real challenge submissions);
+* :func:`sweep_specs` -- evaluate a function over many RadiX-Net
+  specifications (density sweeps, diversity counts) in parallel.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.challenge.generator import ChallengeNetwork
+from repro.challenge.inference import InferenceResult, sparse_dnn_inference
+from repro.parallel.executor import parallel_map
+from repro.parallel.partition import partition_batch
+
+def _infer_chunk(task: tuple[ChallengeNetwork, np.ndarray]) -> tuple[np.ndarray, np.ndarray, int]:
+    """Worker body: run inference on one chunk of the batch.
+
+    The network rides along in the task tuple so the worker is independent
+    of process start method (fork or spawn) and of module-level state.
+    """
+    network, chunk = task
+    result = sparse_dnn_inference(network, chunk, record_timing=False)
+    return result.activations, result.categories, result.edges_traversed
+
+
+def parallel_inference(
+    network: ChallengeNetwork,
+    inputs: np.ndarray,
+    *,
+    workers: int | None = None,
+    parts: int | None = None,
+) -> InferenceResult:
+    """Batch-parallel Graph Challenge inference.
+
+    The batch is split into ``parts`` chunks (default: one per worker) and
+    each chunk runs the full layer recurrence independently; category
+    indices are re-offset into the original batch numbering and merged.
+    Falls back to serial execution transparently (see
+    :func:`repro.parallel.executor.parallel_map`).
+    """
+    batch = np.asarray(inputs, dtype=np.float64)
+    chunk_count = parts if parts is not None else max(1, (workers or 2))
+    chunks = partition_batch(batch, chunk_count)
+    tasks = [(network, chunk) for chunk in chunks]
+    outputs = parallel_map(_infer_chunk, tasks, workers=workers, min_items_for_parallel=2)
+    activations = np.concatenate([o[0] for o in outputs], axis=0)
+    categories = []
+    offset = 0
+    edges = 0
+    for chunk, (_, cats, chunk_edges) in zip(chunks, outputs):
+        categories.append(cats + offset)
+        offset += chunk.shape[0]
+        edges += chunk_edges
+    return InferenceResult(
+        activations=activations,
+        categories=np.concatenate(categories) if categories else np.empty(0, dtype=np.int64),
+        layer_seconds=[],
+        edges_traversed=edges,
+    )
+
+
+def sweep_specs(
+    evaluate: Callable[[Any], Any],
+    specs: Sequence[Any],
+    *,
+    workers: int | None = None,
+) -> list[Any]:
+    """Evaluate ``evaluate(spec)`` for every spec, in parallel when worthwhile.
+
+    ``evaluate`` must be a picklable module-level function for the parallel
+    path to engage; otherwise the serial fallback is used.
+    """
+    return parallel_map(evaluate, list(specs), workers=workers)

@@ -1,0 +1,57 @@
+"""A small sparse-matrix kernel library.
+
+The RadiX-Net construction and its verification only need a handful of
+sparse operations -- Kronecker products, sparse-sparse matrix multiply
+(SpGEMM), sparse-dense multiply (SpMM), transposition, and semiring
+variants of matmul for path counting / reachability.  This subpackage
+implements them on top of NumPy with explicit CSR/COO containers, plus
+adapters to and from ``scipy.sparse`` and dense arrays.
+
+The containers are intentionally immutable-after-construction: topology
+matrices are built once and then only read, which keeps the hot inference
+and verification paths free of copy-on-write surprises.
+"""
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import (
+    spgemm,
+    spmm,
+    spmv,
+    kron,
+    sparse_transpose,
+    sparse_add,
+    matrix_power,
+    chain_product,
+)
+from repro.sparse.semiring import Semiring, PLUS_TIMES, OR_AND, MIN_PLUS, semiring_spgemm
+from repro.sparse.convert import (
+    to_scipy_csr,
+    from_scipy,
+    to_dense,
+    from_dense,
+    to_networkx_bipartite,
+)
+
+__all__ = [
+    "COOMatrix",
+    "CSRMatrix",
+    "spgemm",
+    "spmm",
+    "spmv",
+    "kron",
+    "sparse_transpose",
+    "sparse_add",
+    "matrix_power",
+    "chain_product",
+    "Semiring",
+    "PLUS_TIMES",
+    "OR_AND",
+    "MIN_PLUS",
+    "semiring_spgemm",
+    "to_scipy_csr",
+    "from_scipy",
+    "to_dense",
+    "from_dense",
+    "to_networkx_bipartite",
+]

@@ -1,0 +1,75 @@
+"""Conversions between the package's sparse containers and external formats.
+
+Supported targets: dense NumPy arrays, ``scipy.sparse`` CSR, and NetworkX
+bipartite digraphs (one digraph per adjacency submatrix, with nodes labeled
+``("in", i)`` / ``("out", j)``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError, ValidationError
+from repro.sparse.csr import CSRMatrix
+
+
+def to_dense(matrix: CSRMatrix | np.ndarray) -> np.ndarray:
+    """Return a dense float64 array for either a CSRMatrix or an ndarray."""
+    if isinstance(matrix, CSRMatrix):
+        return matrix.to_dense()
+    arr = np.asarray(matrix, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ShapeError(f"expected a 2-D array, got ndim={arr.ndim}")
+    return arr
+
+
+def from_dense(array: np.ndarray, *, tolerance: float = 0.0) -> CSRMatrix:
+    """Build a CSRMatrix from a dense array."""
+    return CSRMatrix.from_dense(array, tolerance=tolerance)
+
+
+def to_scipy_csr(matrix: CSRMatrix):
+    """Convert to a ``scipy.sparse.csr_matrix``."""
+    import scipy.sparse as sp
+
+    return sp.csr_matrix(
+        (matrix.data.copy(), matrix.indices.copy(), matrix.indptr.copy()),
+        shape=matrix.shape,
+    )
+
+
+def from_scipy(matrix) -> CSRMatrix:
+    """Convert any scipy.sparse matrix to a :class:`CSRMatrix`."""
+    import scipy.sparse as sp
+
+    if not sp.issparse(matrix):
+        raise ValidationError("from_scipy expects a scipy.sparse matrix")
+    csr = matrix.tocsr()
+    csr.sort_indices()
+    csr.sum_duplicates()
+    return CSRMatrix(
+        csr.shape,
+        csr.indptr.astype(np.int64),
+        csr.indices.astype(np.int64),
+        csr.data.astype(np.float64),
+    )
+
+
+def to_networkx_bipartite(matrix: CSRMatrix, *, in_prefix: str = "in", out_prefix: str = "out"):
+    """Render a single adjacency submatrix as a bipartite NetworkX digraph.
+
+    Rows become nodes ``(in_prefix, i)`` and columns ``(out_prefix, j)``;
+    every stored entry becomes a directed edge carrying its value as the
+    ``weight`` attribute.
+    """
+    import networkx as nx
+
+    graph = nx.DiGraph()
+    graph.add_nodes_from(((in_prefix, i) for i in range(matrix.shape[0])), bipartite=0)
+    graph.add_nodes_from(((out_prefix, j) for j in range(matrix.shape[1])), bipartite=1)
+    coo = matrix.to_coo()
+    graph.add_weighted_edges_from(
+        ((in_prefix, int(r)), (out_prefix, int(c)), float(v))
+        for r, c, v in zip(coo.rows, coo.cols, coo.values)
+    )
+    return graph

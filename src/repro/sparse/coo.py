@@ -1,0 +1,122 @@
+"""Coordinate-format (COO) sparse matrices.
+
+COO is the natural *construction* format: the RadiX-Net generator emits
+edge lists (row, col, value) and we convert to CSR for compute.  The class
+stores parallel NumPy arrays and canonicalizes on demand (sorted by row
+then column, duplicates summed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError, ValidationError
+
+
+@dataclass(frozen=True)
+class COOMatrix:
+    """An immutable COO sparse matrix.
+
+    Parameters
+    ----------
+    shape:
+        ``(rows, cols)``.
+    rows, cols:
+        Integer index arrays of equal length.
+    values:
+        Entry values; defaults to all ones (topology matrices are 0/1).
+    """
+
+    shape: tuple[int, int]
+    rows: np.ndarray
+    cols: np.ndarray
+    values: np.ndarray
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        rows: np.ndarray,
+        cols: np.ndarray,
+        values: np.ndarray | None = None,
+    ) -> None:
+        nrows, ncols = int(shape[0]), int(shape[1])
+        if nrows <= 0 or ncols <= 0:
+            raise ShapeError(f"shape must be positive, got {shape}")
+        row_arr = np.asarray(rows, dtype=np.int64).ravel()
+        col_arr = np.asarray(cols, dtype=np.int64).ravel()
+        if row_arr.shape != col_arr.shape:
+            raise ShapeError(
+                f"rows and cols must have equal length ({row_arr.size} != {col_arr.size})"
+            )
+        if values is None:
+            val_arr = np.ones(row_arr.size, dtype=np.float64)
+        else:
+            val_arr = np.asarray(values, dtype=np.float64).ravel()
+            if val_arr.shape != row_arr.shape:
+                raise ShapeError("values must have the same length as rows/cols")
+        if row_arr.size:
+            if row_arr.min() < 0 or row_arr.max() >= nrows:
+                raise ValidationError("row index out of bounds")
+            if col_arr.min() < 0 or col_arr.max() >= ncols:
+                raise ValidationError("column index out of bounds")
+        object.__setattr__(self, "shape", (nrows, ncols))
+        object.__setattr__(self, "rows", row_arr)
+        object.__setattr__(self, "cols", col_arr)
+        object.__setattr__(self, "values", val_arr)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries (before duplicate coalescing)."""
+        return int(self.rows.size)
+
+    def coalesce(self) -> "COOMatrix":
+        """Return an equivalent matrix sorted by (row, col) with duplicates summed."""
+        if self.nnz == 0:
+            return self
+        order = np.lexsort((self.cols, self.rows))
+        r, c, v = self.rows[order], self.cols[order], self.values[order]
+        keys = r * self.shape[1] + c
+        unique_keys, inverse = np.unique(keys, return_inverse=True)
+        summed = np.zeros(unique_keys.size, dtype=np.float64)
+        np.add.at(summed, inverse, v)
+        new_rows = unique_keys // self.shape[1]
+        new_cols = unique_keys % self.shape[1]
+        return COOMatrix(self.shape, new_rows, new_cols, summed)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense 2-D array (duplicates summed)."""
+        dense = np.zeros(self.shape, dtype=np.float64)
+        np.add.at(dense, (self.rows, self.cols), self.values)
+        return dense
+
+    def to_csr(self) -> "CSRMatrix":
+        """Convert to CSR (coalescing duplicates)."""
+        from repro.sparse.csr import CSRMatrix
+
+        coal = self.coalesce()
+        indptr = np.zeros(self.shape[0] + 1, dtype=np.int64)
+        np.add.at(indptr, coal.rows + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return CSRMatrix(self.shape, indptr, coal.cols.copy(), coal.values.copy())
+
+    def transpose(self) -> "COOMatrix":
+        """Return the transpose (swaps rows and columns)."""
+        return COOMatrix((self.shape[1], self.shape[0]), self.cols, self.rows, self.values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, COOMatrix):
+            return NotImplemented
+        if self.shape != other.shape:
+            return False
+        a, b = self.coalesce(), other.coalesce()
+        return (
+            np.array_equal(a.rows, b.rows)
+            and np.array_equal(a.cols, b.cols)
+            and np.allclose(a.values, b.values)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"COOMatrix(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,183 @@
+"""Compressed-sparse-row (CSR) matrices.
+
+CSR is the compute format of the package: adjacency submatrices of FNNTs
+are stored as CSR, and the Graph Challenge inference kernel, the path
+counting semiring products, and the Kronecker expansion all operate on it.
+
+Invariant: ``indptr`` is monotonically non-decreasing with
+``indptr[0] == 0`` and ``indptr[-1] == len(indices) == len(data)``, and
+column indices are strictly increasing within each row (canonical form).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError, ValidationError
+
+
+@dataclass(frozen=True)
+class CSRMatrix:
+    """An immutable CSR sparse matrix with float64 data."""
+
+    shape: tuple[int, int]
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray | None = None,
+    ) -> None:
+        nrows, ncols = int(shape[0]), int(shape[1])
+        if nrows <= 0 or ncols <= 0:
+            raise ShapeError(f"shape must be positive, got {shape}")
+        indptr_arr = np.asarray(indptr, dtype=np.int64).ravel()
+        indices_arr = np.asarray(indices, dtype=np.int64).ravel()
+        if data is None:
+            data_arr = np.ones(indices_arr.size, dtype=np.float64)
+        else:
+            data_arr = np.asarray(data, dtype=np.float64).ravel()
+        if indptr_arr.size != nrows + 1:
+            raise ShapeError(
+                f"indptr must have length rows+1 = {nrows + 1}, got {indptr_arr.size}"
+            )
+        if indptr_arr[0] != 0 or indptr_arr[-1] != indices_arr.size:
+            raise ValidationError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(indptr_arr) < 0):
+            raise ValidationError("indptr must be non-decreasing")
+        if data_arr.size != indices_arr.size:
+            raise ShapeError("data and indices must have equal length")
+        if indices_arr.size and (indices_arr.min() < 0 or indices_arr.max() >= ncols):
+            raise ValidationError("column index out of bounds")
+        object.__setattr__(self, "shape", (nrows, ncols))
+        object.__setattr__(self, "indptr", indptr_arr)
+        object.__setattr__(self, "indices", indices_arr)
+        object.__setattr__(self, "data", data_arr)
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, *, tolerance: float = 0.0) -> "CSRMatrix":
+        """Build a CSR matrix from a dense array, dropping entries ``<= tolerance`` in magnitude."""
+        arr = np.asarray(dense, dtype=np.float64)
+        if arr.ndim != 2:
+            raise ShapeError(f"dense input must be 2-D, got ndim={arr.ndim}")
+        mask = np.abs(arr) > tolerance
+        indptr = np.zeros(arr.shape[0] + 1, dtype=np.int64)
+        indptr[1:] = np.cumsum(mask.sum(axis=1))
+        rows, cols = np.nonzero(mask)
+        return cls(arr.shape, indptr, cols, arr[rows, cols])
+
+    @classmethod
+    def eye(cls, n: int) -> "CSRMatrix":
+        """The ``n x n`` identity matrix."""
+        if n <= 0:
+            raise ShapeError(f"n must be positive, got {n}")
+        indptr = np.arange(n + 1, dtype=np.int64)
+        return cls((n, n), indptr, np.arange(n, dtype=np.int64), np.ones(n))
+
+    @classmethod
+    def zeros(cls, shape: tuple[int, int]) -> "CSRMatrix":
+        """An all-zero matrix of the given shape."""
+        return cls(shape, np.zeros(int(shape[0]) + 1, dtype=np.int64), np.empty(0, dtype=np.int64), np.empty(0))
+
+    @classmethod
+    def ones(cls, shape: tuple[int, int]) -> "CSRMatrix":
+        """The dense all-ones matrix stored in CSR form (used for W* blocks)."""
+        nrows, ncols = int(shape[0]), int(shape[1])
+        indptr = np.arange(0, nrows * ncols + 1, ncols, dtype=np.int64)
+        indices = np.tile(np.arange(ncols, dtype=np.int64), nrows)
+        return cls((nrows, ncols), indptr, indices, np.ones(nrows * ncols))
+
+    # ------------------------------------------------------------------ #
+    # properties and row access
+    # ------------------------------------------------------------------ #
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return int(self.indices.size)
+
+    @property
+    def density(self) -> float:
+        """Fraction of entries stored: ``nnz / (rows * cols)``."""
+        return self.nnz / (self.shape[0] * self.shape[1])
+
+    def row(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(column_indices, values)`` of row ``i`` as views."""
+        if not 0 <= i < self.shape[0]:
+            raise ValidationError(f"row index out of bounds: {i}")
+        start, stop = self.indptr[i], self.indptr[i + 1]
+        return self.indices[start:stop], self.data[start:stop]
+
+    def row_degrees(self) -> np.ndarray:
+        """Out-degree (stored entries) of each row."""
+        return np.diff(self.indptr)
+
+    def col_degrees(self) -> np.ndarray:
+        """In-degree (stored entries) of each column."""
+        degrees = np.zeros(self.shape[1], dtype=np.int64)
+        np.add.at(degrees, self.indices, 1)
+        return degrees
+
+    def is_binary(self) -> bool:
+        """True if every stored value equals 1 (a pure topology matrix)."""
+        return bool(np.all(self.data == 1.0))
+
+    # ------------------------------------------------------------------ #
+    # conversions
+    # ------------------------------------------------------------------ #
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense 2-D float array."""
+        dense = np.zeros(self.shape, dtype=np.float64)
+        row_ids = np.repeat(np.arange(self.shape[0]), np.diff(self.indptr))
+        dense[row_ids, self.indices] = self.data
+        return dense
+
+    def to_coo(self) -> "COOMatrix":
+        """Convert to COO format."""
+        from repro.sparse.coo import COOMatrix
+
+        row_ids = np.repeat(np.arange(self.shape[0]), np.diff(self.indptr))
+        return COOMatrix(self.shape, row_ids, self.indices.copy(), self.data.copy())
+
+    def with_data(self, data: np.ndarray) -> "CSRMatrix":
+        """Return a matrix with the same sparsity pattern but new values."""
+        return CSRMatrix(self.shape, self.indptr, self.indices, data)
+
+    def astype_binary(self) -> "CSRMatrix":
+        """Return the same pattern with every value set to 1."""
+        return self.with_data(np.ones(self.nnz))
+
+    def scale(self, factor: float) -> "CSRMatrix":
+        """Return the matrix with every stored value multiplied by ``factor``."""
+        return self.with_data(self.data * float(factor))
+
+    # ------------------------------------------------------------------ #
+    # comparisons
+    # ------------------------------------------------------------------ #
+    def allclose(self, other: "CSRMatrix", *, atol: float = 1e-12) -> bool:
+        """Numerically compare two CSR matrices entry-wise (via dense)."""
+        if self.shape != other.shape:
+            return False
+        return bool(np.allclose(self.to_dense(), other.to_dense(), atol=atol))
+
+    def same_pattern(self, other: "CSRMatrix") -> bool:
+        """True if both matrices have the identical sparsity pattern."""
+        return (
+            self.shape == other.shape
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"CSRMatrix(shape={self.shape}, nnz={self.nnz}, "
+            f"density={self.density:.4g})"
+        )

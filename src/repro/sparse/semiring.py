@@ -1,0 +1,114 @@
+"""Semiring matrix multiplication.
+
+The GraphBLAS view of graph algorithms (Kepner & Gilbert) expresses
+reachability, path counting, and shortest paths as matrix multiplication
+over different semirings.  The RadiX-Net verification machinery uses:
+
+* ``PLUS_TIMES``  -- ordinary arithmetic; chain products count paths.
+* ``OR_AND``      -- boolean reachability; chain products answer
+  path-connectedness without risking overflow on huge path counts.
+* ``MIN_PLUS``    -- tropical semiring; chain products give hop-weighted
+  shortest paths (useful for diagnostics on weighted topologies).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.sparse.csr import CSRMatrix
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """A semiring ``(add, multiply, zero)`` over float64 values.
+
+    ``add`` and ``multiply`` must be associative with ``zero`` the additive
+    identity and multiplicative annihilator.  Both callables operate on
+    NumPy arrays elementwise; ``add_reduce`` reduces along an axis.
+    """
+
+    name: str
+    add_reduce: Callable[[np.ndarray], float]
+    multiply: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    zero: float
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Semiring({self.name!r})"
+
+
+PLUS_TIMES = Semiring(
+    name="plus_times",
+    add_reduce=lambda arr: float(np.sum(arr)),
+    multiply=lambda a, b: a * b,
+    zero=0.0,
+)
+
+OR_AND = Semiring(
+    name="or_and",
+    add_reduce=lambda arr: float(np.any(arr != 0.0)),
+    multiply=lambda a, b: ((a != 0.0) & (b != 0.0)).astype(np.float64),
+    zero=0.0,
+)
+
+MIN_PLUS = Semiring(
+    name="min_plus",
+    add_reduce=lambda arr: float(np.min(arr)) if arr.size else np.inf,
+    multiply=lambda a, b: a + b,
+    zero=np.inf,
+)
+
+
+def semiring_spgemm(a: CSRMatrix, b: CSRMatrix, semiring: Semiring) -> CSRMatrix:
+    """Multiply two CSR matrices over an arbitrary semiring.
+
+    This is a reference implementation (row-by-row accumulation in Python)
+    intended for verification on moderate sizes; the hot arithmetic path
+    should use :func:`repro.sparse.ops.spgemm` instead.
+    """
+    if a.shape[1] != b.shape[0]:
+        raise ShapeError(
+            f"cannot multiply shapes {a.shape} and {b.shape}: inner dimensions differ"
+        )
+    nrows, ncols = a.shape[0], b.shape[1]
+    out_rows: list[int] = []
+    out_cols: list[int] = []
+    out_vals: list[float] = []
+    for i in range(nrows):
+        a_cols, a_vals = a.row(i)
+        # gather contributions per output column
+        contributions: dict[int, list[float]] = {}
+        for k, av in zip(a_cols, a_vals):
+            b_cols, b_vals = b.row(int(k))
+            products = semiring.multiply(np.full(b_vals.shape, av), b_vals)
+            for j, p in zip(b_cols, products):
+                contributions.setdefault(int(j), []).append(float(p))
+        for j, parts in contributions.items():
+            value = semiring.add_reduce(np.asarray(parts, dtype=np.float64))
+            if value != semiring.zero:
+                out_rows.append(i)
+                out_cols.append(j)
+                out_vals.append(value)
+    from repro.sparse.coo import COOMatrix
+
+    if not out_rows:
+        return CSRMatrix.zeros((nrows, ncols))
+    return COOMatrix(
+        (nrows, ncols),
+        np.asarray(out_rows, dtype=np.int64),
+        np.asarray(out_cols, dtype=np.int64),
+        np.asarray(out_vals, dtype=np.float64),
+    ).to_csr()
+
+
+def semiring_chain_product(matrices: list[CSRMatrix], semiring: Semiring) -> CSRMatrix:
+    """Chain product over a semiring (left to right)."""
+    if not matrices:
+        raise ShapeError("semiring_chain_product requires at least one matrix")
+    result = matrices[0]
+    for m in matrices[1:]:
+        result = semiring_spgemm(result, m, semiring)
+    return result

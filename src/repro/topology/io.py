@@ -1,0 +1,129 @@
+"""Topology serialization.
+
+Two formats are supported:
+
+* ``.npz`` -- a single NumPy archive holding every adjacency submatrix in
+  CSR component form (fast, lossless, the package-native format);
+* per-layer TSV -- the MIT/IEEE/Amazon Graph Challenge Sparse DNN format:
+  one file per layer, each line ``row_index<TAB>col_index<TAB>value`` with
+  **1-based** indices.  This is the format in which the RadiX-Net-generated
+  challenge networks were distributed, so round-tripping it is part of the
+  reproduction.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Sequence
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import SerializationError
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.topology.fnnt import FNNT
+
+
+def save_npz(topology: FNNT, path: str | os.PathLike) -> Path:
+    """Save a topology (all submatrices plus name) to a ``.npz`` archive."""
+    path = Path(path)
+    payload: dict[str, np.ndarray] = {
+        "num_submatrices": np.asarray([len(topology.submatrices)]),
+        "name": np.asarray([topology.name]),
+    }
+    for i, w in enumerate(topology.submatrices):
+        payload[f"shape_{i}"] = np.asarray(w.shape, dtype=np.int64)
+        payload[f"indptr_{i}"] = w.indptr
+        payload[f"indices_{i}"] = w.indices
+        payload[f"data_{i}"] = w.data
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_npz(path: str | os.PathLike) -> FNNT:
+    """Load a topology saved with :func:`save_npz`."""
+    path = Path(path)
+    if not path.exists():
+        raise SerializationError(f"topology file not found: {path}")
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            count = int(archive["num_submatrices"][0])
+            name = str(archive["name"][0])
+            submatrices = []
+            for i in range(count):
+                shape = tuple(int(x) for x in archive[f"shape_{i}"])
+                submatrices.append(
+                    CSRMatrix(
+                        shape,
+                        archive[f"indptr_{i}"],
+                        archive[f"indices_{i}"],
+                        archive[f"data_{i}"],
+                    )
+                )
+    except KeyError as exc:
+        raise SerializationError(f"malformed topology archive {path}: missing {exc}") from exc
+    return FNNT(submatrices, validate=False, name=name)
+
+
+def save_tsv_layers(topology: FNNT, directory: str | os.PathLike, *, prefix: str = "layer") -> list[Path]:
+    """Write one Graph Challenge style TSV file per adjacency submatrix.
+
+    Each line is ``row<TAB>col<TAB>value`` with 1-based indices, matching
+    the Sparse DNN Graph Challenge distribution format.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for i, w in enumerate(topology.submatrices):
+        coo = w.to_coo().coalesce()
+        path = directory / f"{prefix}-{i + 1}.tsv"
+        with path.open("w", encoding="utf-8") as handle:
+            for r, c, v in zip(coo.rows, coo.cols, coo.values):
+                handle.write(f"{int(r) + 1}\t{int(c) + 1}\t{v:.17g}\n")
+        paths.append(path)
+    return paths
+
+
+def load_tsv_layers(
+    paths: Sequence[str | os.PathLike],
+    shapes: Sequence[tuple[int, int]],
+    *,
+    name: str = "tsv-topology",
+) -> FNNT:
+    """Load a topology from Graph Challenge style per-layer TSV files.
+
+    ``shapes`` must give the (rows, cols) of each layer's submatrix because
+    the TSV format does not carry dimensions.
+    """
+    if len(paths) != len(shapes):
+        raise SerializationError("paths and shapes must have the same length")
+    submatrices = []
+    for path, shape in zip(paths, shapes):
+        path = Path(path)
+        if not path.exists():
+            raise SerializationError(f"layer file not found: {path}")
+        rows, cols, vals = [], [], []
+        with path.open("r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                parts = line.split("\t")
+                if len(parts) != 3:
+                    raise SerializationError(
+                        f"{path}:{line_number}: expected 3 tab-separated fields, got {len(parts)}"
+                    )
+                rows.append(int(parts[0]) - 1)
+                cols.append(int(parts[1]) - 1)
+                vals.append(float(parts[2]))
+        submatrices.append(
+            COOMatrix(
+                (int(shape[0]), int(shape[1])),
+                np.asarray(rows, dtype=np.int64),
+                np.asarray(cols, dtype=np.int64),
+                np.asarray(vals, dtype=np.float64),
+            ).to_csr()
+        )
+    return FNNT(submatrices, validate=False, name=name)

@@ -1,0 +1,93 @@
+"""Random sparse FNNT generators.
+
+Two random baselines against which the deterministic RadiX-Net construction
+is compared:
+
+* :func:`erdos_renyi_fnnt` -- each possible edge between adjacent layers is
+  kept independently with probability ``p`` (the "random X-Linear" flavour
+  of sparsity, probabilistic path-connectedness only);
+* :func:`fixed_out_degree_fnnt` -- every node keeps exactly ``k`` outgoing
+  edges chosen uniformly at random (a random regular bipartite expander,
+  the construction used by random X-Nets in Prabhu et al.).
+
+Both repair all-zero rows/columns so the result is always a valid FNNT.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.topology.fnnt import FNNT
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive_int, check_probability
+
+
+def _repair_empty_rows_cols(mask: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Ensure no all-zero row or column by adding minimal random edges."""
+    mask = mask.copy()
+    empty_rows = np.flatnonzero(mask.sum(axis=1) == 0)
+    if empty_rows.size:
+        mask[empty_rows, rng.integers(0, mask.shape[1], size=empty_rows.size)] = True
+    empty_cols = np.flatnonzero(mask.sum(axis=0) == 0)
+    if empty_cols.size:
+        mask[rng.integers(0, mask.shape[0], size=empty_cols.size), empty_cols] = True
+    return mask
+
+
+def erdos_renyi_fnnt(
+    layer_sizes: Sequence[int],
+    p: float,
+    *,
+    seed: RngLike = None,
+    name: str = "erdos-renyi",
+) -> FNNT:
+    """A random FNNT where each possible edge exists independently with probability ``p``.
+
+    All-zero rows and columns are repaired with one random edge each, so the
+    realized density can slightly exceed ``p`` for very sparse settings.
+    """
+    sizes = [check_positive_int(s, "layer size") for s in layer_sizes]
+    if len(sizes) < 2:
+        raise ValidationError("layer_sizes must contain at least two layers")
+    p = check_probability(p, "p")
+    rng = ensure_rng(seed)
+    submatrices = []
+    for i in range(len(sizes) - 1):
+        mask = rng.random((sizes[i], sizes[i + 1])) < p
+        mask = _repair_empty_rows_cols(mask, rng)
+        submatrices.append(mask.astype(np.float64))
+    return FNNT(submatrices, name=name)
+
+
+def fixed_out_degree_fnnt(
+    layer_sizes: Sequence[int],
+    out_degree: int,
+    *,
+    seed: RngLike = None,
+    name: str = "fixed-out-degree",
+) -> FNNT:
+    """A random FNNT where every node has exactly ``out_degree`` outgoing edges.
+
+    The out-degree is clipped to the width of the next layer.  Empty columns
+    (nodes with no incoming edge) are repaired with one extra random edge,
+    so in-degrees are only approximately regular -- exactly the behaviour of
+    randomly constructed X-Linear layers.
+    """
+    sizes = [check_positive_int(s, "layer size") for s in layer_sizes]
+    if len(sizes) < 2:
+        raise ValidationError("layer_sizes must contain at least two layers")
+    out_degree = check_positive_int(out_degree, "out_degree")
+    rng = ensure_rng(seed)
+    submatrices = []
+    for i in range(len(sizes) - 1):
+        rows, cols = sizes[i], sizes[i + 1]
+        k = min(out_degree, cols)
+        mask = np.zeros((rows, cols), dtype=bool)
+        for r in range(rows):
+            mask[r, rng.choice(cols, size=k, replace=False)] = True
+        mask = _repair_empty_rows_cols(mask, rng)
+        submatrices.append(mask.astype(np.float64))
+    return FNNT(submatrices, name=name)

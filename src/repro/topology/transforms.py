@@ -1,0 +1,145 @@
+"""Topology transformations.
+
+Utilities for manipulating FNNTs after construction: relabeling nodes,
+extracting sub-topologies, overlaying/intersecting connectivity, and
+converting a trained model's surviving weights back into a topology.  These
+are the operations downstream users of a topology generator actually need
+when adapting a generated net to an existing model or comparing families
+structurally.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import TopologyError, ValidationError
+from repro.sparse.csr import CSRMatrix
+from repro.topology.fnnt import FNNT
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def permute_layer(topology: FNNT, layer: int, permutation: Sequence[int], *, name: str | None = None) -> FNNT:
+    """Relabel the nodes of one layer by ``permutation``.
+
+    Node ``i`` of the chosen layer becomes node ``permutation[i]``.  The
+    incoming submatrix has its columns permuted and the outgoing submatrix
+    its rows, so the graph is unchanged up to labels -- path counts,
+    symmetry, and density are invariant (tested).
+    """
+    sizes = topology.layer_sizes
+    if not 0 <= layer < len(sizes):
+        raise ValidationError(f"layer must be in [0, {len(sizes) - 1}], got {layer}")
+    perm = np.asarray(permutation, dtype=np.int64)
+    if perm.shape != (sizes[layer],) or sorted(perm.tolist()) != list(range(sizes[layer])):
+        raise ValidationError(
+            f"permutation must be a permutation of 0..{sizes[layer] - 1}"
+        )
+    inverse = np.empty_like(perm)
+    inverse[perm] = np.arange(perm.size)
+    new_submatrices: list[np.ndarray | CSRMatrix] = []
+    for index, submatrix in enumerate(topology.submatrices):
+        dense = submatrix.to_dense()
+        if index == layer - 1:  # incoming edges: permute columns
+            dense = dense[:, inverse]
+        if index == layer:  # outgoing edges: permute rows
+            dense = dense[inverse, :]
+        new_submatrices.append(dense)
+    return FNNT(new_submatrices, validate=False, name=name or f"{topology.name}-perm{layer}")
+
+
+def shuffle_all_layers(topology: FNNT, *, seed: RngLike = None, permute_boundaries: bool = False, name: str | None = None) -> FNNT:
+    """Relabel every layer with an independent random permutation.
+
+    Interior layers are always shuffled; the input and output layers only
+    when ``permute_boundaries`` is set (keeping them fixed preserves the
+    meaning of feature/class indices).  Used to decorrelate consecutive
+    layers of generated instances, as the Graph Challenge networks do.
+    """
+    rng = ensure_rng(seed)
+    result = topology
+    layers = range(topology.num_layers) if permute_boundaries else range(1, topology.num_layers - 1)
+    for layer in layers:
+        permutation = rng.permutation(result.layer_sizes[layer])
+        result = permute_layer(result, layer, permutation)
+    return FNNT(
+        [w.to_dense() for w in result.submatrices],
+        validate=False,
+        name=name or f"{topology.name}-shuffled",
+    )
+
+
+def slice_layers(topology: FNNT, start: int, stop: int, *, name: str | None = None) -> FNNT:
+    """Extract the sub-topology spanning node layers ``start`` to ``stop`` inclusive."""
+    if not 0 <= start < stop < topology.num_layers:
+        raise ValidationError(
+            f"need 0 <= start < stop <= {topology.num_layers - 1}, got ({start}, {stop})"
+        )
+    return FNNT(
+        list(topology.submatrices[start:stop]),
+        validate=False,
+        name=name or f"{topology.name}[{start}:{stop}]",
+    )
+
+
+def union(a: FNNT, b: FNNT, *, name: str = "union") -> FNNT:
+    """Edge-wise union of two FNNTs with identical layer sizes."""
+    _check_same_shape(a, b)
+    submatrices = [
+        ((wa.to_dense() + wb.to_dense()) > 0).astype(np.float64)
+        for wa, wb in zip(a.submatrices, b.submatrices)
+    ]
+    return FNNT(submatrices, validate=False, name=name)
+
+
+def intersection(a: FNNT, b: FNNT, *, name: str = "intersection") -> FNNT:
+    """Edge-wise intersection of two FNNTs with identical layer sizes.
+
+    The result may violate the FNNT axioms (empty rows/columns) and is
+    therefore returned unvalidated; callers interested in validity should
+    call ``validate()`` or measure :func:`edge_overlap` instead.
+    """
+    _check_same_shape(a, b)
+    submatrices = [
+        ((wa.to_dense() != 0) & (wb.to_dense() != 0)).astype(np.float64)
+        for wa, wb in zip(a.submatrices, b.submatrices)
+    ]
+    return FNNT(submatrices, validate=False, name=name)
+
+
+def edge_overlap(a: FNNT, b: FNNT) -> float:
+    """Jaccard similarity of the edge sets of two same-shaped FNNTs."""
+    _check_same_shape(a, b)
+    intersection_edges = 0
+    union_edges = 0
+    for wa, wb in zip(a.submatrices, b.submatrices):
+        da = wa.to_dense() != 0
+        db = wb.to_dense() != 0
+        intersection_edges += int(np.count_nonzero(da & db))
+        union_edges += int(np.count_nonzero(da | db))
+    return intersection_edges / union_edges if union_edges else 1.0
+
+
+def from_weight_matrices(weight_matrices: Sequence[np.ndarray], *, tolerance: float = 0.0, name: str = "from-weights") -> FNNT:
+    """The topology of nonzero weights of a trained model.
+
+    Entries with magnitude ``<= tolerance`` are treated as absent.  Unlike
+    :func:`repro.baselines.pruning.prune_model_to_topology` this performs no
+    repair; it reports the model exactly as it is and raises if the result
+    is not a valid FNNT (a dead neuron).
+    """
+    if not weight_matrices:
+        raise ValidationError("weight_matrices must be non-empty")
+    submatrices = [
+        (np.abs(np.asarray(w, dtype=np.float64)) > tolerance).astype(np.float64)
+        for w in weight_matrices
+    ]
+    return FNNT(submatrices, name=name)
+
+
+def _check_same_shape(a: FNNT, b: FNNT) -> None:
+    if a.layer_sizes != b.layer_sizes:
+        raise TopologyError(
+            f"topologies have different layer sizes: {a.layer_sizes} vs {b.layer_sizes}"
+        )

@@ -1,0 +1,23 @@
+"""Shared utilities: validation, RNG handling, timing, logging."""
+
+from repro.utils.validation import (
+    check_positive_int,
+    check_radix_list,
+    check_probability,
+    check_array_2d,
+    check_same_length,
+)
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timing import Timer, timed
+
+__all__ = [
+    "check_positive_int",
+    "check_radix_list",
+    "check_probability",
+    "check_array_2d",
+    "check_same_length",
+    "ensure_rng",
+    "spawn_rngs",
+    "Timer",
+    "timed",
+]

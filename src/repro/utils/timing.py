@@ -1,0 +1,62 @@
+"""Lightweight timing helpers used by benchmarks and the parallel layer."""
+
+from __future__ import annotations
+
+import functools
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer usable as a context manager.
+
+    >>> timer = Timer()
+    >>> with timer:
+    ...     _ = sum(range(1000))
+    >>> timer.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    laps: list[float] = field(default_factory=list)
+    _start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        if self._start is None:
+            return
+        lap = time.perf_counter() - self._start
+        self.laps.append(lap)
+        self.elapsed += lap
+        self._start = None
+
+    @property
+    def mean(self) -> float:
+        """Mean lap duration in seconds (0.0 if no laps recorded)."""
+        return self.elapsed / len(self.laps) if self.laps else 0.0
+
+    def reset(self) -> None:
+        """Discard all recorded laps."""
+        self.elapsed = 0.0
+        self.laps.clear()
+        self._start = None
+
+
+def timed(func: Callable[..., T]) -> Callable[..., tuple[T, float]]:
+    """Decorator returning ``(result, seconds)`` for each call of ``func``."""
+
+    @functools.wraps(func)
+    def wrapper(*args: Any, **kwargs: Any) -> tuple[T, float]:
+        start = time.perf_counter()
+        result = func(*args, **kwargs)
+        return result, time.perf_counter() - start
+
+    return wrapper

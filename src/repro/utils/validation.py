@@ -1,0 +1,80 @@
+"""Argument validation helpers shared across the package.
+
+These helpers raise :class:`repro.errors.ValidationError` (a subclass of
+``ValueError``) with descriptive messages.  Keeping validation centralized
+makes the construction modules short and keeps error messages consistent.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ShapeError, ValidationError
+
+
+def check_positive_int(value: Any, name: str, *, minimum: int = 1) -> int:
+    """Validate that ``value`` is an integer ``>= minimum`` and return it.
+
+    Accepts Python ints and NumPy integer scalars; rejects bools and floats
+    (including integral floats such as ``3.0``) because silent coercion of
+    radices or layer widths hides caller bugs.
+    """
+    if isinstance(value, bool):
+        raise ValidationError(f"{name} must be an integer, got bool {value!r}")
+    if isinstance(value, (int, np.integer)):
+        ivalue = int(value)
+    else:
+        raise ValidationError(
+            f"{name} must be an integer, got {type(value).__name__} {value!r}"
+        )
+    if ivalue < minimum:
+        raise ValidationError(f"{name} must be >= {minimum}, got {ivalue}")
+    return ivalue
+
+
+def check_radix_list(radices: Sequence[Any], name: str = "radices") -> tuple[int, ...]:
+    """Validate a mixed-radix list: non-empty, all integer radices >= 2."""
+    if isinstance(radices, (str, bytes)):
+        raise ValidationError(f"{name} must be a sequence of integers, got a string")
+    try:
+        items = list(radices)
+    except TypeError as exc:
+        raise ValidationError(f"{name} must be a sequence of integers") from exc
+    if not items:
+        raise ValidationError(f"{name} must not be empty")
+    return tuple(
+        check_positive_int(r, f"{name}[{i}]", minimum=2) for i, r in enumerate(items)
+    )
+
+
+def check_probability(value: Any, name: str) -> float:
+    """Validate a probability in the closed interval [0, 1]."""
+    try:
+        fvalue = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be a real number in [0, 1]") from exc
+    if not np.isfinite(fvalue) or not 0.0 <= fvalue <= 1.0:
+        raise ValidationError(f"{name} must be in [0, 1], got {value!r}")
+    return fvalue
+
+
+def check_array_2d(array: Any, name: str) -> np.ndarray:
+    """Coerce ``array`` to a 2-D ``ndarray``; raise ``ShapeError`` otherwise."""
+    arr = np.asarray(array)
+    if arr.ndim != 2:
+        raise ShapeError(f"{name} must be 2-dimensional, got ndim={arr.ndim}")
+    if arr.shape[0] == 0 or arr.shape[1] == 0:
+        raise ShapeError(f"{name} must be non-empty, got shape {arr.shape}")
+    return arr
+
+
+def check_same_length(a: Sequence[Any], b: Sequence[Any], name_a: str, name_b: str) -> None:
+    """Raise if two sequences differ in length."""
+    if len(a) != len(b):
+        raise ValidationError(
+            f"{name_a} and {name_b} must have the same length "
+            f"({len(a)} != {len(b)})"
+        )

@@ -1,0 +1,12 @@
+"""Text-mode visualization: topology diagrams, heatmaps, report tables."""
+
+from repro.viz.ascii import render_topology, render_adjacency, heatmap
+from repro.viz.report import format_table, format_report_rows
+
+__all__ = [
+    "render_topology",
+    "render_adjacency",
+    "heatmap",
+    "format_table",
+    "format_report_rows",
+]

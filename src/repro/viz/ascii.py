@@ -1,0 +1,97 @@
+"""ASCII rendering of topologies and surfaces.
+
+Matplotlib is deliberately not a dependency; the paper's small figures
+(the N=(2,2,2) topology of Fig. 1, adjacency-matrix block structure of
+Fig. 4, the density surface of Fig. 7) render adequately as text, which
+also makes benchmark output self-contained in CI logs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.sparse.csr import CSRMatrix
+from repro.topology.fnnt import FNNT
+
+_SHADES = " .:-=+*#%@"
+
+
+def render_adjacency(matrix: CSRMatrix | np.ndarray, *, filled: str = "#", empty: str = ".") -> str:
+    """Render a 0/1 adjacency (sub)matrix as a grid of characters.
+
+    >>> from repro.core.permutation import cyclic_permutation_matrix
+    >>> print(render_adjacency(cyclic_permutation_matrix(3)))
+    .#.
+    ..#
+    #..
+    """
+    dense = matrix.to_dense() if isinstance(matrix, CSRMatrix) else np.asarray(matrix)
+    if dense.ndim != 2:
+        raise ValidationError("expected a 2-D matrix")
+    rows = []
+    for row in dense:
+        rows.append("".join(filled if value != 0 else empty for value in row))
+    return "\n".join(rows)
+
+
+def render_topology(topology: FNNT, *, max_nodes_per_layer: int = 16) -> str:
+    """Render a small layered topology as a layer-by-layer edge listing.
+
+    Layers wider than ``max_nodes_per_layer`` are summarized instead of
+    drawn (full drawings of RadiX-Nets at realistic sizes are unreadable).
+    """
+    lines = [f"topology {topology.name}: layers {topology.layer_sizes}"]
+    for index, submatrix in enumerate(topology.submatrices):
+        rows, cols = submatrix.shape
+        if max(rows, cols) > max_nodes_per_layer:
+            lines.append(
+                f"  layer {index}->{index + 1}: {submatrix.nnz} edges "
+                f"({rows}x{cols}, density {submatrix.density:.3f})"
+            )
+            continue
+        lines.append(f"  layer {index}->{index + 1}:")
+        coo = submatrix.to_coo().coalesce()
+        per_source: dict[int, list[int]] = {}
+        for r, c in zip(coo.rows, coo.cols):
+            per_source.setdefault(int(r), []).append(int(c))
+        for source in sorted(per_source):
+            targets = ",".join(str(t) for t in sorted(per_source[source]))
+            lines.append(f"    {source} -> {targets}")
+    return "\n".join(lines)
+
+
+def heatmap(
+    values: np.ndarray,
+    *,
+    row_labels: list[str] | None = None,
+    col_labels: list[str] | None = None,
+    log_scale: bool = False,
+) -> str:
+    """Render a 2-D array as a text heatmap using shade characters.
+
+    With ``log_scale`` the shading is applied to ``log10`` of the values,
+    which is how the paper's Figure 7 density surface (spanning many orders
+    of magnitude) stays readable.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValidationError("heatmap expects a 2-D array")
+    display = arr.copy()
+    if log_scale:
+        positive = display[display > 0]
+        floor = positive.min() if positive.size else 1e-12
+        display = np.log10(np.clip(display, floor, None))
+    lo, hi = float(display.min()), float(display.max())
+    span = hi - lo if hi > lo else 1.0
+    normalized = (display - lo) / span
+    indices = np.clip((normalized * (len(_SHADES) - 1)).round().astype(int), 0, len(_SHADES) - 1)
+    lines = []
+    if col_labels is not None:
+        header = "      " + " ".join(f"{label:>6s}" for label in col_labels)
+        lines.append(header)
+    for i, row in enumerate(indices):
+        label = row_labels[i] if row_labels is not None else str(i)
+        cells = " ".join(f"{_SHADES[j] * 6}" for j in row)
+        lines.append(f"{label:>5s} {cells}")
+    return "\n".join(lines)

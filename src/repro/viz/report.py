@@ -1,0 +1,51 @@
+"""Plain-text report tables (used by benchmarks and examples)."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.errors import ValidationError
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Format a fixed-width text table.
+
+    >>> print(format_table(["a", "b"], [[1, 2.5], ["x", "y"]]))
+    a  b
+    -  ---
+    1  2.5
+    x  y
+    """
+    if not headers:
+        raise ValidationError("headers must be non-empty")
+    string_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    for row in string_rows:
+        if len(row) != len(headers):
+            raise ValidationError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in string_rows)) if string_rows else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(str(header).ljust(widths[i]) for i, header in enumerate(headers)).rstrip(),
+        "  ".join("-" * widths[i] for i in range(len(headers))).rstrip(),
+    ]
+    for row in string_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))).rstrip())
+    return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def format_report_rows(rows: Sequence[Mapping[str, object]]) -> str:
+    """Format a list of dictionaries (e.g. ``TopologyReport.as_row()``) as a table."""
+    if not rows:
+        raise ValidationError("rows must be non-empty")
+    headers = list(rows[0].keys())
+    return format_table(headers, [[row.get(h, "") for h in headers] for row in rows])

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.radixnet import RadixNetSpec, generate_from_spec
+from repro.topology.fnnt import FNNT
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic NumPy generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_spec() -> RadixNetSpec:
+    """A small admissible RadiX-Net specification used across modules."""
+    return RadixNetSpec([(2, 2), (2, 2)], [1, 2, 2, 2, 1], name="small")
+
+
+@pytest.fixture
+def small_radixnet(small_spec: RadixNetSpec) -> FNNT:
+    """The generated topology for :func:`small_spec`."""
+    return generate_from_spec(small_spec)
+
+
+@pytest.fixture
+def tiny_dense_topology() -> FNNT:
+    """A 3-4-2 dense FNNT."""
+    return FNNT([np.ones((3, 4)), np.ones((4, 2))], name="tiny-dense")
+
+
+# A panel of admissible (systems, widths) pairs reused by parametrized tests.
+ADMISSIBLE_SPECS = [
+    ([(2, 2), (2, 2)], [1, 2, 2, 2, 1]),
+    ([(2, 2), (4,)], [1, 3, 3, 1]),
+    ([(3, 3), (9,)], [2, 2, 2, 2]),
+    ([(2, 3), (6,)], [1, 2, 2, 1]),
+    ([(2, 2, 2), (4, 2)], [1, 1, 1, 2, 2, 1]),
+    ([(4,), (2, 2)], [1, 2, 2, 1]),
+    ([(6,)], [1, 1]),
+    ([(2, 2), (2,)], [1, 2, 2, 1]),
+    ([(3, 4), (12,), (6, 2)], [1, 1, 2, 2, 1, 1]),
+]

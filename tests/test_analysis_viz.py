@@ -1,0 +1,174 @@
+"""Tests for repro.analysis and repro.viz."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.analysis.compare import compare_topologies, density_matched, topology_report
+from repro.analysis.connectivity import (
+    connectivity_fraction,
+    degree_regularity,
+    isolated_output_fraction,
+    path_count_dispersion,
+)
+from repro.analysis.diversity import (
+    count_explicit_xnet_configurations,
+    count_radixnet_configurations,
+    diversity_ratio,
+    log_diversity,
+)
+from repro.baselines.dense import dense_fnnt
+from repro.baselines.xnet import random_xnet
+from repro.core.permutation import cyclic_permutation_matrix
+from repro.core.radixnet import generate_radixnet
+from repro.topology.fnnt import FNNT
+from repro.viz.ascii import heatmap, render_adjacency, render_topology
+from repro.viz.report import format_report_rows, format_table
+
+
+class TestTopologyReport:
+    def test_radixnet_report(self, small_radixnet):
+        report = topology_report(small_radixnet)
+        assert report.symmetric
+        assert report.path_connected
+        assert report.disconnected_pairs == 0
+        assert report.path_count_min == report.path_count_max == 32
+        assert report.out_regular
+        assert report.density == pytest.approx(0.5)
+
+    def test_dense_report(self):
+        report = topology_report(dense_fnnt([4, 4, 4]))
+        assert report.density == 1.0
+        assert report.symmetric
+        assert report.worst_spectral_gap == pytest.approx(1.0)
+
+    def test_random_report_usually_not_symmetric(self):
+        report = topology_report(random_xnet([16, 16, 16], 2, seed=0))
+        assert not report.symmetric
+
+    def test_compare_preserves_order_and_names(self, small_radixnet):
+        reports = compare_topologies([small_radixnet, dense_fnnt([4, 4], name="ref")])
+        assert [r.name for r in reports] == [small_radixnet.name, "ref"]
+
+    def test_as_row_keys(self, small_radixnet):
+        row = topology_report(small_radixnet).as_row()
+        assert {"name", "edges", "density", "symmetric"}.issubset(row.keys())
+
+    def test_density_matched(self):
+        a = topology_report(random_xnet([20, 20], 5, seed=1))
+        b = topology_report(random_xnet([20, 20], 5, seed=2))
+        c = topology_report(dense_fnnt([20, 20]))
+        assert density_matched([a, b])
+        assert not density_matched([a, c])
+        assert density_matched([])
+
+
+class TestDiversity:
+    def test_radixnet_count_small_case(self):
+        # N' = 8 with one system: radix lists (8), (2,4), (4,2), (2,2,2) -> 4
+        assert count_radixnet_configurations(8, 1) == 4
+
+    def test_two_systems_multiply(self):
+        one = count_radixnet_configurations(8, 1, include_divisor_last_system=False)
+        two = count_radixnet_configurations(8, 2, include_divisor_last_system=False)
+        assert two == one * one
+
+    def test_divisor_last_system_increases_count(self):
+        strict = count_radixnet_configurations(8, 2, include_divisor_last_system=False)
+        relaxed = count_radixnet_configurations(8, 2, include_divisor_last_system=True)
+        assert relaxed > strict
+
+    def test_explicit_xnet_count_linear_in_width(self):
+        assert count_explicit_xnet_configurations(10) == 9
+        assert count_explicit_xnet_configurations(10, max_degree=4) == 4
+
+    def test_diversity_ratio_grows_with_divisor_structure(self):
+        assert diversity_ratio(36) > diversity_ratio(37)  # 37 is prime
+
+    def test_log_diversity(self):
+        assert log_diversity(8) == pytest.approx(np.log(count_radixnet_configurations(8, 2)))
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            count_radixnet_configurations(1, 1)
+        with pytest.raises(ValidationError):
+            count_explicit_xnet_configurations(2, max_degree=0)
+
+
+class TestConnectivity:
+    def test_connectivity_fraction_bounds(self, small_radixnet):
+        assert connectivity_fraction(small_radixnet) == 1.0
+        sparse_random = random_xnet([20, 20, 20, 20], 1, seed=0)
+        assert connectivity_fraction(sparse_random) < 1.0
+
+    def test_isolated_output_fraction(self):
+        identity_chain = FNNT([np.eye(4), np.eye(4)], validate=False)
+        assert isolated_output_fraction(identity_chain) == 0.0
+        assert connectivity_fraction(identity_chain) == pytest.approx(0.25)
+
+    def test_degree_regularity(self, small_radixnet):
+        assert degree_regularity(small_radixnet) == 1.0
+        irregular = FNNT([np.array([[1.0, 1.0, 1.0], [1.0, 0.0, 0.0], [0.0, 1.0, 1.0]])])
+        assert degree_regularity(irregular) < 1.0
+
+    def test_path_count_dispersion(self, small_radixnet):
+        assert path_count_dispersion(small_radixnet) == 0.0
+        assert path_count_dispersion(random_xnet([16, 16, 16], 2, seed=3)) > 0.0
+
+
+class TestAsciiViz:
+    def test_render_adjacency(self):
+        text = render_adjacency(cyclic_permutation_matrix(3))
+        assert text == ".#.\n..#\n#.."
+
+    def test_render_adjacency_accepts_dense(self):
+        assert render_adjacency(np.eye(2)) == "#.\n.#"
+
+    def test_render_adjacency_rejects_1d(self):
+        with pytest.raises(ValidationError):
+            render_adjacency(np.zeros(3))
+
+    def test_render_topology_small(self):
+        net = FNNT([np.eye(2) + np.roll(np.eye(2), 1, axis=1)], name="tiny")
+        text = render_topology(net)
+        assert "tiny" in text
+        assert "0 -> 0,1" in text
+
+    def test_render_topology_summarizes_large_layers(self, small_radixnet):
+        text = render_topology(small_radixnet, max_nodes_per_layer=4)
+        assert "edges" in text
+
+    def test_heatmap_shapes_and_labels(self):
+        values = np.array([[1.0, 0.5], [0.25, 0.125]])
+        text = heatmap(values, row_labels=["d=1", "d=2"], col_labels=["2", "4"])
+        assert "d=1" in text and "d=2" in text
+        assert len(text.splitlines()) == 3
+
+    def test_heatmap_log_scale_handles_wide_range(self):
+        values = np.array([[1.0, 1e-6]])
+        assert heatmap(values, log_scale=True)
+
+    def test_heatmap_rejects_1d(self):
+        with pytest.raises(ValidationError):
+            heatmap(np.zeros(4))
+
+
+class TestReportTables:
+    def test_format_table_basic(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", "y"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+
+    def test_format_table_validation(self):
+        with pytest.raises(ValidationError):
+            format_table([], [])
+        with pytest.raises(ValidationError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_report_rows(self, small_radixnet):
+        rows = [topology_report(small_radixnet).as_row()]
+        text = format_report_rows(rows)
+        assert "density" in text
+        with pytest.raises(ValidationError):
+            format_report_rows([])

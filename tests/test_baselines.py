@@ -1,0 +1,198 @@
+"""Tests for repro.baselines: dense, Cayley/X-Net, pruning, expander metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.baselines.cayley import cayley_graph_submatrix, cayley_xnet, symmetric_generator_set
+from repro.baselines.dense import dense_edge_count, dense_fnnt, dense_parameter_count
+from repro.baselines.expander import ExpansionSummary, expansion_summary, singular_values, spectral_gap
+from repro.baselines.pruning import (
+    magnitude_prune_mask,
+    prune_model_to_topology,
+    prune_weights,
+    pruned_density,
+)
+from repro.baselines.xnet import explicit_xnet, random_xnet, xnet_density
+from repro.core.mixed_radix_topology import mixed_radix_submatrix
+from repro.topology.properties import degree_statistics, is_path_connected
+
+
+class TestDense:
+    def test_dense_fnnt_edges(self):
+        net = dense_fnnt([3, 5, 2])
+        assert net.num_edges == 25
+        assert net.density() == 1.0
+
+    def test_dense_edge_count(self):
+        assert dense_edge_count([3, 5, 2]) == 25
+        assert dense_edge_count([10, 10]) == 100
+
+    def test_dense_parameter_count_with_biases(self):
+        assert dense_parameter_count([3, 5, 2]) == 25 + 5 + 2
+        assert dense_parameter_count([3, 5, 2], include_biases=False) == 25
+
+    def test_rejects_single_layer(self):
+        with pytest.raises(ValidationError):
+            dense_fnnt([4])
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValidationError):
+            dense_edge_count([4, 0])
+
+
+class TestCayley:
+    def test_generator_set_is_symmetric(self):
+        gens = symmetric_generator_set(10, 4)
+        assert len(gens) == 4
+        for g in gens:
+            assert (10 - g) % 10 in gens or 2 * g % 10 == 0
+
+    def test_generator_set_excludes_identity(self):
+        assert 0 not in symmetric_generator_set(8, 3)
+
+    def test_generator_set_degree_too_large(self):
+        with pytest.raises(ValidationError):
+            symmetric_generator_set(4, 4)
+
+    def test_cayley_submatrix_is_circulant_and_regular(self):
+        w = cayley_graph_submatrix(8, [1, 7, 2])
+        np.testing.assert_array_equal(w.row_degrees(), np.full(8, 3))
+        np.testing.assert_array_equal(w.col_degrees(), np.full(8, 3))
+        dense = w.to_dense()
+        # circulant: row j is row 0 rotated by j
+        for j in range(8):
+            np.testing.assert_array_equal(dense[j], np.roll(dense[0], j))
+
+    def test_cayley_rejects_identity_generator(self):
+        with pytest.raises(ValidationError):
+            cayley_graph_submatrix(6, [0, 1])
+
+    def test_cayley_rejects_empty_generators(self):
+        with pytest.raises(ValidationError):
+            cayley_graph_submatrix(6, [])
+
+    def test_cayley_relation_to_mixed_radix(self):
+        # a mixed-radix level-0 submatrix with radix k is the Cayley layer
+        # of Z_n with generators {0..k-1} plus the identity offset 0 --
+        # they share the circulant structure (offsets {1..k-1} vs {0..k-1}).
+        mixed = mixed_radix_submatrix((2, 4), 0).to_dense()
+        cayley = cayley_graph_submatrix(8, [1]).to_dense()
+        np.testing.assert_array_equal(mixed, np.eye(8) + cayley)
+
+    def test_cayley_xnet_structure(self):
+        net = cayley_xnet(12, depth=3, degree=4)
+        assert net.layer_sizes == (12, 12, 12, 12)
+        assert is_path_connected(net)
+        for stat in degree_statistics(net):
+            assert stat.out_regular
+
+    def test_explicit_xnet_is_cayley_xnet(self):
+        assert explicit_xnet(10, 2, 3).same_topology(cayley_xnet(10, 2, 3))
+
+
+class TestRandomXnet:
+    def test_shape_and_validity(self):
+        net = random_xnet([16, 24, 8], 3, seed=0)
+        net.validate()
+        assert net.layer_sizes == (16, 24, 8)
+
+    def test_out_degree_on_smaller_side(self):
+        net = random_xnet([8, 32], 4, seed=1)
+        degrees = net.submatrix(0).row_degrees()
+        assert degrees.min() >= 4
+
+    def test_determinism(self):
+        assert random_xnet([8, 8], 2, seed=3).same_topology(random_xnet([8, 8], 2, seed=3))
+
+    def test_rejects_single_layer(self):
+        with pytest.raises(ValidationError):
+            random_xnet([8], 2)
+
+    def test_expected_density_formula(self):
+        assert xnet_density([10, 10], 3) == pytest.approx(30 / 100)
+        assert xnet_density([4, 8], 2) == pytest.approx(8 / 32)
+
+    @given(st.integers(4, 16), st.integers(4, 16), st.integers(1, 4), st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_always_valid_property(self, a, b, degree, seed):
+        random_xnet([a, b], degree, seed=seed).validate()
+
+
+class TestPruning:
+    def test_mask_keeps_requested_fraction(self):
+        rng = np.random.default_rng(0)
+        weights = rng.normal(size=(20, 20))
+        mask = magnitude_prune_mask(weights, 0.25)
+        # the row/column repair can only add entries
+        assert 0.25 <= mask.mean() <= 0.35
+
+    def test_mask_keeps_largest_magnitudes(self):
+        weights = np.array([[0.1, 5.0], [0.2, -4.0]])
+        mask = magnitude_prune_mask(weights, 0.5)
+        assert mask[0, 1] and mask[1, 1]
+
+    def test_mask_never_empties_rows_or_columns(self):
+        rng = np.random.default_rng(1)
+        weights = rng.normal(size=(10, 7))
+        mask = magnitude_prune_mask(weights, 0.05)
+        assert mask.sum(axis=1).min() >= 1
+        assert mask.sum(axis=0).min() >= 1
+
+    def test_prune_weights_zeroes_dropped_entries(self):
+        weights = np.array([[1.0, 0.01], [0.02, 2.0]])
+        pruned = prune_weights(weights, 0.5)
+        assert pruned[0, 1] == 0.0 or pruned[1, 0] == 0.0
+        assert pruned[0, 0] == 1.0 and pruned[1, 1] == 2.0
+
+    def test_prune_model_to_topology_is_valid_fnnt(self):
+        rng = np.random.default_rng(2)
+        weight_matrices = [rng.normal(size=(8, 12)), rng.normal(size=(12, 4))]
+        topo = prune_model_to_topology(weight_matrices, 0.3)
+        topo.validate()
+        assert topo.layer_sizes == (8, 12, 4)
+
+    def test_pruned_density_at_least_target(self):
+        rng = np.random.default_rng(3)
+        weight_matrices = [rng.normal(size=(10, 10))]
+        assert pruned_density(weight_matrices, 0.2) >= 0.2 - 1e-9
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValidationError):
+            magnitude_prune_mask(np.zeros(5), 0.5)
+
+    def test_rejects_empty_model(self):
+        with pytest.raises(ValidationError):
+            prune_model_to_topology([], 0.5)
+
+
+class TestExpanderMetrics:
+    def test_singular_values_descending(self):
+        sigma = singular_values(np.ones((4, 4)))
+        assert np.all(np.diff(sigma) <= 1e-12)
+
+    def test_complete_bipartite_is_perfect_expander(self):
+        assert spectral_gap(np.ones((6, 6))) == pytest.approx(1.0)
+
+    def test_identity_has_zero_gap(self):
+        assert spectral_gap(np.eye(5)) == pytest.approx(0.0)
+
+    def test_unnormalized_gap(self):
+        gap = spectral_gap(np.ones((3, 3)), normalized=False)
+        assert gap == pytest.approx(3.0)
+
+    def test_zero_matrix_rejected(self):
+        with pytest.raises(ValidationError):
+            spectral_gap(np.zeros((3, 3)))
+
+    def test_mixed_radix_layer_has_positive_gap(self):
+        w = mixed_radix_submatrix((4, 4), 0)
+        assert spectral_gap(w) > 0.0
+
+    def test_expansion_summary(self, small_radixnet):
+        summary = expansion_summary(small_radixnet)
+        assert isinstance(summary, ExpansionSummary)
+        assert len(summary.per_layer_gap) == len(small_radixnet.submatrices)
+        assert 0.0 <= summary.worst_gap <= summary.mean_gap <= 1.0

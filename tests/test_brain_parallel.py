@@ -1,0 +1,159 @@
+"""Tests for repro.brain and repro.parallel."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.brain.sizing import (
+    HUMAN_BRAIN,
+    MOUSE_BRAIN,
+    BrainScaleTarget,
+    instantiate_scaled,
+    size_radixnet_for_target,
+)
+from repro.challenge.generator import challenge_input_batch, generate_challenge_network
+from repro.challenge.inference import sparse_dnn_inference
+from repro.parallel.executor import effective_worker_count, parallel_map, serial_map
+from repro.parallel.partition import balanced_chunk_sizes, chunked, partition_batch
+from repro.parallel.pipeline import parallel_inference, sweep_specs
+
+
+class TestBrainTargets:
+    def test_builtin_targets(self):
+        assert HUMAN_BRAIN.neurons > MOUSE_BRAIN.neurons
+        assert HUMAN_BRAIN.synapses_per_neuron > 100
+        assert 0 < HUMAN_BRAIN.implied_density < 1e-3
+
+    def test_custom_target(self):
+        target = BrainScaleTarget(name="tiny", neurons=1e4, synapses=1e6, layers=10)
+        assert target.synapses_per_neuron == 100
+
+
+class TestSizing:
+    def test_sizing_matches_targets_closely(self):
+        for target in (MOUSE_BRAIN, HUMAN_BRAIN):
+            sizing = size_radixnet_for_target(target)
+            assert sizing.neuron_error < 0.01
+            assert sizing.synapse_error < 0.5
+            assert sizing.neurons_per_layer % sizing.radix == 0
+
+    def test_degree_is_power_of_two_by_default(self):
+        sizing = size_radixnet_for_target(MOUSE_BRAIN)
+        assert (sizing.radix & (sizing.radix - 1)) == 0
+
+    def test_explicit_radix_respected(self):
+        sizing = size_radixnet_for_target(MOUSE_BRAIN, radix=64)
+        assert sizing.radix == 64
+
+    def test_invalid_target(self):
+        with pytest.raises(ValidationError):
+            size_radixnet_for_target(BrainScaleTarget("bad", neurons=-1, synapses=1, layers=1))
+
+    def test_spec_is_admissible(self):
+        sizing = size_radixnet_for_target(
+            BrainScaleTarget("small", neurons=1e4, synapses=1e5, layers=8)
+        )
+        spec = sizing.spec()
+        assert spec.n_prime >= 2
+
+
+class TestInstantiateScaled:
+    def test_scaled_instance_properties(self):
+        from repro.topology.properties import degree_statistics
+
+        sizing = size_radixnet_for_target(MOUSE_BRAIN)
+        topology = instantiate_scaled(sizing, scale=1e-4, max_layers=4)
+        # regular, clearly sparse, and depth-capped
+        assert topology.num_layers - 1 <= 4
+        assert topology.density() <= 0.25 + 1e-9
+        for stat in degree_statistics(topology):
+            assert stat.out_regular and stat.in_regular
+        # degree never exceeds the full-size design's degree
+        assert degree_statistics(topology)[0].out_degree_max <= sizing.radix
+
+    def test_scale_validation(self):
+        sizing = size_radixnet_for_target(MOUSE_BRAIN)
+        with pytest.raises(ValidationError):
+            instantiate_scaled(sizing, scale=0.0)
+        with pytest.raises(ValidationError):
+            instantiate_scaled(sizing, scale=2.0)
+
+
+def _square(x):
+    return x * x
+
+
+class TestExecutor:
+    def test_serial_map(self):
+        assert serial_map(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_parallel_map_small_input_uses_serial(self):
+        assert parallel_map(_square, [1, 2], min_items_for_parallel=4) == [1, 4]
+
+    def test_parallel_map_matches_serial(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, workers=2) == [x * x for x in items]
+
+    def test_parallel_map_single_worker(self):
+        assert parallel_map(_square, list(range(10)), workers=1) == [x * x for x in range(10)]
+
+    def test_effective_worker_count(self):
+        assert effective_worker_count(3) == 3
+        assert effective_worker_count() >= 1
+        with pytest.raises(ValidationError):
+            effective_worker_count(0)
+
+
+class TestPartition:
+    def test_balanced_chunk_sizes(self):
+        assert balanced_chunk_sizes(10, 3) == [4, 3, 3]
+        assert balanced_chunk_sizes(2, 4) == [1, 1, 0, 0]
+        assert sum(balanced_chunk_sizes(17, 5)) == 17
+
+    def test_balanced_chunk_validation(self):
+        with pytest.raises(ValidationError):
+            balanced_chunk_sizes(-1, 2)
+        with pytest.raises(ValidationError):
+            balanced_chunk_sizes(5, 0)
+
+    def test_chunked_preserves_order(self):
+        chunks = chunked(list(range(7)), 3)
+        assert chunks == [[0, 1, 2], [3, 4], [5, 6]]
+        assert sum(chunks, []) == list(range(7))
+
+    def test_partition_batch(self):
+        batch = np.arange(20).reshape(10, 2).astype(float)
+        pieces = partition_batch(batch, 3)
+        assert sum(p.shape[0] for p in pieces) == 10
+        np.testing.assert_array_equal(np.concatenate(pieces), batch)
+
+    def test_partition_batch_drops_empty(self):
+        pieces = partition_batch(np.zeros((2, 3)), 5)
+        assert len(pieces) == 2
+
+    def test_partition_batch_rejects_1d(self):
+        with pytest.raises(ValidationError):
+            partition_batch(np.zeros(5), 2)
+
+
+class TestParallelInference:
+    def test_matches_serial_inference(self):
+        network = generate_challenge_network(16, 4, connections=4, seed=0)
+        batch = challenge_input_batch(16, 12, seed=1)
+        serial = sparse_dnn_inference(network, batch)
+        parallel = parallel_inference(network, batch, parts=3, workers=2)
+        np.testing.assert_allclose(parallel.activations, serial.activations)
+        np.testing.assert_array_equal(parallel.categories, serial.categories)
+        assert parallel.edges_traversed == serial.edges_traversed
+
+    def test_single_part(self):
+        network = generate_challenge_network(8, 2, connections=2, seed=2)
+        batch = challenge_input_batch(8, 4, seed=3)
+        result = parallel_inference(network, batch, parts=1)
+        np.testing.assert_array_equal(
+            result.categories, sparse_dnn_inference(network, batch).categories
+        )
+
+    def test_sweep_specs(self):
+        results = sweep_specs(_square, [1, 2, 3, 4, 5])
+        assert results == [1, 4, 9, 16, 25]

@@ -1,0 +1,88 @@
+"""Tests for the repro.cli command-line interface."""
+
+import argparse
+
+import pytest
+
+from repro.cli import build_parser, main, parse_systems, parse_widths
+
+
+class TestParsers:
+    def test_parse_systems(self):
+        assert parse_systems("2,2;2,2") == [(2, 2), (2, 2)]
+        assert parse_systems("3,3,4") == [(3, 3, 4)]
+        assert parse_systems("2, 6; 12") == [(2, 6), (12,)]
+
+    def test_parse_systems_invalid(self):
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_systems("a,b")
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_systems(";")
+
+    def test_parse_widths(self):
+        assert parse_widths("1,2,2,2,1") == [1, 2, 2, 2, 1]
+
+    def test_parse_widths_invalid(self):
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_widths("one,two")
+
+    def test_build_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_generate_and_info_round_trip(self, tmp_path, capsys):
+        out = tmp_path / "net.npz"
+        code = main(
+            ["generate", "--systems", "2,2;2,2", "--widths", "1,2,2,2,1", "--out", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+        captured = capsys.readouterr().out
+        assert "generated" in captured and "saved" in captured
+
+        code = main(["info", str(out)])
+        assert code == 0
+        info_output = capsys.readouterr().out
+        assert "density" in info_output
+        assert "True" in info_output  # symmetric column
+
+    def test_generate_without_out(self, capsys):
+        assert main(["generate", "--systems", "2,2", "--widths", "1,1,1"]) == 0
+        assert "saved" not in capsys.readouterr().out
+
+    def test_verify_success(self, capsys):
+        code = main(["verify", "--systems", "2,2;4", "--widths", "1,2,2,1"])
+        assert code == 0
+        assert "Theorem 1 verified: True" in capsys.readouterr().out
+
+    def test_density_report(self, capsys):
+        code = main(["density", "--systems", "3,3;9", "--widths", "1,1,1,1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "eq. 4" in out and "eq. 5" in out and "eq. 6" in out
+
+    def test_challenge_command(self, capsys):
+        code = main(
+            ["challenge", "--neurons", "16", "--layers", "4", "--connections", "4", "--batch", "8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verified against dense reference: True" in out
+
+    def test_design_command(self, capsys):
+        code = main(["design", "--layer-widths", "32,64,64,16"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "achieved widths: (32, 64, 64, 16)" in out
+
+    def test_library_error_returns_one(self, capsys):
+        # constraint violation: products differ
+        code = main(["generate", "--systems", "2,2;3,3", "--widths", "1,1,1,1,1"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_info_missing_file_returns_one(self, tmp_path, capsys):
+        code = main(["info", str(tmp_path / "missing.npz")])
+        assert code == 1

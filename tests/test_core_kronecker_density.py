@@ -1,0 +1,164 @@
+"""Tests for repro.core.kronecker and repro.core.density."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.core.density import (
+    approximate_density,
+    asymptotic_density,
+    density_error_bound,
+    density_surface,
+    effective_depth,
+    exact_density,
+    measured_density_grid,
+)
+from repro.core.kronecker import (
+    dense_reference_edge_count,
+    expanded_layer_sizes,
+    kron_expand_submatrices,
+    kron_node_coordinates,
+    kron_node_index,
+)
+from repro.core.mixed_radix_topology import mixed_radix_submatrices
+from repro.core.radixnet import RadixNetSpec, generate_from_spec
+from repro.sparse.csr import CSRMatrix
+
+
+class TestKroneckerExpansion:
+    def test_expansion_matches_numpy_kron(self):
+        subs = mixed_radix_submatrices((2, 2))
+        expanded = kron_expand_submatrices(subs, [2, 3, 1])
+        expected_first = np.kron(np.ones((2, 3)), subs[0].to_dense())
+        np.testing.assert_array_equal(expanded[0].to_dense(), expected_first)
+        expected_second = np.kron(np.ones((3, 1)), subs[1].to_dense())
+        np.testing.assert_array_equal(expanded[1].to_dense(), expected_second)
+
+    def test_width_count_mismatch(self):
+        subs = mixed_radix_submatrices((2, 2))
+        with pytest.raises(ValidationError):
+            kron_expand_submatrices(subs, [1, 1])
+
+    def test_width_must_be_positive(self):
+        subs = mixed_radix_submatrices((2,))
+        with pytest.raises(ValidationError):
+            kron_expand_submatrices(subs, [1, 0])
+
+    def test_unit_widths_are_identity_operation(self):
+        subs = mixed_radix_submatrices((3, 2))
+        expanded = kron_expand_submatrices(subs, [1, 1, 1])
+        for original, new in zip(subs, expanded):
+            np.testing.assert_array_equal(original.to_dense(), new.to_dense())
+
+    def test_node_index_round_trip(self):
+        n_prime = 6
+        for dense_index in range(4):
+            for radix_index in range(n_prime):
+                flat = kron_node_index(dense_index, radix_index, n_prime)
+                assert kron_node_coordinates(flat, n_prime) == (dense_index, radix_index)
+
+    def test_node_index_validation(self):
+        with pytest.raises(ValidationError):
+            kron_node_index(0, 9, 4)
+        with pytest.raises(ValidationError):
+            kron_node_index(-1, 0, 4)
+        with pytest.raises(ValidationError):
+            kron_node_coordinates(-1, 4)
+
+    def test_expanded_layer_sizes(self):
+        assert expanded_layer_sizes([1, 2, 3], 4) == (4, 8, 12)
+
+    def test_dense_reference_edge_count(self):
+        assert dense_reference_edge_count([1, 2], 4) == 4 * 8
+
+
+class TestExactDensity:
+    def test_equation_4_manual_value(self):
+        # N* = ((2,2),(2,2)), D = (1,2,2,2,1), N' = 4
+        # numerator = sum Nbar_i D_{i-1} D_i = 2*2 + 2*4 + 2*4 + 2*2 = 24
+        # denominator = 2 + 4 + 4 + 2 = 12 ; density = 24 / (4 * 12) = 0.5
+        spec = RadixNetSpec([(2, 2), (2, 2)], [1, 2, 2, 2, 1])
+        assert exact_density(spec) == pytest.approx(0.5)
+
+    def test_matches_constructed_density(self, small_spec, small_radixnet):
+        assert exact_density(small_spec) == pytest.approx(small_radixnet.density())
+
+    def test_accepts_raw_systems_and_widths(self):
+        value = exact_density([(2, 2), (4,)], [1, 1, 1, 1])
+        spec = RadixNetSpec([(2, 2), (4,)], [1, 1, 1, 1])
+        assert value == exact_density(spec)
+
+    def test_spec_with_widths_rejected(self, small_spec):
+        with pytest.raises(ValidationError):
+            exact_density(small_spec, [1, 1, 1, 1, 1])
+
+    def test_raw_systems_without_widths_rejected(self):
+        with pytest.raises(ValidationError):
+            exact_density([(2, 2)])
+
+    def test_uniform_radices_density_equals_mu_over_nprime(self):
+        # zero-variance radices: eq. (5) is exact regardless of D
+        spec = RadixNetSpec([(3, 3), (3, 3)], [1, 5, 2, 7, 1])
+        assert exact_density(spec) == pytest.approx(approximate_density(spec))
+
+    def test_density_error_grows_with_variance(self):
+        low = RadixNetSpec([(4, 4)], [1, 3, 1])
+        high = RadixNetSpec([(2, 8)], [1, 3, 1])
+        assert density_error_bound(low) <= density_error_bound(high)
+
+
+class TestAsymptoticDensity:
+    def test_equation_6_value(self):
+        assert asymptotic_density(2, 3) == pytest.approx(0.25)
+        assert asymptotic_density(10, 1) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            asymptotic_density(1.0, 2)
+        with pytest.raises(ValidationError):
+            asymptotic_density(2.0, 0.5)
+
+    def test_effective_depth(self):
+        spec = RadixNetSpec([(4, 4)], [1, 1, 1])
+        assert effective_depth(spec) == pytest.approx(2.0)
+
+    def test_uniform_system_asymptotic_is_exact(self):
+        # single system of d equal radices: exact density == mu^(1-d)
+        spec = RadixNetSpec([(3, 3, 3)], [1, 1, 1, 1])
+        assert exact_density(spec) == pytest.approx(asymptotic_density(3, 3))
+
+    @given(st.integers(2, 6), st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_uniform_property(self, mu, depth):
+        spec = RadixNetSpec([(mu,) * depth], [1] * (depth + 1))
+        assert exact_density(spec) == pytest.approx(asymptotic_density(mu, depth))
+
+
+class TestDensitySurface:
+    def test_shape_and_orientation(self):
+        surface = density_surface([2, 4], [1, 2, 3])
+        assert surface.shape == (3, 2)
+        # d = 1 row is all ones
+        np.testing.assert_allclose(surface[0], [1.0, 1.0])
+        # larger mu at fixed d > 1 is sparser
+        assert surface[2, 1] < surface[2, 0]
+
+    def test_monotonic_in_depth(self):
+        surface = density_surface([3], [1, 2, 3, 4])
+        assert np.all(np.diff(surface[:, 0]) < 0)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            density_surface([], [1])
+        with pytest.raises(ValidationError):
+            density_surface([1.0], [1])
+        with pytest.raises(ValidationError):
+            density_surface([2.0], [0])
+
+    def test_measured_grid_matches_formula(self):
+        mus, depths = (2, 3, 4), (1, 2, 3)
+        formula = density_surface(mus, depths)
+        measured = measured_density_grid(mus, depths)
+        np.testing.assert_allclose(measured, formula, rtol=1e-12)

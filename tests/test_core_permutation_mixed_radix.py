@@ -1,0 +1,182 @@
+"""Tests for repro.core.permutation and repro.core.mixed_radix_topology."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mixed_radix_topology import (
+    decision_tree_edges,
+    decision_tree_leaves,
+    mixed_radix_submatrices,
+    mixed_radix_submatrix,
+    mixed_radix_topology,
+)
+from repro.core.permutation import (
+    cyclic_permutation_matrix,
+    paper_permutation_matrix,
+    permutation_power,
+)
+from repro.numeral.mixed_radix import MixedRadixSystem
+from repro.sparse.ops import matrix_power, sparse_add, sparse_transpose
+from repro.topology.properties import degree_statistics, uniform_path_count
+
+radix_lists = st.lists(st.integers(min_value=2, max_value=4), min_size=1, max_size=3)
+
+
+class TestPermutationMatrices:
+    def test_unit_shift_structure(self):
+        c = cyclic_permutation_matrix(4).to_dense()
+        expected = np.zeros((4, 4))
+        for j in range(4):
+            expected[j, (j + 1) % 4] = 1.0
+        np.testing.assert_array_equal(c, expected)
+
+    def test_paper_matrix_matches_equation_2(self):
+        # first row (0, ..., 0, 1); identity block below
+        p = paper_permutation_matrix(5).to_dense()
+        assert p[0, 4] == 1.0
+        np.testing.assert_array_equal(p[1:, :4], np.eye(4))
+        np.testing.assert_array_equal(p[1:, 4], np.zeros(4))
+
+    def test_paper_matrix_is_transpose_of_unit_shift(self):
+        c = cyclic_permutation_matrix(6)
+        p = paper_permutation_matrix(6)
+        np.testing.assert_array_equal(p.to_dense(), sparse_transpose(c).to_dense())
+
+    def test_every_row_and_column_has_one_entry(self):
+        c = cyclic_permutation_matrix(7)
+        np.testing.assert_array_equal(c.row_degrees(), np.ones(7))
+        np.testing.assert_array_equal(c.col_degrees(), np.ones(7))
+
+    def test_offset_matrix_equals_power(self):
+        for k in range(6):
+            closed_form = cyclic_permutation_matrix(6, offset=k).to_dense()
+            powered = matrix_power(cyclic_permutation_matrix(6), k).to_dense()
+            np.testing.assert_array_equal(closed_form, powered)
+
+    def test_permutation_power_wraps_modulo_n(self):
+        np.testing.assert_array_equal(
+            permutation_power(5, 7).to_dense(), permutation_power(5, 2).to_dense()
+        )
+
+    def test_order_of_cyclic_group(self):
+        # C^n == I
+        n = 6
+        np.testing.assert_array_equal(
+            matrix_power(cyclic_permutation_matrix(n), n).to_dense(), np.eye(n)
+        )
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(Exception):
+            cyclic_permutation_matrix(0)
+
+
+class TestMixedRadixSubmatrix:
+    def test_equation_1_sum_of_permutation_powers(self):
+        # W_i = sum_{n=0}^{N_i-1} C^{n * nu_i}
+        system = MixedRadixSystem((3, 4))
+        n_prime = system.capacity
+        for level in range(2):
+            radix = system[level]
+            place_value = system.place_value(level)
+            expected = cyclic_permutation_matrix(n_prime, 0)
+            total = None
+            for n in range(radix):
+                term = cyclic_permutation_matrix(n_prime, n * place_value)
+                total = term if total is None else sparse_add(total, term)
+            built = mixed_radix_submatrix(system, level)
+            np.testing.assert_array_equal(built.to_dense(), total.to_dense())
+
+    def test_textual_edge_rule(self):
+        # node j connects to (j + n * nu) mod N'
+        system = MixedRadixSystem((2, 3))
+        w0 = mixed_radix_submatrix(system, 0).to_dense()
+        n_prime = 6
+        for j in range(n_prime):
+            targets = {(j + n) % n_prime for n in range(2)}
+            assert set(np.flatnonzero(w0[j])) == targets
+
+    def test_row_and_column_degrees_equal_radix(self):
+        system = MixedRadixSystem((2, 3, 4))
+        for level in range(3):
+            w = mixed_radix_submatrix(system, level)
+            np.testing.assert_array_equal(w.row_degrees(), np.full(24, system[level]))
+            np.testing.assert_array_equal(w.col_degrees(), np.full(24, system[level]))
+
+    def test_modulus_override_gives_larger_matrix(self):
+        system = MixedRadixSystem((2,))
+        w = mixed_radix_submatrix(system, 0, modulus=8)
+        assert w.shape == (8, 8)
+        np.testing.assert_array_equal(w.row_degrees(), np.full(8, 2))
+
+    def test_submatrices_list_length(self):
+        assert len(mixed_radix_submatrices((2, 2, 2))) == 3
+
+
+class TestMixedRadixTopology:
+    def test_figure_1_topology(self):
+        # N = (2, 2, 2): 4 layers of 8 nodes, out-degree 2 everywhere
+        net = mixed_radix_topology((2, 2, 2))
+        assert net.layer_sizes == (8, 8, 8, 8)
+        for stat in degree_statistics(net):
+            assert stat.out_regular and stat.in_regular
+            assert stat.out_degree_min == 2
+
+    def test_lemma_1_exactly_one_path(self):
+        for radices in [(2, 2), (3, 4), (2, 3, 2), (5,)]:
+            net = mixed_radix_topology(radices)
+            assert uniform_path_count(net) == 1
+
+    def test_accepts_system_object(self):
+        net = mixed_radix_topology(MixedRadixSystem((2, 5)))
+        assert net.layer_sizes == (10, 10, 10)
+
+    def test_name_default(self):
+        assert "2x3" in mixed_radix_topology((2, 3)).name
+
+    def test_edge_count_formula(self):
+        # each of L layers has N' * N_i edges
+        radices = (2, 3, 4)
+        net = mixed_radix_topology(radices)
+        n_prime = 24
+        assert net.num_edges == n_prime * sum(radices)
+
+    @given(radix_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_symmetry_property(self, radices):
+        net = mixed_radix_topology(tuple(radices))
+        assert uniform_path_count(net) == 1
+
+    @given(radix_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_density_property(self, radices):
+        # density = mean out-degree / N' per the paper's eq. (4) with D = 1
+        net = mixed_radix_topology(tuple(radices))
+        n_prime = int(np.prod(radices))
+        expected = float(np.mean(radices)) / n_prime
+        assert net.density() == pytest.approx(expected)
+
+
+class TestDecisionTrees:
+    def test_tree_edges_count(self):
+        # a full tree over (2, 2, 2) has 2 + 4 + 8 = 14 edges
+        edges = decision_tree_edges((2, 2, 2), root=0)
+        assert len(edges) == 14
+
+    def test_leaves_cover_all_nodes_exactly_once(self):
+        for root in range(8):
+            leaves = decision_tree_leaves((2, 2, 2), root)
+            assert sorted(leaves) == list(range(8))
+
+    def test_leaves_shifted_by_root(self):
+        # the leaf multiset is root-independent (mod N'), confirming overlap
+        base = sorted(decision_tree_leaves((3, 2), 0))
+        shifted = sorted(decision_tree_leaves((3, 2), 4))
+        assert base == shifted == list(range(6))
+
+    def test_tree_edges_are_real_topology_edges(self):
+        radices = (2, 3)
+        net = mixed_radix_topology(radices)
+        for level, source, target in decision_tree_edges(radices, root=1):
+            assert net.submatrix(level).to_dense()[source, target] == 1.0

@@ -1,0 +1,203 @@
+"""Tests for repro.core.radixnet: the generator, spec validation, and constraints."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import ADMISSIBLE_SPECS
+from repro.errors import ConstraintError, ValidationError
+from repro.core.kronecker import kron_expand_submatrices
+from repro.core.mixed_radix_topology import mixed_radix_submatrices
+from repro.core.radixnet import (
+    RadixNetSpec,
+    emr_submatrices,
+    generate_extended_mixed_radix,
+    generate_from_spec,
+    generate_radixnet,
+    radixnet_dense_edge_count,
+    radixnet_edge_count,
+    validate_radixnet_constraints,
+)
+from repro.topology.properties import degree_statistics, is_symmetric, uniform_path_count
+
+
+class TestConstraintValidation:
+    def test_shared_product_accepted(self):
+        assert validate_radixnet_constraints([(2, 6), (3, 4), (12,)]) == 12
+
+    def test_mismatched_product_rejected(self):
+        with pytest.raises(ConstraintError, match="constraint 1"):
+            validate_radixnet_constraints([(2, 2), (3, 3), (4,)])
+
+    def test_last_system_divisor_accepted(self):
+        assert validate_radixnet_constraints([(2, 6), (6,)]) == 12
+        assert validate_radixnet_constraints([(2, 6), (2, 2)]) == 12
+
+    def test_last_system_non_divisor_rejected(self):
+        with pytest.raises(ConstraintError, match="constraint 2"):
+            validate_radixnet_constraints([(2, 2), (3,)])
+
+    def test_single_system_always_admissible(self):
+        assert validate_radixnet_constraints([(5, 2)]) == 10
+
+    def test_rejects_flat_radix_list(self):
+        # a single bare system like (2, 2) (not wrapped in a list of systems)
+        with pytest.raises(ValidationError):
+            validate_radixnet_constraints((2, 2))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            validate_radixnet_constraints([])
+
+
+class TestRadixNetSpec:
+    def test_basic_properties(self, small_spec):
+        assert small_spec.n_prime == 4
+        assert small_spec.num_systems == 2
+        assert small_spec.total_radices == 4
+        assert small_spec.flattened_radices == (2, 2, 2, 2)
+        assert small_spec.last_product == 4
+        assert small_spec.layer_sizes == (4, 8, 8, 8, 4)
+
+    def test_mean_and_variance(self):
+        spec = RadixNetSpec([(2, 8), (4, 4)], [1] * 5)
+        assert spec.mean_radix() == 4.5
+        assert spec.radix_variance() == pytest.approx(np.var([2, 8, 4, 4]))
+
+    def test_wrong_width_count_rejected(self):
+        with pytest.raises(ValidationError, match="widths"):
+            RadixNetSpec([(2, 2)], [1, 1])
+
+    def test_non_positive_width_rejected(self):
+        with pytest.raises(ValidationError):
+            RadixNetSpec([(2, 2)], [1, 0, 1])
+
+    def test_constraint_violation_propagates(self):
+        with pytest.raises(ConstraintError):
+            RadixNetSpec([(2, 2), (3, 3)], [1] * 5)
+
+
+class TestEmrGeneration:
+    def test_emr_submatrix_count(self):
+        subs = emr_submatrices([(2, 2), (4,)])
+        assert len(subs) == 3
+        assert all(w.shape == (4, 4) for w in subs)
+
+    def test_emr_equals_concatenation_of_mixed_radix(self):
+        systems = [(2, 3), (6,)]
+        emr = emr_submatrices(systems)
+        expected = mixed_radix_submatrices((2, 3)) + mixed_radix_submatrices((6,), modulus=6)
+        for built, reference in zip(emr, expected):
+            np.testing.assert_array_equal(built.to_dense(), reference.to_dense())
+
+    def test_last_system_uses_shared_modulus(self):
+        # last system (2,) has product 2 but must produce 4x4 submatrices
+        subs = emr_submatrices([(2, 2), (2,)])
+        assert subs[-1].shape == (4, 4)
+        np.testing.assert_array_equal(subs[-1].row_degrees(), np.full(4, 2))
+
+    def test_lemma_2_path_count_full_products(self):
+        net = generate_extended_mixed_radix([(2, 2), (4,), (2, 2)])
+        assert uniform_path_count(net) == 4**2
+
+    def test_lemma_2_generalized_divisor_case(self):
+        # last product 2 divides 4: count is N'^(M-2) * Q = 4 * 2
+        net = generate_extended_mixed_radix([(2, 2), (4,), (2,)])
+        assert uniform_path_count(net) == 8
+
+
+class TestGenerator:
+    def test_layer_sizes(self, small_spec, small_radixnet):
+        assert small_radixnet.layer_sizes == small_spec.layer_sizes
+
+    def test_generate_radixnet_convenience_wrapper(self):
+        net = generate_radixnet([(2, 2), (2, 2)], [1, 2, 2, 2, 1])
+        assert net.layer_sizes == (4, 8, 8, 8, 4)
+
+    def test_generated_net_is_valid_fnnt(self, small_radixnet):
+        small_radixnet.validate()
+
+    def test_matches_manual_construction(self, small_spec):
+        # Figure 6 algorithm == emr submatrices then Kronecker expansion
+        generated = generate_from_spec(small_spec)
+        manual = kron_expand_submatrices(emr_submatrices(small_spec), small_spec.widths)
+        assert len(generated.submatrices) == len(manual)
+        for a, b in zip(generated.submatrices, manual):
+            np.testing.assert_array_equal(a.to_dense(), b.to_dense())
+
+    def test_edge_count_formula(self, small_spec, small_radixnet):
+        assert small_radixnet.num_edges == radixnet_edge_count(small_spec)
+
+    def test_dense_edge_count(self, small_spec, small_radixnet):
+        dense = small_radixnet.dense_counterpart()
+        assert dense.num_edges == radixnet_dense_edge_count(small_spec)
+
+    def test_degree_regularity(self, small_radixnet):
+        # every layer of a RadiX-Net is in- and out-regular
+        for stat in degree_statistics(small_radixnet):
+            assert stat.out_regular
+            assert stat.in_regular
+
+    def test_out_degree_value(self, small_spec, small_radixnet):
+        # out-degree of layer i is D_{i+1} * Nbar_{i+1}
+        radices = small_spec.flattened_radices
+        widths = small_spec.widths
+        for i, stat in enumerate(degree_statistics(small_radixnet)):
+            assert stat.out_degree_min == widths[i + 1] * radices[i]
+
+    @pytest.mark.parametrize("systems,widths", ADMISSIBLE_SPECS)
+    def test_symmetry_across_panel(self, systems, widths):
+        net = generate_radixnet(systems, widths)
+        assert is_symmetric(net)
+
+    @pytest.mark.parametrize("systems,widths", ADMISSIBLE_SPECS)
+    def test_edge_count_across_panel(self, systems, widths):
+        spec = RadixNetSpec(systems, widths)
+        net = generate_from_spec(spec)
+        assert net.num_edges == radixnet_edge_count(spec)
+
+    @pytest.mark.parametrize("systems,widths", ADMISSIBLE_SPECS)
+    def test_fnnt_validity_across_panel(self, systems, widths):
+        generate_radixnet(systems, widths).validate()
+
+
+@st.composite
+def admissible_spec(draw):
+    """Random admissible (systems, widths) with small N'."""
+    n_prime = draw(st.sampled_from([4, 6, 8, 9, 12]))
+    from repro.numeral.factorization import radix_lists_with_product, divisors
+
+    lists = radix_lists_with_product(n_prime)
+    num_full = draw(st.integers(min_value=1, max_value=2))
+    systems = [draw(st.sampled_from(lists)) for _ in range(num_full)]
+    # optionally append a divisor-product last system
+    if draw(st.booleans()):
+        q = draw(st.sampled_from([d for d in divisors(n_prime) if d >= 2]))
+        systems.append(draw(st.sampled_from(radix_lists_with_product(q))))
+    total = sum(len(s) for s in systems)
+    widths = [draw(st.integers(min_value=1, max_value=2)) for _ in range(total + 1)]
+    return systems, widths
+
+
+class TestGeneratorPropertyBased:
+    @given(admissible_spec())
+    @settings(max_examples=25, deadline=None)
+    def test_random_specs_symmetric_and_exact_edge_count(self, spec_data):
+        systems, widths = spec_data
+        spec = RadixNetSpec(systems, widths)
+        net = generate_from_spec(spec)
+        assert is_symmetric(net)
+        assert net.num_edges == radixnet_edge_count(spec)
+
+    @given(admissible_spec())
+    @settings(max_examples=25, deadline=None)
+    def test_random_specs_density_formula(self, spec_data):
+        from repro.core.density import exact_density
+
+        systems, widths = spec_data
+        spec = RadixNetSpec(systems, widths)
+        net = generate_from_spec(spec)
+        assert net.density() == pytest.approx(exact_density(spec))

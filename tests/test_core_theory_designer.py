@@ -1,0 +1,156 @@
+"""Tests for repro.core.theory (Lemma 1/2, Theorem 1) and repro.core.designer."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import ADMISSIBLE_SPECS
+from repro.errors import ValidationError
+from repro.core.density import exact_density
+from repro.core.designer import DesignResult, design_for_density, design_for_widths
+from repro.core.radixnet import RadixNetSpec, generate_from_spec
+from repro.core.theory import (
+    path_count_spectrum,
+    predicted_emr_path_count,
+    predicted_mixed_radix_path_count,
+    predicted_radixnet_path_count,
+    verify_lemma_1,
+    verify_lemma_2,
+    verify_theorem_1,
+)
+from repro.topology.random_graphs import erdos_renyi_fnnt
+
+
+class TestLemma1:
+    @pytest.mark.parametrize("radices", [(2, 2), (3, 4), (2, 3, 2), (6,), (5, 5)])
+    def test_exactly_one_path(self, radices):
+        check = verify_lemma_1(radices)
+        assert check.symmetric
+        assert check.measured_paths == 1
+        assert check.matches_prediction
+
+    def test_prediction_constant(self):
+        assert predicted_mixed_radix_path_count() == 1
+
+
+class TestLemma2:
+    def test_two_full_systems(self):
+        check = verify_lemma_2([(2, 2), (2, 2)])
+        assert check.predicted_paths == 4
+        assert check.matches_prediction
+
+    def test_three_full_systems(self):
+        check = verify_lemma_2([(2, 3), (6,), (3, 2)])
+        assert check.predicted_paths == 36
+        assert check.matches_prediction
+
+    def test_divisor_last_system_generalization(self):
+        # N' = 6, last product 3: prediction 6^(2-2) * 3 = 3
+        check = verify_lemma_2([(2, 3), (3,)])
+        assert check.predicted_paths == 3
+        assert check.matches_prediction
+
+    def test_paper_constant_recovered_when_products_equal(self):
+        # paper formula (N')^(M-1) for M systems with equal products
+        systems = [(2, 2), (4,), (2, 2)]
+        assert predicted_emr_path_count(systems) == 4 ** (len(systems) - 1)
+
+    def test_single_system_prediction_is_one(self):
+        assert predicted_emr_path_count([(3, 4)]) == 1
+
+
+class TestTheorem1:
+    @pytest.mark.parametrize("systems,widths", ADMISSIBLE_SPECS)
+    def test_panel(self, systems, widths):
+        check = verify_theorem_1(RadixNetSpec(systems, widths))
+        assert check.symmetric
+        assert check.matches_prediction
+
+    def test_prediction_formula_interior_widths_only(self):
+        # (N')^(M-1) * prod interior D
+        spec = RadixNetSpec([(2, 2), (2, 2)], [3, 2, 5, 2, 7])
+        # N' = 4, M = 2, interior widths (2, 5, 2)
+        assert predicted_radixnet_path_count(spec) == 4 * 2 * 5 * 2
+
+    def test_prediction_reduces_to_lemma2_for_unit_widths(self):
+        spec = RadixNetSpec([(2, 3), (6,)], [1, 1, 1, 1])
+        assert predicted_radixnet_path_count(spec) == predicted_emr_path_count(spec.systems)
+
+    def test_check_uses_supplied_topology(self, small_spec, small_radixnet):
+        check = verify_theorem_1(small_spec, topology=small_radixnet)
+        assert check.matches_prediction
+
+    def test_path_count_spectrum_of_symmetric_net(self, small_radixnet):
+        spectrum = path_count_spectrum(small_radixnet)
+        assert len(spectrum) == 1
+        (count,) = spectrum.keys()
+        assert count == 32
+
+    def test_path_count_spectrum_of_random_net_is_spread(self):
+        net = erdos_renyi_fnnt([12, 12, 12, 12], 0.2, seed=0)
+        spectrum = path_count_spectrum(net)
+        assert len(spectrum) > 1
+
+
+class TestDesignForWidths:
+    def test_exact_match(self):
+        result = design_for_widths([32, 64, 64, 16])
+        assert result.error == 0.0
+        assert result.achieved == (32, 64, 64, 16)
+        net = generate_from_spec(result.spec)
+        assert net.layer_sizes == (32, 64, 64, 16)
+
+    def test_result_is_sparse(self):
+        result = design_for_widths([32, 64, 64, 16])
+        assert exact_density(result.spec) < 1.0
+
+    def test_max_n_prime_respected(self):
+        result = design_for_widths([32, 64, 32], max_n_prime=8)
+        assert result.spec.n_prime <= 8
+
+    def test_coprime_widths_rejected(self):
+        with pytest.raises(ValidationError):
+            design_for_widths([7, 9, 16])
+
+    def test_too_few_widths_rejected(self):
+        with pytest.raises(ValidationError):
+            design_for_widths([8])
+
+    def test_radices_per_system_controls_depth(self):
+        result = design_for_widths([16, 16, 16, 16, 16], radices_per_system=2)
+        assert all(len(s.radices) <= 2 for s in result.spec.systems)
+
+    def test_repr(self):
+        result = design_for_widths([8, 8])
+        assert "DesignResult" in repr(result)
+        assert isinstance(result, DesignResult)
+
+
+class TestDesignForDensity:
+    def test_hits_reachable_density(self):
+        result = design_for_density(0.25, 2, max_n_prime=32)
+        assert result.error <= 0.05
+
+    def test_achieved_matches_spec(self):
+        result = design_for_density(0.1, 3, max_n_prime=48)
+        assert result.achieved == pytest.approx(exact_density(result.spec))
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValidationError):
+            design_for_density(0.0, 2)
+        with pytest.raises(ValidationError):
+            design_for_density(1.5, 2)
+
+    def test_spec_has_requested_depth(self):
+        result = design_for_density(0.3, 2, max_n_prime=24)
+        assert result.spec.total_radices == 2
+
+    @given(st.floats(0.05, 0.9), st.integers(1, 3))
+    @settings(max_examples=15, deadline=None)
+    def test_always_returns_admissible_spec(self, target, depth):
+        result = design_for_density(target, depth, max_n_prime=36)
+        # constructing the topology must not raise and density must match
+        net = generate_from_spec(result.spec)
+        assert net.density() == pytest.approx(result.achieved)

@@ -1,0 +1,147 @@
+"""Cross-cutting property-based tests.
+
+Hypothesis-driven invariants that tie several subsystems together: the
+construction, the density theory, the path-count theory, the sparse
+kernels, and the NN layer equivalences must all agree on randomly drawn
+admissible inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.density import exact_density
+from repro.core.mixed_radix_topology import mixed_radix_topology
+from repro.core.radixnet import RadixNetSpec, generate_from_spec, radixnet_edge_count
+from repro.core.theory import predicted_radixnet_path_count
+from repro.nn.layers import DenseLayer, MaskedSparseLayer
+from repro.numeral.factorization import divisors, radix_lists_with_product
+from repro.numeral.mixed_radix import MixedRadixSystem
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import chain_product, kron, spgemm
+from repro.topology.properties import (
+    degree_statistics,
+    minimum_density,
+    uniform_path_count,
+)
+
+
+@st.composite
+def admissible_spec(draw):
+    """A random admissible (RadixNetSpec) with small N' and small widths."""
+    n_prime = draw(st.sampled_from([4, 6, 8, 9, 10, 12]))
+    lists = radix_lists_with_product(n_prime)
+    systems = [draw(st.sampled_from(lists)) for _ in range(draw(st.integers(1, 2)))]
+    if draw(st.booleans()):
+        q = draw(st.sampled_from([d for d in divisors(n_prime) if d >= 2]))
+        systems.append(draw(st.sampled_from(radix_lists_with_product(q))))
+    total = sum(len(s) for s in systems)
+    widths = [draw(st.integers(1, 3)) for _ in range(total + 1)]
+    return RadixNetSpec(systems, widths)
+
+
+class TestConstructionInvariants:
+    @given(admissible_spec())
+    @settings(max_examples=30, deadline=None)
+    def test_construction_consistency(self, spec):
+        """Edge count, density, path count, and regularity all agree with theory."""
+        net = generate_from_spec(spec)
+        # closed-form edge count
+        assert net.num_edges == radixnet_edge_count(spec)
+        # eq. (4) density equals realized density
+        assert net.density() == pytest.approx(exact_density(spec))
+        # density never below the FNNT minimum
+        assert net.density() >= minimum_density(net.layer_sizes) - 1e-12
+        # Theorem-1 path count
+        assert uniform_path_count(net) == predicted_radixnet_path_count(spec)
+        # regular degrees layer by layer
+        for stat in degree_statistics(net):
+            assert stat.out_regular and stat.in_regular
+
+    @given(admissible_spec())
+    @settings(max_examples=20, deadline=None)
+    def test_path_count_matches_kronecker_identity(self, spec):
+        """Chain product of expanded submatrices equals (prod W*) (x) (prod W).
+
+        This is the mixed-product identity the Appendix proof of Theorem 1
+        rests on, checked numerically end to end.
+        """
+        net = generate_from_spec(spec)
+        chained = chain_product(list(net.submatrices)).to_dense()
+        ones_chain = chain_product(
+            [CSRMatrix.ones((spec.widths[i], spec.widths[i + 1])) for i in range(spec.total_radices)]
+        ).to_dense()
+        from repro.core.radixnet import emr_submatrices
+
+        emr_chain = chain_product(emr_submatrices(spec)).to_dense()
+        np.testing.assert_allclose(chained, np.kron(ones_chain, emr_chain))
+
+    @given(st.lists(st.integers(2, 5), min_size=1, max_size=3))
+    @settings(max_examples=25, deadline=None)
+    def test_mixed_radix_topology_is_perfectly_regular(self, radices):
+        net = mixed_radix_topology(tuple(radices))
+        system = MixedRadixSystem(tuple(radices))
+        for level, stat in enumerate(degree_statistics(net)):
+            assert stat.out_degree_min == stat.out_degree_max == system[level]
+            assert stat.in_degree_min == stat.in_degree_max == system[level]
+
+
+class TestSparseKernelInvariants:
+    small = st.integers(1, 4)
+
+    @given(small, small, small, small, st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_kron_spgemm_mixed_product(self, m, n, p, q, seed):
+        """(A (x) B)(C (x) D) = (AC) (x) (BD) for random sparse operands."""
+        rng = np.random.default_rng(seed)
+
+        def random_csr(rows, cols):
+            dense = rng.random((rows, cols)) * (rng.random((rows, cols)) < 0.6)
+            return CSRMatrix.from_dense(dense), dense
+
+        a, da = random_csr(m, n)
+        c, dc = random_csr(n, p)
+        b, db = random_csr(q, m)
+        d, dd = random_csr(m, q)
+        left = spgemm(kron(a, b), kron(c, d)).to_dense()
+        right = np.kron(da @ dc, db @ dd)
+        np.testing.assert_allclose(left, right, atol=1e-10)
+
+    @given(st.integers(2, 10), st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_permutation_powers_form_a_group(self, n, seed):
+        from repro.core.permutation import cyclic_permutation_matrix
+
+        rng = np.random.default_rng(seed)
+        j, k = int(rng.integers(0, 2 * n)), int(rng.integers(0, 2 * n))
+        product = spgemm(
+            cyclic_permutation_matrix(n, j), cyclic_permutation_matrix(n, k)
+        ).to_dense()
+        np.testing.assert_array_equal(product, cyclic_permutation_matrix(n, j + k).to_dense())
+
+
+class TestLayerEquivalence:
+    @given(st.integers(2, 6), st.integers(2, 6), st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_full_mask_equals_dense_layer(self, fan_in, fan_out, seed):
+        """A MaskedSparseLayer with an all-ones mask is exactly a DenseLayer."""
+        masked = MaskedSparseLayer(
+            np.ones((fan_in, fan_out)), seed=seed, activation="tanh", fan_in_correction=False
+        )
+        dense = DenseLayer(fan_in, fan_out, seed=seed, activation="tanh")
+        x = np.random.default_rng(seed + 1).normal(size=(3, fan_in))
+        np.testing.assert_allclose(masked.forward(x), dense.forward(x))
+
+    @given(st.integers(2, 6), st.integers(2, 6), st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_masked_forward_equals_dense_with_zeroed_weights(self, fan_in, fan_out, seed):
+        """Masking weights is equivalent to a dense layer whose pruned weights are zero."""
+        rng = np.random.default_rng(seed)
+        mask = rng.random((fan_in, fan_out)) < 0.5
+        mask[mask.sum(axis=1) == 0, 0] = True
+        mask[0, mask.sum(axis=0) == 0] = True
+        layer = MaskedSparseLayer(mask.astype(float), seed=seed, fan_in_correction=False)
+        x = rng.normal(size=(4, fan_in))
+        manual = np.maximum(x @ (layer.weights * mask) + layer.biases, 0.0)
+        np.testing.assert_allclose(layer.forward(x), manual)

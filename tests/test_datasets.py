@@ -1,0 +1,178 @@
+"""Tests for repro.datasets."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.datasets import (
+    DATASETS,
+    GLYPH_STROKES,
+    gaussian_mixture,
+    load_dataset,
+    render_glyph,
+    synthetic_mnist,
+    teacher_student,
+    two_spirals,
+)
+from repro.nn.builder import dense_model
+from repro.nn.data import one_hot
+from repro.nn.optimizers import Adam
+from repro.nn.train import Trainer
+
+
+class TestSyntheticMnist:
+    def test_shapes_flattened(self):
+        x, y = synthetic_mnist(40, seed=0)
+        assert x.shape == (40, 784)
+        assert y.shape == (40,)
+
+    def test_shapes_unflattened(self):
+        x, _ = synthetic_mnist(10, seed=0, flatten=False)
+        assert x.shape == (10, 28, 28)
+
+    def test_pixel_range(self):
+        x, _ = synthetic_mnist(20, seed=1)
+        assert x.min() >= 0.0 and x.max() <= 1.0
+
+    def test_balanced_classes(self):
+        _, y = synthetic_mnist(100, seed=2)
+        counts = np.bincount(y, minlength=10)
+        assert counts.min() == counts.max() == 10
+
+    def test_determinism(self):
+        a, ya = synthetic_mnist(15, seed=3)
+        b, yb = synthetic_mnist(15, seed=3)
+        np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(ya, yb)
+
+    def test_all_ten_glyphs_defined(self):
+        assert set(GLYPH_STROKES) == set(range(10))
+        assert all(len(strokes) >= 2 for strokes in GLYPH_STROKES.values())
+
+    def test_render_glyph_shape_and_content(self):
+        image = render_glyph(3, seed=0)
+        assert image.shape == (28, 28)
+        assert image.sum() > 10  # strokes actually drawn
+
+    def test_render_glyph_validation(self):
+        with pytest.raises(ValidationError):
+            render_glyph(11)
+        with pytest.raises(ValidationError):
+            render_glyph(0, image_size=4)
+
+    def test_rejects_non_positive_samples(self):
+        with pytest.raises(ValidationError):
+            synthetic_mnist(0)
+
+    def test_classes_are_distinguishable_by_mean_image(self):
+        # class-mean images should differ clearly between distinct digits
+        x, y = synthetic_mnist(200, seed=4, noise=0.02)
+        means = np.stack([x[y == c].mean(axis=0) for c in range(10)])
+        distances = np.linalg.norm(means[:, None, :] - means[None, :, :], axis=2)
+        off_diagonal = distances[~np.eye(10, dtype=bool)]
+        assert off_diagonal.min() > 1.0
+
+
+class TestGaussianMixture:
+    def test_shapes(self):
+        x, y = gaussian_mixture(60, num_classes=3, num_features=5, seed=0)
+        assert x.shape == (60, 5)
+        assert set(np.unique(y)) == {0, 1, 2}
+
+    def test_separation_controls_difficulty(self):
+        x_easy, y_easy = gaussian_mixture(300, class_separation=8.0, noise=0.5, seed=1)
+        x_hard, y_hard = gaussian_mixture(300, class_separation=0.1, noise=2.0, seed=1)
+        # nearest-class-mean classifier accuracy should differ dramatically
+        def nearest_mean_accuracy(x, y):
+            means = np.stack([x[y == c].mean(axis=0) for c in np.unique(y)])
+            predictions = np.argmin(
+                np.linalg.norm(x[:, None, :] - means[None, :, :], axis=2), axis=1
+            )
+            return (predictions == y).mean()
+
+        assert nearest_mean_accuracy(x_easy, y_easy) > 0.95
+        assert nearest_mean_accuracy(x_hard, y_hard) < 0.7
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            gaussian_mixture(10, num_classes=1)
+        with pytest.raises(ValidationError):
+            gaussian_mixture(10, noise=0.0)
+        with pytest.raises(ValidationError):
+            gaussian_mixture(0)
+
+
+class TestTwoSpirals:
+    def test_shapes_and_labels(self):
+        x, y = two_spirals(100, seed=0)
+        assert x.shape == (100, 2)
+        assert set(np.unique(y)) == {0, 1}
+
+    def test_embedding_dimension(self):
+        x, _ = two_spirals(50, embed_dim=10, seed=1)
+        assert x.shape == (50, 10)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            two_spirals(1)
+        with pytest.raises(ValidationError):
+            two_spirals(10, noise=-1.0)
+        with pytest.raises(ValidationError):
+            two_spirals(10, embed_dim=1)
+
+    def test_classes_roughly_balanced(self):
+        _, y = two_spirals(101, seed=2)
+        assert abs(int(np.sum(y == 0)) - int(np.sum(y == 1))) <= 1
+
+
+class TestTeacherStudent:
+    def test_shapes(self):
+        x, y = teacher_student(50, input_dim=8, hidden_dim=16, output_dim=2, seed=0)
+        assert x.shape == (50, 8)
+        assert y.shape == (50, 2)
+
+    def test_same_seed_same_teacher(self):
+        x1, y1 = teacher_student(30, seed=5)
+        x2, y2 = teacher_student(30, seed=5)
+        np.testing.assert_array_equal(y1, y2)
+
+    def test_targets_bounded_by_tanh_structure(self):
+        _, y = teacher_student(200, hidden_dim=4, seed=1)
+        # outputs are a linear map of tanh activations, hence bounded
+        assert np.all(np.abs(y) < 10)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            teacher_student(0)
+        with pytest.raises(ValidationError):
+            teacher_student(10, input_dim=0)
+        with pytest.raises(ValidationError):
+            teacher_student(10, input_scale=0.0)
+
+
+class TestRegistry:
+    def test_all_registered_datasets_load(self):
+        for name in DATASETS:
+            x, y = load_dataset(name, 16, seed=0)
+            assert x.shape[0] == 16
+            assert y.shape[0] == 16
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValidationError, match="unknown dataset"):
+            load_dataset("imagenet", 10)
+
+    def test_kwargs_forwarded(self):
+        x, _ = load_dataset("gaussian_mixture", 8, seed=0, num_features=3)
+        assert x.shape[1] == 3
+
+
+class TestLearnability:
+    def test_dense_mlp_learns_synthetic_mnist(self):
+        # the central substitution requirement: a dense MLP must be able to
+        # learn the synthetic digits well above chance, quickly.
+        x, y = synthetic_mnist(300, seed=0, noise=0.03)
+        targets = one_hot(y, 10)
+        model = dense_model([784, 64, 10], seed=1)
+        trainer = Trainer(model, Adam(0.002), batch_size=32, seed=2)
+        history = trainer.fit(x[:240], targets[:240], epochs=15, val_x=x[240:], val_y=targets[240:])
+        assert history.best_val_accuracy > 0.6

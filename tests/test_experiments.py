@@ -1,0 +1,163 @@
+"""Tests for repro.experiments: figure regeneration, training comparison, scaling."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import (
+    equation4_density_table,
+    figure1_mixed_radix_data,
+    figure2_emr_data,
+    figure3_fnnt_data,
+    figure4_adjacency_data,
+    figure5_kronecker_data,
+    figure6_generator_scaling,
+    figure7_density_surface,
+    theorem1_path_count_table,
+)
+from repro.experiments.scaling import (
+    brain_sizing_table,
+    diversity_table,
+    graph_challenge_scaling,
+    variance_ablation,
+    width_ablation,
+)
+from repro.experiments.training import accuracy_vs_density, train_topology_on_dataset
+from repro.datasets import gaussian_mixture
+from repro.topology.random_graphs import erdos_renyi_fnnt
+
+
+class TestFigureData:
+    def test_figure1(self):
+        data = figure1_mixed_radix_data()
+        assert data.layer_sizes == (8, 8, 8, 8)
+        assert data.per_layer_out_degree == (2, 2, 2)
+        assert data.symmetric
+        # each decision tree's leaves cover all eight output nodes exactly once
+        assert all(leaves == tuple(range(8)) for leaves in data.decision_tree_leaf_sets)
+
+    def test_figure2(self):
+        data = figure2_emr_data()
+        assert data.n_prime == 36
+        assert data.symmetric
+        assert data.path_count == data.lemma2_prediction
+
+    def test_figure3(self):
+        data = figure3_fnnt_data()
+        assert data.dense_density == 1.0
+        assert data.sparse_edges < data.dense_edges
+        assert 0 < data.sparse_density < 1
+
+    def test_figure4(self):
+        data = figure4_adjacency_data()
+        assert data.block_structure_valid
+        assert data.adjacency_nnz == data.topology.num_edges
+        assert data.total_nodes == data.topology.num_nodes
+
+    def test_figure5(self):
+        data = figure5_kronecker_data()
+        assert data.expanded_layer_sizes == tuple(
+            w * 4 for w in (3, 5, 4, 2, 2)
+        )
+        assert data.symmetric
+        assert data.path_count == data.predicted_path_count
+
+    def test_figure6_scaling(self):
+        rows = figure6_generator_scaling((8, 16, 32))
+        assert len(rows) == 3
+        for row in rows:
+            assert row["edges"] == row["predicted_edges"]
+        # larger N' means more edges
+        assert rows[-1]["edges"] > rows[0]["edges"]
+
+    def test_figure7_surface(self):
+        data = figure7_density_surface(mus=(2, 3, 4), depths=(1, 2, 3))
+        assert data.formula_surface.shape == (3, 3)
+        assert data.max_relative_error < 1e-9
+        # density decreases along depth for fixed mu
+        assert np.all(np.diff(data.formula_surface, axis=0) < 0)
+
+    def test_equation4_table(self):
+        rows = equation4_density_table()
+        assert len(rows) >= 5
+        for row in rows:
+            assert row["exact_density_eq4"] == pytest.approx(row["measured_density"])
+            # eq (5) is within a factor of ~2 of eq (4) for these low-variance specs
+            assert row["approx_density_eq5"] == pytest.approx(row["exact_density_eq4"], rel=0.6)
+
+    def test_theorem1_table(self):
+        rows = theorem1_path_count_table()
+        assert len(rows) >= 4
+        assert all(row["matches"] for row in rows)
+
+
+class TestScalingExperiments:
+    def test_graph_challenge_scaling_rows(self):
+        rows = graph_challenge_scaling(base_neurons=16, sizes=2, num_layers=4, batch_size=8)
+        assert len(rows) == 2
+        assert rows[1]["neurons"] == 4 * rows[0]["neurons"]
+        assert all(row["verified"] == 1.0 for row in rows)
+        assert all(row["edges_per_second"] > 0 for row in rows)
+
+    def test_brain_sizing_table(self):
+        rows = brain_sizing_table(scale=1e-5, max_layers=3)
+        names = {row["target"] for row in rows}
+        assert names == {"mouse", "human"}
+        for row in rows:
+            assert row["neuron_error"] < 0.01
+            assert row["scaled_instance_density"] < 0.5
+
+    def test_width_ablation_density_stable(self):
+        rows = width_ablation()
+        gaps = [row["relative_gap"] for row in rows]
+        # uniform radices: eq (5) exact at every width (the paper's claim)
+        assert max(gaps) < 1e-12
+
+    def test_variance_ablation_error_grows(self):
+        rows = variance_ablation(n_prime=36, length=3)
+        assert len(rows) >= 3
+        lowest = rows[0]
+        highest = rows[-1]
+        assert lowest["variance"] <= highest["variance"]
+        assert lowest["relative_error"] <= highest["relative_error"] + 1e-12
+
+    def test_diversity_table_ratio_above_one(self):
+        rows = diversity_table(n_primes=(8, 16, 36))
+        assert all(row["ratio"] >= 1.0 for row in rows)
+        # composite numbers with rich divisor structure dominate
+        by_n = {row["n_prime"]: row["radixnet_configurations"] for row in rows}
+        assert by_n[36.0] > by_n[8.0]
+
+
+class TestTrainingExperiments:
+    def test_train_topology_on_dataset_single_arm(self):
+        features, labels = gaussian_mixture(240, num_classes=4, num_features=12, seed=0)
+        topology = erdos_renyi_fnnt([12, 24, 8], 0.5, seed=1)
+        arm, weights = train_topology_on_dataset(
+            topology, features, labels, num_classes=4, epochs=5, seed=2, name="er"
+        )
+        assert arm.name == "er"
+        assert 0.0 < arm.density < 1.0
+        assert arm.val_accuracy > 0.4
+        assert len(weights) == 2
+
+    def test_output_width_too_small_rejected(self):
+        features, labels = gaussian_mixture(100, num_classes=4, num_features=8, seed=0)
+        topology = erdos_renyi_fnnt([8, 8, 2], 0.6, seed=0)
+        with pytest.raises(ValueError):
+            train_topology_on_dataset(topology, features, labels, num_classes=4, epochs=1)
+
+    def test_accuracy_vs_density_four_arms(self):
+        result = accuracy_vs_density(
+            num_samples=320, epochs=6, layer_widths=(16, 32, 32, 8), seed=3
+        )
+        names = {arm.name for arm in result.arms}
+        assert names == {"radix-net", "random-xnet", "dense", "pruned"}
+        # sparse arms really are sparse, dense arm is dense
+        assert result.arm("dense").density == pytest.approx(1.0)
+        assert result.arm("radix-net").density < 1.0
+        # headline claim shape: the sparse de-novo topology trains to an
+        # accuracy in the same range as dense (within 20 points on this task)
+        assert result.accuracy_gap("radix-net") < 0.20
+        # and all arms learn far better than chance (25%)
+        for arm in result.arms:
+            assert arm.val_accuracy > 0.5

@@ -1,0 +1,122 @@
+"""End-to-end integration tests across subsystems.
+
+Each test exercises a realistic multi-module workflow: design a topology,
+construct it, verify its theory, serialize it, train on it, and run sparse
+inference with it.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    FNNT,
+    MixedRadixSystem,
+    exact_density,
+    generate_extended_mixed_radix,
+    generate_radixnet,
+    mixed_radix_topology,
+)
+from repro.analysis.compare import compare_topologies
+from repro.baselines.dense import dense_fnnt
+from repro.baselines.xnet import random_xnet
+from repro.core.designer import design_for_widths
+from repro.core.radixnet import RadixNetSpec, generate_from_spec
+from repro.core.theory import verify_theorem_1
+from repro.challenge.generator import challenge_input_batch, generate_challenge_network
+from repro.challenge.inference import sparse_dnn_inference
+from repro.datasets import gaussian_mixture
+from repro.nn.builder import input_adapter_matrix, model_from_topology
+from repro.nn.data import one_hot, train_val_split
+from repro.nn.optimizers import Adam
+from repro.nn.train import Trainer
+from repro.topology.io import load_npz, save_npz
+from repro.viz.ascii import render_topology
+from repro.viz.report import format_report_rows
+
+
+class TestPublicApi:
+    def test_top_level_exports_work_together(self):
+        net = generate_radixnet([(2, 2), (2, 2)], [1, 2, 2, 2, 1])
+        assert isinstance(net, FNNT)
+        assert net.is_symmetric()
+        mrs = MixedRadixSystem((2, 2))
+        assert mrs.capacity == 4
+        emr = generate_extended_mixed_radix([(2, 2), (4,)])
+        assert emr.layer_sizes == (4, 4, 4, 4)
+        assert exact_density([(2, 2), (4,)], [1, 1, 1, 1]) == pytest.approx(
+            emr.density()
+        )
+        single = mixed_radix_topology((3, 3))
+        assert single.layer_sizes == (9, 9, 9)
+
+
+class TestDesignBuildTrainDeploy:
+    def test_full_pipeline(self, tmp_path):
+        # 1. design a RadiX-Net for an MLP-shaped width profile
+        design = design_for_widths([16, 32, 32, 8])
+        spec = design.spec
+        topology = generate_from_spec(spec)
+        assert topology.layer_sizes == (16, 32, 32, 8)
+
+        # 2. verify the construction's theory
+        check = verify_theorem_1(spec, topology=topology)
+        assert check.matches_prediction
+
+        # 3. serialize and reload the topology
+        path = tmp_path / "designed.npz"
+        save_npz(topology, path)
+        reloaded = load_npz(path)
+        assert reloaded.same_topology(topology)
+
+        # 4. train a model over the reloaded topology on a synthetic task
+        features, labels = gaussian_mixture(400, num_classes=4, num_features=16, seed=0)
+        targets = one_hot(labels, 4)
+        targets = np.pad(targets, ((0, 0), (0, 8 - 4)))
+        adapter = input_adapter_matrix(16, reloaded.input_size, seed=1)
+        projected = features @ adapter
+        train_x, train_y, val_x, val_y = train_val_split(projected, targets, seed=2)
+        model = model_from_topology(reloaded, seed=3)
+        trainer = Trainer(model, Adam(5e-3), batch_size=32, seed=4)
+        history = trainer.fit(train_x, train_y, epochs=12, val_x=val_x, val_y=val_y)
+        assert history.best_val_accuracy > 0.6
+
+        # 5. masked connections remain exactly zero after training
+        for layer, submatrix in zip(model.layers, reloaded.submatrices):
+            weights = layer.effective_weights()
+            mask = submatrix.to_dense()
+            assert np.all(weights[mask == 0] == 0.0)
+
+        # 6. deploy as CSR inference layers and check numerical agreement
+        sparse_layers = model.to_sparse_inference()
+        out = val_x
+        for layer in sparse_layers:
+            out = layer.forward(out)
+        np.testing.assert_allclose(out, model.predict(val_x), atol=1e-9)
+
+
+class TestComparisonWorkflow:
+    def test_family_comparison_report(self):
+        spec = RadixNetSpec([(2, 2), (2, 2)], [1, 2, 2, 2, 1])
+        radix = generate_from_spec(spec)
+        xnet = random_xnet(radix.layer_sizes, 4, seed=0)
+        dense = dense_fnnt(radix.layer_sizes, name="dense")
+        reports = compare_topologies([radix, xnet, dense])
+        by_name = {r.name: r for r in reports}
+        assert by_name[radix.name].symmetric
+        assert by_name["dense"].symmetric
+        # the text rendering paths accept the real reports
+        table = format_report_rows([r.as_row() for r in reports])
+        assert "radix" in table
+        assert render_topology(radix)
+
+
+class TestChallengeWorkflow:
+    def test_radixnet_generated_challenge_inference(self):
+        network = generate_challenge_network(32, 8, connections=4, seed=0)
+        # the challenge network's topology is itself a valid, regular FNNT
+        network.topology.validate()
+        batch = challenge_input_batch(32, 16, seed=1)
+        result = sparse_dnn_inference(network, batch)
+        assert result.activations.shape == (16, 32)
+        assert 0 < result.categories.size <= 16
+        assert result.edges_per_second > 0

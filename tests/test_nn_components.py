@@ -1,0 +1,309 @@
+"""Tests for repro.nn activations, initializers, losses, optimizers, schedulers, metrics, data."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError, ValidationError
+from repro.nn.activations import get_activation, identity, relu, sigmoid, softmax_stable, tanh
+from repro.nn.data import minibatches, one_hot, standardize, train_val_split
+from repro.nn.initializers import glorot_uniform, he_normal, sparse_corrected_scale, zeros_bias
+from repro.nn.losses import CrossEntropyLoss, MeanSquaredErrorLoss
+from repro.nn.metrics import accuracy, confusion_matrix, per_class_accuracy, top_k_accuracy
+from repro.nn.optimizers import SGD, Adam, Momentum, RMSProp
+from repro.nn.schedulers import ConstantSchedule, CosineSchedule, StepDecaySchedule
+
+
+class TestActivations:
+    def test_relu_values(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        np.testing.assert_array_equal(relu(x), [0.0, 0.0, 2.0])
+
+    def test_relu_derivative(self):
+        y = relu(np.array([-1.0, 3.0]))
+        np.testing.assert_array_equal(relu.derivative_from_output(y), [0.0, 1.0])
+
+    def test_sigmoid_range_and_symmetry(self):
+        x = np.linspace(-10, 10, 21)
+        y = sigmoid(x)
+        assert np.all((y > 0) & (y < 1))
+        np.testing.assert_allclose(y + sigmoid(-x), np.ones_like(x), atol=1e-12)
+
+    def test_sigmoid_extreme_values_stable(self):
+        y = sigmoid(np.array([-1000.0, 1000.0]))
+        assert np.isfinite(y).all()
+
+    def test_sigmoid_derivative(self):
+        y = sigmoid(np.array([0.0]))
+        np.testing.assert_allclose(sigmoid.derivative_from_output(y), [0.25])
+
+    def test_tanh_and_identity(self):
+        x = np.array([0.5, -0.5])
+        np.testing.assert_allclose(tanh(x), np.tanh(x))
+        np.testing.assert_array_equal(identity(x), x)
+        np.testing.assert_array_equal(identity.derivative_from_output(x), [1.0, 1.0])
+
+    def test_numerical_derivative_agreement(self):
+        # derivative_from_output matches finite differences for smooth activations
+        for act in (sigmoid, tanh):
+            x = np.linspace(-2, 2, 9)
+            eps = 1e-6
+            numeric = (act(x + eps) - act(x - eps)) / (2 * eps)
+            analytic = act.derivative_from_output(act(x))
+            np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+    def test_get_activation_by_name(self):
+        assert get_activation("relu") is relu
+        assert get_activation(tanh) is tanh
+        with pytest.raises(KeyError):
+            get_activation("swish")
+
+    def test_softmax_rows_sum_to_one(self):
+        logits = np.random.default_rng(0).normal(size=(5, 7))
+        probs = softmax_stable(logits, axis=1)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5))
+
+    def test_softmax_shift_invariance(self):
+        logits = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_allclose(softmax_stable(logits), softmax_stable(logits + 100.0))
+
+
+class TestInitializers:
+    def test_glorot_bounds(self):
+        w = glorot_uniform(30, 20, seed=0)
+        limit = np.sqrt(6.0 / 50)
+        assert w.shape == (30, 20)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_he_scale(self):
+        w = he_normal(1000, 50, seed=1)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 1000), rel=0.1)
+
+    def test_rejects_bad_fans(self):
+        with pytest.raises(ValidationError):
+            glorot_uniform(0, 5)
+        with pytest.raises(ValidationError):
+            he_normal(5, -1)
+
+    def test_sparse_corrected_scale_values(self):
+        mask = np.array([[1, 0], [1, 0], [1, 1], [1, 1]])
+        scale = sparse_corrected_scale(mask)
+        np.testing.assert_allclose(scale, [1.0, np.sqrt(4 / 2)])
+
+    def test_sparse_corrected_scale_dense_mask_is_identity(self):
+        np.testing.assert_allclose(sparse_corrected_scale(np.ones((5, 3))), np.ones(3))
+
+    def test_zeros_bias(self):
+        np.testing.assert_array_equal(zeros_bias(4), np.zeros(4))
+        with pytest.raises(ValidationError):
+            zeros_bias(0)
+
+
+class TestLosses:
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        targets = np.eye(2)
+        assert CrossEntropyLoss().value(logits, targets) == pytest.approx(0.0, abs=1e-6)
+
+    def test_cross_entropy_uniform_prediction(self):
+        logits = np.zeros((3, 4))
+        targets = one_hot(np.array([0, 1, 2]), 4)
+        assert CrossEntropyLoss().value(logits, targets) == pytest.approx(np.log(4))
+
+    def test_cross_entropy_gradient_numerically(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(4, 3))
+        targets = one_hot(rng.integers(0, 3, size=4), 3)
+        loss = CrossEntropyLoss()
+        analytic = loss.gradient(logits, targets)
+        eps = 1e-6
+        numeric = np.zeros_like(logits)
+        for i in range(logits.shape[0]):
+            for j in range(logits.shape[1]):
+                plus, minus = logits.copy(), logits.copy()
+                plus[i, j] += eps
+                minus[i, j] -= eps
+                numeric[i, j] = (loss.value(plus, targets) - loss.value(minus, targets)) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+    def test_mse_value_and_gradient(self):
+        loss = MeanSquaredErrorLoss()
+        outputs = np.array([[1.0, 2.0]])
+        targets = np.array([[0.0, 0.0]])
+        assert loss.value(outputs, targets) == pytest.approx(2.5)
+        np.testing.assert_allclose(loss.gradient(outputs, targets), [[1.0, 2.0]])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            CrossEntropyLoss().value(np.zeros((2, 3)), np.zeros((2, 2)))
+        with pytest.raises(ShapeError):
+            MeanSquaredErrorLoss().value(np.zeros(3), np.zeros(3))
+
+
+class TestOptimizers:
+    def _quadratic_descent(self, optimizer, steps=200):
+        # minimize f(w) = ||w - 3||^2 starting from 0
+        param = np.zeros(4)
+        for _ in range(steps):
+            grad = 2 * (param - 3.0)
+            optimizer.step([param], [grad])
+        return param
+
+    def test_sgd_converges(self):
+        assert np.allclose(self._quadratic_descent(SGD(0.1)), 3.0, atol=1e-3)
+
+    def test_momentum_converges(self):
+        assert np.allclose(self._quadratic_descent(Momentum(0.05, 0.9)), 3.0, atol=1e-2)
+
+    def test_nesterov_converges(self):
+        optimizer = Momentum(0.05, 0.9, nesterov=True)
+        assert np.allclose(self._quadratic_descent(optimizer), 3.0, atol=1e-2)
+
+    def test_rmsprop_converges(self):
+        assert np.allclose(self._quadratic_descent(RMSProp(0.05), steps=400), 3.0, atol=1e-2)
+
+    def test_adam_converges(self):
+        assert np.allclose(self._quadratic_descent(Adam(0.1), steps=400), 3.0, atol=1e-2)
+
+    def test_weight_decay_shrinks_solution(self):
+        plain = self._quadratic_descent(SGD(0.1))
+        decayed = self._quadratic_descent(SGD(0.1, weight_decay=1.0))
+        assert np.all(np.abs(decayed) < np.abs(plain))
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValidationError):
+            SGD(-0.1)
+        with pytest.raises(ValidationError):
+            Momentum(0.1, 1.5)
+        with pytest.raises(ValidationError):
+            Adam(0.1, beta1=1.0)
+        with pytest.raises(ValidationError):
+            RMSProp(0.1, decay=-0.2)
+
+
+class TestSchedulers:
+    def test_constant(self):
+        schedule = ConstantSchedule(0.01)
+        assert schedule(0) == schedule(100) == 0.01
+
+    def test_step_decay(self):
+        schedule = StepDecaySchedule(1.0, factor=0.5, step_size=10)
+        assert schedule(0) == 1.0
+        assert schedule(10) == 0.5
+        assert schedule(25) == 0.25
+
+    def test_cosine_endpoints(self):
+        schedule = CosineSchedule(1.0, total_epochs=10, minimum=0.1)
+        assert schedule(0) == pytest.approx(1.0)
+        assert schedule(10) == pytest.approx(0.1)
+        assert schedule(5) == pytest.approx(0.55)
+
+    def test_cosine_monotone_decreasing(self):
+        schedule = CosineSchedule(1.0, total_epochs=20)
+        values = [schedule(e) for e in range(21)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ConstantSchedule(0.0)
+        with pytest.raises(ValidationError):
+            StepDecaySchedule(1.0, factor=0.0)
+        with pytest.raises(ValidationError):
+            CosineSchedule(1.0, 0)
+        with pytest.raises(ValidationError):
+            StepDecaySchedule(1.0)(-1)
+
+
+class TestMetrics:
+    def test_accuracy_with_labels(self):
+        assert accuracy(np.array([0, 1, 2]), np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_accuracy_with_one_hot(self):
+        predictions = np.array([[0.9, 0.1], [0.2, 0.8]])
+        targets = one_hot(np.array([0, 0]), 2)
+        assert accuracy(predictions, targets) == 0.5
+
+    def test_accuracy_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            accuracy(np.array([]), np.array([]))
+
+    def test_top_k(self):
+        scores = np.array([[0.1, 0.2, 0.7], [0.5, 0.4, 0.1]])
+        targets = np.array([1, 1])
+        assert top_k_accuracy(scores, targets, k=1) == 0.0
+        assert top_k_accuracy(scores, targets, k=2) == 1.0
+
+    def test_top_k_validation(self):
+        with pytest.raises(ValidationError):
+            top_k_accuracy(np.zeros((2, 3)), np.array([0, 1]), k=4)
+
+    def test_confusion_matrix(self):
+        cm = confusion_matrix(np.array([0, 1, 1, 2]), np.array([0, 1, 2, 2]))
+        assert cm[1, 1] == 1
+        assert cm[2, 1] == 1
+        assert cm.sum() == 4
+
+    def test_per_class_accuracy(self):
+        result = per_class_accuracy(np.array([0, 1, 0]), np.array([0, 1, 1]), num_classes=2)
+        np.testing.assert_allclose(result, [1.0, 0.5])
+
+
+class TestDataUtilities:
+    def test_one_hot_shape_and_values(self):
+        encoded = one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_array_equal(encoded, [[1, 0, 0], [0, 0, 1], [0, 1, 0]])
+
+    def test_one_hot_infers_classes(self):
+        assert one_hot(np.array([0, 3])).shape == (2, 4)
+
+    def test_one_hot_validation(self):
+        with pytest.raises(ValidationError):
+            one_hot(np.array([0, 5]), 3)
+        with pytest.raises(ValidationError):
+            one_hot(np.array([-1]))
+
+    def test_train_val_split_sizes_and_disjointness(self):
+        x = np.arange(100).reshape(50, 2).astype(float)
+        y = np.arange(50)
+        train_x, train_y, val_x, val_y = train_val_split(x, y, val_fraction=0.2, seed=0)
+        assert len(val_x) == 10 and len(train_x) == 40
+        assert set(train_y).isdisjoint(set(val_y)) is False or len(set(train_y) | set(val_y)) == 50
+
+    def test_train_val_split_validation(self):
+        with pytest.raises(ValidationError):
+            train_val_split(np.zeros((4, 2)), np.zeros(4), val_fraction=1.0)
+        with pytest.raises(ShapeError):
+            train_val_split(np.zeros((4, 2)), np.zeros(3))
+
+    def test_minibatches_cover_all_samples(self):
+        x = np.arange(23).reshape(23, 1).astype(float)
+        y = np.arange(23)
+        seen = []
+        for bx, _ in minibatches(x, y, 5, shuffle=True, seed=1):
+            seen.extend(bx.ravel().tolist())
+        assert sorted(seen) == list(range(23))
+
+    def test_minibatches_drop_last(self):
+        x = np.zeros((10, 1))
+        y = np.zeros(10)
+        batches = list(minibatches(x, y, 4, shuffle=False, drop_last=True))
+        assert len(batches) == 2
+
+    def test_minibatches_validation(self):
+        with pytest.raises(ValidationError):
+            list(minibatches(np.zeros((4, 1)), np.zeros(4), 0))
+
+    def test_standardize_and_reapply(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(5.0, 3.0, size=(200, 4))
+        standardized, mean, std = standardize(x)
+        np.testing.assert_allclose(standardized.mean(axis=0), np.zeros(4), atol=1e-10)
+        np.testing.assert_allclose(standardized.std(axis=0), np.ones(4), atol=1e-10)
+        held_out, _, _ = standardize(x[:10], mean=mean, std=std)
+        np.testing.assert_allclose(held_out, standardized[:10])
+
+    def test_standardize_constant_column(self):
+        x = np.column_stack([np.ones(5), np.arange(5.0)])
+        standardized, _, _ = standardize(x)
+        np.testing.assert_array_equal(standardized[:, 0], np.zeros(5))

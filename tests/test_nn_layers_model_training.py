@@ -1,0 +1,352 @@
+"""Tests for repro.nn layers, model, trainer, and the topology builder.
+
+Includes numerical gradient checks of the full backpropagation path and the
+key sparsity invariant: masked connections stay exactly zero through
+training.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, ValidationError
+from repro.core.radixnet import generate_radixnet
+from repro.nn.builder import dense_model, input_adapter_matrix, model_from_topology
+from repro.nn.data import one_hot
+from repro.nn.layers import CSRSparseLayer, DenseLayer, MaskedSparseLayer
+from repro.nn.losses import CrossEntropyLoss, MeanSquaredErrorLoss
+from repro.nn.model import FeedforwardNetwork
+from repro.nn.optimizers import SGD, Adam
+from repro.nn.schedulers import StepDecaySchedule
+from repro.nn.train import Trainer
+from repro.sparse.csr import CSRMatrix
+from repro.topology.random_graphs import erdos_renyi_fnnt
+
+
+class TestDenseLayer:
+    def test_forward_shape(self):
+        layer = DenseLayer(4, 3, seed=0)
+        out = layer.forward(np.zeros((5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_forward_rejects_bad_shape(self):
+        with pytest.raises(ShapeError):
+            DenseLayer(4, 3, seed=0).forward(np.zeros((5, 6)))
+
+    def test_backward_before_forward_rejected(self):
+        with pytest.raises(ValidationError):
+            DenseLayer(2, 2, seed=0).backward(np.zeros((1, 2)))
+
+    def test_backward_shape_mismatch_rejected(self):
+        layer = DenseLayer(2, 2, seed=0)
+        layer.forward(np.zeros((3, 2)))
+        with pytest.raises(ShapeError):
+            layer.backward(np.zeros((2, 2)))
+
+    def test_parameter_count(self):
+        assert DenseLayer(4, 3, seed=0).parameter_count == 12 + 3
+
+    def test_glorot_init_option(self):
+        layer = DenseLayer(4, 3, seed=0, init="glorot")
+        assert np.all(np.abs(layer.weights) <= np.sqrt(6 / 7))
+
+    def test_unknown_init_rejected(self):
+        with pytest.raises(ValidationError):
+            DenseLayer(2, 2, init="bad")
+
+    def test_inference_mode_does_not_cache(self):
+        layer = DenseLayer(2, 2, seed=0)
+        layer.forward(np.zeros((1, 2)), training=False)
+        with pytest.raises(ValidationError):
+            layer.backward(np.zeros((1, 2)))
+
+
+class TestMaskedSparseLayer:
+    def test_weights_respect_mask_at_init(self):
+        mask = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        layer = MaskedSparseLayer(mask, seed=0)
+        assert np.all(layer.weights[mask == 0] == 0.0)
+
+    def test_accepts_csr_mask(self):
+        layer = MaskedSparseLayer(CSRMatrix.eye(3), seed=0)
+        assert layer.connection_count == 3
+
+    def test_gradient_respects_mask(self):
+        mask = np.array([[1.0, 0.0], [1.0, 1.0]])
+        layer = MaskedSparseLayer(mask, seed=0, activation="identity")
+        layer.forward(np.random.default_rng(0).normal(size=(4, 2)))
+        layer.backward(np.ones((4, 2)))
+        assert np.all(layer.weight_gradient[mask == 0] == 0.0)
+
+    def test_masked_weights_stay_zero_through_training(self):
+        mask = (np.random.default_rng(1).random((6, 5)) < 0.4).astype(float)
+        mask[mask.sum(axis=1) == 0, 0] = 1.0
+        mask[0, mask.sum(axis=0) == 0] = 1.0
+        layer = MaskedSparseLayer(mask, seed=0)
+        model = FeedforwardNetwork([layer, DenseLayer(5, 2, seed=1, activation="identity")])
+        optimizer = Adam(0.01)
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            x = rng.normal(size=(8, 6))
+            y = one_hot(rng.integers(0, 2, size=8), 2)
+            out = model.forward(x)
+            model.backward(CrossEntropyLoss().gradient(out, y))
+            optimizer.step(model.parameters(), model.gradients())
+        assert np.all(layer.effective_weights()[mask == 0] == 0.0)
+
+    def test_density_and_parameter_count(self):
+        mask = np.array([[1.0, 0.0], [1.0, 1.0]])
+        layer = MaskedSparseLayer(mask, seed=0)
+        assert layer.connection_count == 3
+        assert layer.density == pytest.approx(0.75)
+        assert layer.parameter_count == 3 + 2
+
+    def test_equivalent_to_dense_when_mask_full(self):
+        full = MaskedSparseLayer(np.ones((3, 4)), seed=7, fan_in_correction=False)
+        dense = DenseLayer(3, 4, seed=7)
+        np.testing.assert_allclose(full.weights, dense.weights)
+
+    def test_fan_in_correction_scales_columns(self):
+        mask = np.array([[1.0, 1.0], [0.0, 1.0]])
+        corrected = MaskedSparseLayer(mask, seed=3, fan_in_correction=True)
+        uncorrected = MaskedSparseLayer(mask, seed=3, fan_in_correction=False)
+        ratio = np.abs(corrected.weights[0, 0]) / np.abs(uncorrected.weights[0, 0])
+        assert ratio == pytest.approx(np.sqrt(2.0))
+
+    def test_rejects_1d_mask(self):
+        with pytest.raises(ShapeError):
+            MaskedSparseLayer(np.ones(4))
+
+
+class TestCSRSparseLayer:
+    def test_matches_dense_computation(self):
+        rng = np.random.default_rng(0)
+        dense_weights = rng.normal(size=(5, 3)) * (rng.random((5, 3)) < 0.6)
+        biases = rng.normal(size=3)
+        layer = CSRSparseLayer(CSRMatrix.from_dense(dense_weights), biases, activation="relu")
+        x = rng.normal(size=(7, 5))
+        expected = np.maximum(x @ dense_weights + biases, 0.0)
+        np.testing.assert_allclose(layer.forward(x), expected)
+
+    def test_default_bias_is_zero(self):
+        layer = CSRSparseLayer(CSRMatrix.eye(3))
+        np.testing.assert_array_equal(layer.biases, np.zeros(3))
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            CSRSparseLayer(np.eye(3))
+        with pytest.raises(ShapeError):
+            CSRSparseLayer(CSRMatrix.eye(3), np.zeros(2))
+        with pytest.raises(ShapeError):
+            CSRSparseLayer(CSRMatrix.eye(3)).forward(np.zeros((2, 4)))
+
+    def test_parameter_count(self):
+        layer = CSRSparseLayer(CSRMatrix.eye(4))
+        assert layer.parameter_count == 4 + 4
+
+
+class TestGradientChecks:
+    def _numeric_gradient(self, model, loss, x, y, param, index, eps=1e-6):
+        original = param.flat[index]
+        param.flat[index] = original + eps
+        plus = loss.value(model.forward(x, training=False), y)
+        param.flat[index] = original - eps
+        minus = loss.value(model.forward(x, training=False), y)
+        param.flat[index] = original
+        return (plus - minus) / (2 * eps)
+
+    @pytest.mark.parametrize("loss_cls", [CrossEntropyLoss, MeanSquaredErrorLoss])
+    def test_dense_model_gradients(self, loss_cls):
+        rng = np.random.default_rng(0)
+        model = dense_model([3, 4, 2], hidden_activation="tanh", seed=1)
+        loss = loss_cls()
+        x = rng.normal(size=(5, 3))
+        y = one_hot(rng.integers(0, 2, size=5), 2)
+        outputs = model.forward(x)
+        model.backward(loss.gradient(outputs, y))
+        analytic = model.gradients()
+        params = model.parameters()
+        rng_idx = np.random.default_rng(2)
+        for param, grad in zip(params, analytic):
+            for index in rng_idx.choice(param.size, size=min(5, param.size), replace=False):
+                numeric = self._numeric_gradient(model, loss, x, y, param, index)
+                assert grad.flat[index] == pytest.approx(numeric, abs=1e-5)
+
+    def test_sparse_model_gradients(self):
+        rng = np.random.default_rng(3)
+        topology = erdos_renyi_fnnt([4, 6, 3], 0.6, seed=4)
+        model = model_from_topology(topology, hidden_activation="sigmoid", seed=5)
+        loss = CrossEntropyLoss()
+        x = rng.normal(size=(6, 4))
+        y = one_hot(rng.integers(0, 3, size=6), 3)
+        outputs = model.forward(x)
+        model.backward(loss.gradient(outputs, y))
+        for param, grad in zip(model.parameters(), model.gradients()):
+            for index in np.random.default_rng(6).choice(param.size, size=min(4, param.size), replace=False):
+                numeric = self._numeric_gradient(model, loss, x, y, param, index)
+                assert grad.flat[index] == pytest.approx(numeric, abs=1e-5)
+
+
+class TestFeedforwardNetwork:
+    def test_layer_size_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            FeedforwardNetwork([DenseLayer(2, 3, seed=0), DenseLayer(4, 2, seed=0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            FeedforwardNetwork([])
+
+    def test_sizes_and_counts(self):
+        model = dense_model([3, 5, 2], seed=0)
+        assert model.input_size == 3
+        assert model.output_size == 2
+        assert model.layer_sizes == (3, 5, 2)
+        assert model.parameter_count == (15 + 5) + (10 + 2)
+        assert not model.is_sparse()
+
+    def test_predict_classes(self):
+        model = dense_model([2, 4, 3], seed=0)
+        classes = model.predict_classes(np.zeros((6, 2)))
+        assert classes.shape == (6,)
+        assert np.all((classes >= 0) & (classes < 3))
+
+    def test_to_sparse_inference_matches_forward(self):
+        topology = erdos_renyi_fnnt([5, 7, 3], 0.5, seed=1)
+        model = model_from_topology(topology, seed=2)
+        x = np.random.default_rng(3).normal(size=(4, 5))
+        expected = model.predict(x)
+        layers = model.to_sparse_inference()
+        out = x
+        for layer in layers:
+            out = layer.forward(out)
+        np.testing.assert_allclose(out, expected, atol=1e-10)
+
+    def test_realized_topology_density(self):
+        topology = erdos_renyi_fnnt([10, 10], 0.3, seed=5)
+        model = model_from_topology(topology, seed=0)
+        assert model.realized_topology_density() == pytest.approx(topology.density(), abs=0.02)
+
+
+class TestBuilder:
+    def test_model_from_radixnet_matches_topology(self):
+        net = generate_radixnet([(2, 2), (2, 2)], [1, 2, 2, 2, 1])
+        model = model_from_topology(net, seed=0)
+        assert model.layer_sizes == net.layer_sizes
+        assert model.is_sparse()
+        # masked connection pattern equals the topology's submatrices
+        for layer, submatrix in zip(model.layers, net.submatrices):
+            np.testing.assert_array_equal(
+                (layer.effective_weights() != 0).astype(float).sum(axis=1),
+                submatrix.row_degrees().astype(float),
+            )
+
+    def test_dense_submatrices_become_dense_layers(self):
+        from repro.baselines.dense import dense_fnnt
+
+        model = model_from_topology(dense_fnnt([3, 4, 2]), seed=0)
+        assert not model.is_sparse()
+
+    def test_force_masked(self):
+        from repro.baselines.dense import dense_fnnt
+
+        model = model_from_topology(dense_fnnt([3, 4, 2]), seed=0, force_masked=True)
+        assert model.is_sparse()
+
+    def test_dense_model_validation(self):
+        with pytest.raises(ValidationError):
+            dense_model([5])
+
+    def test_input_adapter_identity_when_sizes_match(self):
+        np.testing.assert_array_equal(input_adapter_matrix(4, 4), np.eye(4))
+
+    def test_input_adapter_projection_shape(self):
+        adapter = input_adapter_matrix(10, 6, seed=0)
+        assert adapter.shape == (10, 6)
+
+    def test_input_adapter_validation(self):
+        with pytest.raises(ValidationError):
+            input_adapter_matrix(0, 4)
+
+
+class TestTrainer:
+    def _toy_problem(self, seed=0):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(120, 4))
+        labels = (x[:, 0] + x[:, 1] > 0).astype(int)
+        return x, one_hot(labels, 2)
+
+    def test_training_reduces_loss(self):
+        x, y = self._toy_problem()
+        model = dense_model([4, 8, 2], seed=1)
+        trainer = Trainer(model, Adam(0.01), batch_size=16, seed=2)
+        history = trainer.fit(x, y, epochs=10)
+        assert history.train_loss[-1] < history.train_loss[0]
+        assert history.epochs_run == 10
+
+    def test_validation_tracking_and_accuracy(self):
+        x, y = self._toy_problem()
+        model = dense_model([4, 8, 2], seed=1)
+        trainer = Trainer(model, Adam(0.01), batch_size=16, seed=2)
+        history = trainer.fit(x[:90], y[:90], epochs=12, val_x=x[90:], val_y=y[90:])
+        assert len(history.val_accuracy) == history.epochs_run
+        assert history.best_val_accuracy > 0.7
+
+    def test_early_stopping(self):
+        x, y = self._toy_problem()
+        model = dense_model([4, 8, 2], seed=1)
+        trainer = Trainer(model, SGD(1e-8), batch_size=16, seed=2)
+        history = trainer.fit(
+            x[:90], y[:90], epochs=50, val_x=x[90:], val_y=y[90:], early_stopping_patience=3
+        )
+        assert history.epochs_run < 50
+
+    def test_early_stopping_requires_validation(self):
+        model = dense_model([4, 4, 2], seed=0)
+        trainer = Trainer(model, SGD(0.1))
+        with pytest.raises(ValidationError):
+            trainer.fit(np.zeros((8, 4)), one_hot(np.zeros(8, dtype=int), 2), epochs=2, early_stopping_patience=1)
+
+    def test_lr_schedule_applied(self):
+        x, y = self._toy_problem()
+        model = dense_model([4, 4, 2], seed=1)
+        trainer = Trainer(
+            model, SGD(1.0), batch_size=32, lr_schedule=StepDecaySchedule(1.0, factor=0.1, step_size=1), seed=3
+        )
+        history = trainer.fit(x, y, epochs=3)
+        assert history.learning_rates == pytest.approx([1.0, 0.1, 0.01])
+
+    def test_gradient_clipping_bounds_norm(self):
+        x, y = self._toy_problem()
+        model = dense_model([4, 4, 2], seed=1)
+        trainer = Trainer(model, SGD(0.1), gradient_clip=0.5, batch_size=32, seed=4)
+        trainer.train_epoch(x, y)
+        total_norm = np.sqrt(sum(float(np.sum(g * g)) for g in model.gradients()))
+        assert total_norm <= 0.5 + 1e-9
+
+    def test_reproducibility_with_seed(self):
+        x, y = self._toy_problem()
+        results = []
+        for _ in range(2):
+            model = dense_model([4, 6, 2], seed=9)
+            trainer = Trainer(model, Adam(0.01), batch_size=16, seed=11)
+            history = trainer.fit(x, y, epochs=3)
+            results.append(history.train_loss)
+        np.testing.assert_allclose(results[0], results[1])
+
+    def test_invalid_arguments(self):
+        model = dense_model([2, 2], seed=0)
+        with pytest.raises(ValidationError):
+            Trainer(model, SGD(0.1), batch_size=0)
+        with pytest.raises(ValidationError):
+            Trainer(model, SGD(0.1), gradient_clip=-1.0)
+        with pytest.raises(ValidationError):
+            Trainer(model, SGD(0.1)).fit(np.zeros((4, 2)), one_hot(np.zeros(4, dtype=int), 2), epochs=0)
+
+    def test_sparse_topology_trains_on_toy_problem(self):
+        x, y = self._toy_problem(seed=5)
+        net = generate_radixnet([(2, 2), (2,)], [1, 2, 2, 1])
+        model = model_from_topology(net, seed=1)
+        adapter = input_adapter_matrix(4, model.input_size, seed=2)
+        padded_y = np.pad(y, ((0, 0), (0, model.output_size - 2)))
+        trainer = Trainer(model, Adam(0.02), batch_size=16, seed=3)
+        history = trainer.fit(x @ adapter, padded_y, epochs=15)
+        assert history.train_accuracy[-1] > 0.75

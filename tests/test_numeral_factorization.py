@@ -1,0 +1,139 @@
+"""Tests for repro.numeral.factorization."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.numeral.factorization import (
+    balanced_radix_list,
+    divisors,
+    factorizations_with_length,
+    prime_factorization,
+    radix_lists_with_product,
+)
+
+
+class TestPrimeFactorization:
+    def test_small_values(self):
+        assert prime_factorization(1) == {}
+        assert prime_factorization(2) == {2: 1}
+        assert prime_factorization(12) == {2: 2, 3: 1}
+        assert prime_factorization(360) == {2: 3, 3: 2, 5: 1}
+
+    def test_prime(self):
+        assert prime_factorization(97) == {97: 1}
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            prime_factorization(0)
+
+    @given(st.integers(min_value=1, max_value=10_000))
+    @settings(max_examples=100, deadline=None)
+    def test_product_of_factors_recovers_n(self, n):
+        factors = prime_factorization(n)
+        product = math.prod(p**e for p, e in factors.items())
+        assert product == n
+
+
+class TestDivisors:
+    def test_known_values(self):
+        assert divisors(12) == [1, 2, 3, 4, 6, 12]
+        assert divisors(1) == [1]
+        assert divisors(13) == [1, 13]
+
+    def test_proper_excludes_self(self):
+        assert divisors(12, proper=True) == [1, 2, 3, 4, 6]
+        assert divisors(1, proper=True) == [1]
+
+    @given(st.integers(min_value=1, max_value=5000))
+    @settings(max_examples=100, deadline=None)
+    def test_all_entries_divide(self, n):
+        for d in divisors(n):
+            assert n % d == 0
+
+    @given(st.integers(min_value=1, max_value=2000))
+    @settings(max_examples=50, deadline=None)
+    def test_sorted_and_unique(self, n):
+        ds = divisors(n)
+        assert ds == sorted(set(ds))
+
+
+class TestFactorizationsWithLength:
+    def test_known_values(self):
+        assert sorted(factorizations_with_length(12, 2)) == [(2, 6), (3, 4), (4, 3), (6, 2)]
+        assert list(factorizations_with_length(8, 1)) == [(8,)]
+
+    def test_length_three(self):
+        result = sorted(factorizations_with_length(8, 3))
+        assert result == [(2, 2, 2)]
+
+    def test_impossible_length_gives_nothing(self):
+        assert list(factorizations_with_length(6, 3)) == []
+
+    def test_min_factor_filter(self):
+        result = list(factorizations_with_length(12, 2, min_factor=3))
+        assert sorted(result) == [(3, 4), (4, 3)]
+
+    @given(st.integers(min_value=4, max_value=200), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=60, deadline=None)
+    def test_products_match(self, n, length):
+        for factors in factorizations_with_length(n, length):
+            assert math.prod(factors) == n
+            assert len(factors) == length
+            assert all(f >= 2 for f in factors)
+
+
+class TestRadixListsWithProduct:
+    def test_known_count(self):
+        # 8 = (8), (2,4), (4,2), (2,2,2)
+        assert len(radix_lists_with_product(8)) == 4
+
+    def test_max_length_limits(self):
+        assert len(radix_lists_with_product(8, max_length=1)) == 1
+        assert len(radix_lists_with_product(8, max_length=2)) == 3
+
+    def test_prime_has_single_list(self):
+        assert radix_lists_with_product(7) == [(7,)]
+
+    def test_rejects_one(self):
+        with pytest.raises(ValidationError):
+            radix_lists_with_product(1)
+
+    @given(st.integers(min_value=2, max_value=100))
+    @settings(max_examples=50, deadline=None)
+    def test_all_lists_valid(self, n):
+        for radices in radix_lists_with_product(n):
+            assert math.prod(radices) == n
+            assert all(r >= 2 for r in radices)
+
+
+class TestBalancedRadixList:
+    def test_perfect_square(self):
+        assert balanced_radix_list(36, 2) == (6, 6)
+
+    def test_perfect_cube(self):
+        assert balanced_radix_list(27, 3) == (3, 3, 3)
+
+    def test_non_square_picks_low_variance(self):
+        result = balanced_radix_list(12, 2)
+        assert sorted(result) == [3, 4]
+
+    def test_length_one(self):
+        assert balanced_radix_list(10, 1) == (10,)
+
+    def test_impossible_raises(self):
+        with pytest.raises(ValidationError):
+            balanced_radix_list(6, 3)
+
+    @given(st.integers(min_value=4, max_value=256), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=50, deadline=None)
+    def test_product_preserved_when_possible(self, n, length):
+        try:
+            result = balanced_radix_list(n, length)
+        except ValidationError:
+            return
+        assert math.prod(result) == n
+        assert len(result) == length

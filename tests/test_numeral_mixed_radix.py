@@ -1,0 +1,160 @@
+"""Tests for repro.numeral.mixed_radix."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.numeral.mixed_radix import MixedRadixSystem
+
+radix_lists = st.lists(st.integers(min_value=2, max_value=7), min_size=1, max_size=5)
+
+
+class TestConstruction:
+    def test_basic(self):
+        mrs = MixedRadixSystem((2, 3, 4))
+        assert mrs.radices == (2, 3, 4)
+        assert mrs.capacity == 24
+        assert mrs.length == 3
+
+    def test_accepts_list(self):
+        assert MixedRadixSystem([5, 2]).radices == (5, 2)
+
+    def test_rejects_radix_below_two(self):
+        with pytest.raises(ValidationError):
+            MixedRadixSystem((2, 1))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            MixedRadixSystem(())
+
+    def test_len_iter_getitem(self):
+        mrs = MixedRadixSystem((3, 5))
+        assert len(mrs) == 2
+        assert list(mrs) == [3, 5]
+        assert mrs[1] == 5
+
+    def test_is_frozen(self):
+        mrs = MixedRadixSystem((2, 2))
+        with pytest.raises((AttributeError, TypeError)):
+            mrs.radices = (3, 3)
+
+
+class TestPlaceValues:
+    def test_place_values_match_paper_convention(self):
+        # first radix is the least significant digit
+        mrs = MixedRadixSystem((3, 3, 4))
+        assert mrs.place_values() == (1, 3, 9)
+
+    def test_place_value_out_of_range(self):
+        mrs = MixedRadixSystem((2, 2))
+        with pytest.raises(ValidationError):
+            mrs.place_value(2)
+        with pytest.raises(ValidationError):
+            mrs.place_value(-1)
+
+
+class TestEncodeDecode:
+    def test_round_trip_small(self):
+        mrs = MixedRadixSystem((2, 3))
+        for value in range(mrs.capacity):
+            assert mrs.encode(mrs.decode(value)) == value
+
+    def test_decode_known_values(self):
+        mrs = MixedRadixSystem((2, 3, 4))
+        assert mrs.decode(0) == (0, 0, 0)
+        assert mrs.decode(1) == (1, 0, 0)
+        assert mrs.decode(2) == (0, 1, 0)
+        assert mrs.decode(23) == (1, 2, 3)
+
+    def test_encode_rejects_wrong_length(self):
+        with pytest.raises(ValidationError):
+            MixedRadixSystem((2, 2)).encode((1,))
+
+    def test_encode_rejects_out_of_range_digit(self):
+        with pytest.raises(ValidationError):
+            MixedRadixSystem((2, 3)).encode((2, 0))
+
+    def test_encode_rejects_float_digit(self):
+        with pytest.raises(ValidationError):
+            MixedRadixSystem((2, 3)).encode((1.0, 0))
+
+    def test_decode_rejects_out_of_range(self):
+        mrs = MixedRadixSystem((2, 2))
+        with pytest.raises(ValidationError):
+            mrs.decode(4)
+        with pytest.raises(ValidationError):
+            mrs.decode(-1)
+
+    def test_digit_extraction(self):
+        mrs = MixedRadixSystem((2, 3, 4))
+        for value in range(mrs.capacity):
+            digits = mrs.decode(value)
+            for i in range(3):
+                assert mrs.digit(value, i) == digits[i]
+
+    def test_enumerate_digits_is_bijection(self):
+        mrs = MixedRadixSystem((2, 2, 3))
+        all_digits = list(mrs.enumerate_digits())
+        assert len(all_digits) == mrs.capacity
+        assert len(set(all_digits)) == mrs.capacity
+
+    @given(radix_lists, st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_property(self, radices, data):
+        mrs = MixedRadixSystem(radices)
+        value = data.draw(st.integers(min_value=0, max_value=mrs.capacity - 1))
+        assert mrs.encode(mrs.decode(value)) == value
+
+    @given(radix_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_capacity_is_product(self, radices):
+        mrs = MixedRadixSystem(radices)
+        assert mrs.capacity == int(np.prod(radices))
+
+
+class TestVectorized:
+    def test_decode_array_matches_scalar(self):
+        mrs = MixedRadixSystem((3, 4))
+        values = np.arange(mrs.capacity)
+        digits = mrs.decode_array(values)
+        for v in values:
+            np.testing.assert_array_equal(digits[v], mrs.decode(int(v)))
+
+    def test_encode_array_round_trip(self):
+        mrs = MixedRadixSystem((2, 5, 3))
+        values = np.arange(mrs.capacity)
+        digits = mrs.decode_array(values)
+        np.testing.assert_array_equal(mrs.encode_array(digits), values)
+
+    def test_decode_array_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            MixedRadixSystem((2, 2)).decode_array(np.zeros((2, 2), dtype=int))
+
+    def test_decode_array_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            MixedRadixSystem((2, 2)).decode_array([0, 4])
+
+    def test_encode_array_rejects_bad_shape(self):
+        with pytest.raises(ValidationError):
+            MixedRadixSystem((2, 2)).encode_array(np.zeros((3, 3), dtype=int))
+
+    def test_encode_array_rejects_digit_out_of_range(self):
+        with pytest.raises(ValidationError):
+            MixedRadixSystem((2, 2)).encode_array(np.array([[0, 2]]))
+
+
+class TestStatistics:
+    def test_mean_and_variance(self):
+        mrs = MixedRadixSystem((2, 4))
+        assert mrs.mean_radix == 3.0
+        assert mrs.radix_variance == 1.0
+
+    def test_uniform_detection(self):
+        assert MixedRadixSystem((3, 3, 3)).is_uniform()
+        assert not MixedRadixSystem((2, 3)).is_uniform()
+
+    def test_compatibility(self):
+        assert MixedRadixSystem((2, 6)).compatible_with(MixedRadixSystem((3, 4)))
+        assert not MixedRadixSystem((2, 2)).compatible_with(MixedRadixSystem((3, 3)))

@@ -1,0 +1,169 @@
+"""Tests for repro.sparse.coo and repro.sparse.csr containers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import ShapeError, ValidationError
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+small_dense = arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 6), st.integers(1, 6)),
+    elements=st.sampled_from([0.0, 0.0, 1.0, 2.0, -1.5]),
+)
+
+
+class TestCOOMatrix:
+    def test_basic_construction(self):
+        coo = COOMatrix((2, 3), [0, 1], [2, 0], [1.0, 2.0])
+        assert coo.shape == (2, 3)
+        assert coo.nnz == 2
+
+    def test_default_values_are_ones(self):
+        coo = COOMatrix((2, 2), [0, 1], [1, 0])
+        np.testing.assert_array_equal(coo.values, [1.0, 1.0])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ShapeError):
+            COOMatrix((2, 2), [0, 1], [0])
+
+    def test_rejects_out_of_bounds_row(self):
+        with pytest.raises(ValidationError):
+            COOMatrix((2, 2), [2], [0])
+
+    def test_rejects_out_of_bounds_col(self):
+        with pytest.raises(ValidationError):
+            COOMatrix((2, 2), [0], [5])
+
+    def test_rejects_non_positive_shape(self):
+        with pytest.raises(ShapeError):
+            COOMatrix((0, 2), [], [])
+
+    def test_to_dense(self):
+        coo = COOMatrix((2, 2), [0, 1], [1, 0], [3.0, 4.0])
+        np.testing.assert_array_equal(coo.to_dense(), [[0, 3], [4, 0]])
+
+    def test_duplicates_summed_in_dense(self):
+        coo = COOMatrix((1, 2), [0, 0], [1, 1], [2.0, 3.0])
+        np.testing.assert_array_equal(coo.to_dense(), [[0, 5]])
+
+    def test_coalesce_merges_duplicates(self):
+        coo = COOMatrix((2, 2), [0, 0, 1], [1, 1, 0], [1.0, 2.0, 5.0]).coalesce()
+        assert coo.nnz == 2
+        np.testing.assert_array_equal(coo.to_dense(), [[0, 3], [5, 0]])
+
+    def test_transpose(self):
+        coo = COOMatrix((2, 3), [0, 1], [2, 0], [1.0, 2.0])
+        transposed = coo.transpose()
+        assert transposed.shape == (3, 2)
+        np.testing.assert_array_equal(transposed.to_dense(), coo.to_dense().T)
+
+    def test_equality(self):
+        a = COOMatrix((2, 2), [0], [1], [2.0])
+        b = COOMatrix((2, 2), [0], [1], [2.0])
+        c = COOMatrix((2, 2), [1], [0], [2.0])
+        assert a == b
+        assert a != c
+
+    def test_to_csr_round_trip(self):
+        coo = COOMatrix((3, 3), [0, 2, 1], [2, 0, 1], [1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(coo.to_csr().to_dense(), coo.to_dense())
+
+
+class TestCSRMatrix:
+    def test_from_dense_round_trip(self):
+        dense = np.array([[0.0, 1.0, 0.0], [2.0, 0.0, 3.0]])
+        csr = CSRMatrix.from_dense(dense)
+        np.testing.assert_array_equal(csr.to_dense(), dense)
+        assert csr.nnz == 3
+
+    def test_from_dense_tolerance(self):
+        dense = np.array([[1e-6, 1.0]])
+        assert CSRMatrix.from_dense(dense, tolerance=1e-3).nnz == 1
+
+    def test_eye(self):
+        eye = CSRMatrix.eye(4)
+        np.testing.assert_array_equal(eye.to_dense(), np.eye(4))
+
+    def test_zeros_and_ones(self):
+        assert CSRMatrix.zeros((3, 2)).nnz == 0
+        ones = CSRMatrix.ones((2, 3))
+        assert ones.nnz == 6
+        np.testing.assert_array_equal(ones.to_dense(), np.ones((2, 3)))
+
+    def test_invalid_indptr_rejected(self):
+        with pytest.raises(ValidationError):
+            CSRMatrix((2, 2), [0, 1, 0], [0], [1.0])
+
+    def test_indptr_wrong_length_rejected(self):
+        with pytest.raises(ShapeError):
+            CSRMatrix((2, 2), [0, 1], [0], [1.0])
+
+    def test_column_out_of_bounds_rejected(self):
+        with pytest.raises(ValidationError):
+            CSRMatrix((2, 2), [0, 1, 1], [5], [1.0])
+
+    def test_row_access(self):
+        csr = CSRMatrix.from_dense(np.array([[0.0, 2.0], [3.0, 0.0]]))
+        cols, vals = csr.row(0)
+        np.testing.assert_array_equal(cols, [1])
+        np.testing.assert_array_equal(vals, [2.0])
+
+    def test_row_out_of_bounds(self):
+        with pytest.raises(ValidationError):
+            CSRMatrix.eye(2).row(2)
+
+    def test_degrees(self):
+        csr = CSRMatrix.from_dense(np.array([[1.0, 1.0], [1.0, 0.0]]))
+        np.testing.assert_array_equal(csr.row_degrees(), [2, 1])
+        np.testing.assert_array_equal(csr.col_degrees(), [2, 1])
+
+    def test_density(self):
+        csr = CSRMatrix.from_dense(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        assert csr.density == 0.5
+
+    def test_is_binary(self):
+        assert CSRMatrix.eye(3).is_binary()
+        assert not CSRMatrix.from_dense(np.array([[2.0]])).is_binary()
+
+    def test_with_data_and_scale(self):
+        csr = CSRMatrix.eye(2)
+        doubled = csr.scale(2.0)
+        np.testing.assert_array_equal(doubled.to_dense(), 2 * np.eye(2))
+        assert csr.with_data(np.array([5.0, 5.0])).to_dense()[0, 0] == 5.0
+
+    def test_astype_binary(self):
+        csr = CSRMatrix.from_dense(np.array([[0.0, 7.0], [3.0, 0.0]]))
+        binary = csr.astype_binary()
+        assert binary.is_binary()
+        assert binary.same_pattern(csr)
+
+    def test_same_pattern_and_allclose(self):
+        a = CSRMatrix.from_dense(np.array([[1.0, 0.0], [0.0, 2.0]]))
+        b = CSRMatrix.from_dense(np.array([[3.0, 0.0], [0.0, 4.0]]))
+        assert a.same_pattern(b)
+        assert not a.allclose(b)
+        assert a.allclose(a)
+
+    def test_to_coo_round_trip(self):
+        dense = np.array([[0.0, 1.0], [2.0, 0.0]])
+        csr = CSRMatrix.from_dense(dense)
+        np.testing.assert_array_equal(csr.to_coo().to_dense(), dense)
+
+    @given(small_dense)
+    @settings(max_examples=80, deadline=None)
+    def test_dense_round_trip_property(self, dense):
+        csr = CSRMatrix.from_dense(dense)
+        np.testing.assert_allclose(csr.to_dense(), dense)
+        assert csr.nnz == int(np.count_nonzero(dense))
+
+    @given(small_dense)
+    @settings(max_examples=50, deadline=None)
+    def test_coo_csr_consistency(self, dense):
+        csr = CSRMatrix.from_dense(dense)
+        coo = csr.to_coo()
+        np.testing.assert_allclose(coo.to_csr().to_dense(), dense)

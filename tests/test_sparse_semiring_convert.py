@@ -1,0 +1,118 @@
+"""Tests for repro.sparse.semiring and repro.sparse.convert."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, ValidationError
+from repro.sparse.convert import (
+    from_dense,
+    from_scipy,
+    to_dense,
+    to_networkx_bipartite,
+    to_scipy_csr,
+)
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import spgemm
+from repro.sparse.semiring import (
+    MIN_PLUS,
+    OR_AND,
+    PLUS_TIMES,
+    semiring_chain_product,
+    semiring_spgemm,
+)
+
+
+def _random_binary(shape, density, seed):
+    rng = np.random.default_rng(seed)
+    dense = (rng.random(shape) < density).astype(np.float64)
+    return CSRMatrix.from_dense(dense), dense
+
+
+class TestSemirings:
+    def test_plus_times_matches_spgemm(self):
+        a, _ = _random_binary((4, 5), 0.5, 1)
+        b, _ = _random_binary((5, 3), 0.5, 2)
+        np.testing.assert_allclose(
+            semiring_spgemm(a, b, PLUS_TIMES).to_dense(), spgemm(a, b).to_dense()
+        )
+
+    def test_or_and_gives_reachability(self):
+        a, da = _random_binary((4, 4), 0.4, 3)
+        b, db = _random_binary((4, 4), 0.4, 4)
+        boolean = semiring_spgemm(a, b, OR_AND).to_dense()
+        expected = ((da @ db) > 0).astype(float)
+        np.testing.assert_allclose(boolean, expected)
+
+    def test_or_and_values_are_binary(self):
+        a, _ = _random_binary((5, 5), 0.6, 5)
+        result = semiring_spgemm(a, a, OR_AND)
+        assert set(np.unique(result.to_dense())).issubset({0.0, 1.0})
+
+    def test_min_plus_single_hop(self):
+        # adjacency with unit weights: min-plus product counts 2-hop shortest distance
+        dense = np.array([[0.0, 1.0], [1.0, 0.0]])
+        a = CSRMatrix.from_dense(dense)
+        result = semiring_spgemm(a, a, MIN_PLUS).to_dense()
+        # path 0->1->0 has weight 2 (stored zeros are absent, so only 1+1 paths exist)
+        assert result[0, 0] == 2.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            semiring_spgemm(CSRMatrix.eye(2), CSRMatrix.eye(3), PLUS_TIMES)
+
+    def test_chain_product_matches_repeated(self):
+        a, _ = _random_binary((3, 3), 0.5, 6)
+        chained = semiring_chain_product([a, a, a], PLUS_TIMES).to_dense()
+        stepwise = semiring_spgemm(semiring_spgemm(a, a, PLUS_TIMES), a, PLUS_TIMES).to_dense()
+        np.testing.assert_allclose(chained, stepwise)
+
+    def test_chain_product_empty_raises(self):
+        with pytest.raises(ShapeError):
+            semiring_chain_product([], PLUS_TIMES)
+
+    def test_repr_names(self):
+        assert "plus_times" in repr(PLUS_TIMES)
+
+
+class TestConvert:
+    def test_to_dense_accepts_both_types(self):
+        csr = CSRMatrix.eye(3)
+        np.testing.assert_array_equal(to_dense(csr), np.eye(3))
+        np.testing.assert_array_equal(to_dense(np.eye(3)), np.eye(3))
+
+    def test_to_dense_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            to_dense(np.zeros(3))
+
+    def test_from_dense(self):
+        dense = np.array([[0.0, 2.0], [0.0, 0.0]])
+        assert from_dense(dense).nnz == 1
+
+    def test_scipy_round_trip(self):
+        csr, dense = _random_binary((5, 4), 0.4, 7)
+        scipy_matrix = to_scipy_csr(csr)
+        back = from_scipy(scipy_matrix)
+        np.testing.assert_allclose(back.to_dense(), dense)
+
+    def test_from_scipy_rejects_dense(self):
+        with pytest.raises(ValidationError):
+            from_scipy(np.eye(3))
+
+    def test_from_scipy_accepts_coo(self):
+        import scipy.sparse as sp
+
+        matrix = sp.coo_matrix(np.array([[1.0, 0.0], [0.0, 2.0]]))
+        np.testing.assert_allclose(from_scipy(matrix).to_dense(), matrix.toarray())
+
+    def test_to_networkx_bipartite(self):
+        csr = CSRMatrix.from_dense(np.array([[1.0, 0.0], [1.0, 1.0]]))
+        graph = to_networkx_bipartite(csr)
+        assert graph.number_of_nodes() == 4
+        assert graph.number_of_edges() == 3
+        assert graph.has_edge(("in", 0), ("out", 0))
+        assert not graph.has_edge(("in", 0), ("out", 1))
+
+    def test_to_networkx_edge_weights(self):
+        csr = CSRMatrix.from_dense(np.array([[2.5]]))
+        graph = to_networkx_bipartite(csr)
+        assert graph[("in", 0)][("out", 0)]["weight"] == 2.5

@@ -1,0 +1,147 @@
+"""Tests for repro.topology.fnnt."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.sparse.csr import CSRMatrix
+from repro.topology.fnnt import FNNT
+
+
+class TestConstructionAndValidation:
+    def test_basic_dense(self):
+        net = FNNT([np.ones((2, 3)), np.ones((3, 2))])
+        assert net.layer_sizes == (2, 3, 2)
+        assert net.num_layers == 3
+        assert net.num_nodes == 7
+        assert net.num_edges == 12
+        assert net.input_size == 2
+        assert net.output_size == 2
+
+    def test_accepts_csr_and_dense_mix(self):
+        net = FNNT([CSRMatrix.ones((2, 2)), np.ones((2, 2))])
+        assert net.num_edges == 8
+
+    def test_empty_rejected(self):
+        with pytest.raises(TopologyError):
+            FNNT([])
+
+    def test_nonconformable_rejected(self):
+        with pytest.raises(TopologyError, match="not conformable"):
+            FNNT([np.ones((2, 3)), np.ones((4, 2))])
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(TopologyError, match="non-binary"):
+            FNNT([np.array([[2.0, 1.0], [1.0, 1.0]])])
+
+    def test_zero_row_rejected(self):
+        bad = np.array([[1.0, 1.0], [0.0, 0.0]])
+        with pytest.raises(TopologyError, match="out-degree 0"):
+            FNNT([bad])
+
+    def test_zero_column_rejected(self):
+        bad = np.array([[1.0, 0.0], [1.0, 0.0]])
+        with pytest.raises(TopologyError, match="unreachable"):
+            FNNT([bad])
+
+    def test_validate_false_skips_checks(self):
+        bad = np.array([[1.0, 0.0], [1.0, 0.0]])
+        net = FNNT([bad], validate=False)
+        assert net.num_edges == 2
+
+    def test_iteration_and_indexing(self):
+        net = FNNT([np.ones((2, 2)), np.ones((2, 3))])
+        assert len(net) == 2
+        assert [w.shape for w in net] == [(2, 2), (2, 3)]
+        assert net.submatrix(1).shape == (2, 3)
+
+
+class TestDerivedQuantities:
+    def test_density_of_dense_is_one(self):
+        net = FNNT([np.ones((3, 4)), np.ones((4, 2))])
+        assert net.density() == 1.0
+
+    def test_density_of_sparse(self):
+        sub = np.eye(4)
+        net = FNNT([sub])
+        assert net.density() == 0.25
+
+    def test_dense_counterpart(self):
+        net = FNNT([np.eye(3)])
+        dense = net.dense_counterpart()
+        assert dense.num_edges == 9
+        assert dense.layer_sizes == net.layer_sizes
+
+    def test_path_count_matrix_dense(self):
+        net = FNNT([np.ones((2, 3)), np.ones((3, 2))])
+        counts = net.path_count_matrix().to_dense()
+        np.testing.assert_array_equal(counts, np.full((2, 2), 3.0))
+
+    def test_is_path_connected_and_symmetric(self):
+        dense = FNNT([np.ones((2, 2)), np.ones((2, 2))])
+        assert dense.is_path_connected()
+        assert dense.is_symmetric()
+
+    def test_identity_topology_not_path_connected(self):
+        net = FNNT([np.eye(3)])
+        assert not net.is_path_connected()
+        assert not net.is_symmetric()
+
+    def test_full_adjacency_block_structure(self):
+        net = FNNT([np.ones((2, 3)), np.ones((3, 2))])
+        adjacency = net.full_adjacency().to_dense()
+        assert adjacency.shape == (7, 7)
+        # block (rows 0-1, cols 2-4) holds W1; everything below diagonal empty
+        np.testing.assert_array_equal(adjacency[0:2, 2:5], np.ones((2, 3)))
+        np.testing.assert_array_equal(adjacency[2:5, 5:7], np.ones((3, 2)))
+        assert np.count_nonzero(adjacency) == net.num_edges
+        assert np.count_nonzero(np.tril(adjacency)) == 0
+
+    def test_to_networkx(self):
+        net = FNNT([np.ones((2, 2))])
+        graph = net.to_networkx()
+        assert graph.number_of_nodes() == 4
+        assert graph.number_of_edges() == 4
+        assert graph.nodes[(0, 0)]["layer"] == 0
+        assert graph.nodes[(1, 1)]["layer"] == 1
+
+
+class TestComposition:
+    def test_concatenate(self):
+        a = FNNT([np.ones((2, 3))], name="a")
+        b = FNNT([np.ones((3, 2))], name="b")
+        combined = a.concatenate(b)
+        assert combined.layer_sizes == (2, 3, 2)
+        assert combined.name == "a+b"
+
+    def test_concatenate_width_mismatch(self):
+        a = FNNT([np.ones((2, 3))])
+        b = FNNT([np.ones((4, 2))])
+        with pytest.raises(TopologyError):
+            a.concatenate(b)
+
+    def test_kron_expand_layer_sizes(self):
+        base = FNNT([np.eye(2) + np.eye(2)[::-1]])  # 2x2 dense actually
+        expanded = base.kron_expand([3, 2])
+        assert expanded.layer_sizes == (6, 4)
+
+    def test_kron_expand_wrong_width_count(self):
+        base = FNNT([np.ones((2, 2))])
+        with pytest.raises(TopologyError):
+            base.kron_expand([1, 2, 3])
+
+    def test_kron_expand_matches_numpy(self):
+        sub = np.array([[1.0, 0.0], [1.0, 1.0]])
+        base = FNNT([sub])
+        expanded = base.kron_expand([2, 3])
+        np.testing.assert_array_equal(
+            expanded.submatrix(0).to_dense(), np.kron(np.ones((2, 3)), sub)
+        )
+
+    def test_same_topology(self):
+        a = FNNT([np.eye(3)], validate=False)
+        b = FNNT([np.eye(3)], validate=False)
+        c = FNNT([np.ones((3, 3))])
+        assert a.same_topology(b)
+        assert not a.same_topology(c)
+        assert not a.same_topology(FNNT([np.eye(3), np.eye(3)], validate=False))

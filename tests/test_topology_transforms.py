@@ -1,0 +1,176 @@
+"""Tests for repro.topology.transforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError, ValidationError
+from repro.core.radixnet import generate_radixnet
+from repro.topology.fnnt import FNNT
+from repro.topology.properties import is_symmetric, uniform_path_count
+from repro.topology.random_graphs import erdos_renyi_fnnt
+from repro.topology.transforms import (
+    edge_overlap,
+    from_weight_matrices,
+    intersection,
+    permute_layer,
+    shuffle_all_layers,
+    slice_layers,
+    union,
+)
+
+
+class TestPermuteLayer:
+    def test_preserves_symmetry_and_path_count(self, small_radixnet):
+        permuted = permute_layer(small_radixnet, 2, np.random.default_rng(0).permutation(8))
+        assert is_symmetric(permuted)
+        assert uniform_path_count(permuted) == uniform_path_count(small_radixnet)
+
+    def test_preserves_density_and_edge_count(self, small_radixnet):
+        permuted = permute_layer(small_radixnet, 1, np.roll(np.arange(8), 3))
+        assert permuted.num_edges == small_radixnet.num_edges
+        assert permuted.density() == pytest.approx(small_radixnet.density())
+
+    def test_identity_permutation_is_noop(self, small_radixnet):
+        permuted = permute_layer(small_radixnet, 1, np.arange(8))
+        assert permuted.same_topology(small_radixnet)
+
+    def test_input_layer_permutation_moves_rows(self):
+        net = FNNT([np.array([[1.0, 1.0], [1.0, 0.0]]), np.ones((2, 2))], validate=False)
+        permuted = permute_layer(net, 0, [1, 0])
+        np.testing.assert_array_equal(
+            permuted.submatrix(0).to_dense(), np.array([[1.0, 0.0], [1.0, 1.0]])
+        )
+
+    def test_invalid_layer_index(self, small_radixnet):
+        with pytest.raises(ValidationError):
+            permute_layer(small_radixnet, 99, [0])
+
+    def test_invalid_permutation(self, small_radixnet):
+        with pytest.raises(ValidationError):
+            permute_layer(small_radixnet, 1, [0, 0, 1, 2, 3, 4, 5, 6])
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_random_interior_permutations_preserve_theory(self, seed):
+        net = generate_radixnet([(2, 2), (4,)], [1, 2, 2, 1])
+        rng = np.random.default_rng(seed)
+        layer = int(rng.integers(1, net.num_layers - 1))
+        permuted = permute_layer(net, layer, rng.permutation(net.layer_sizes[layer]))
+        assert uniform_path_count(permuted) == uniform_path_count(net)
+
+
+class TestShuffleAllLayers:
+    def test_preserves_structure_metrics(self, small_radixnet):
+        shuffled = shuffle_all_layers(small_radixnet, seed=0)
+        assert shuffled.layer_sizes == small_radixnet.layer_sizes
+        assert shuffled.num_edges == small_radixnet.num_edges
+        assert is_symmetric(shuffled)
+
+    def test_boundaries_fixed_by_default(self, small_radixnet):
+        shuffled = shuffle_all_layers(small_radixnet, seed=1)
+        # input layer rows keep their original out-neighbour count pattern:
+        np.testing.assert_array_equal(
+            shuffled.submatrix(0).row_degrees(), small_radixnet.submatrix(0).row_degrees()
+        )
+
+    def test_deterministic_given_seed(self, small_radixnet):
+        a = shuffle_all_layers(small_radixnet, seed=5)
+        b = shuffle_all_layers(small_radixnet, seed=5)
+        assert a.same_topology(b)
+
+    def test_permute_boundaries_flag(self, small_radixnet):
+        shuffled = shuffle_all_layers(small_radixnet, seed=2, permute_boundaries=True)
+        assert shuffled.num_edges == small_radixnet.num_edges
+
+
+class TestSliceLayers:
+    def test_slice_shapes(self, small_radixnet):
+        piece = slice_layers(small_radixnet, 1, 3)
+        assert piece.layer_sizes == small_radixnet.layer_sizes[1:4]
+        assert len(piece.submatrices) == 2
+
+    def test_slice_submatrices_identical(self, small_radixnet):
+        piece = slice_layers(small_radixnet, 0, 2)
+        for a, b in zip(piece.submatrices, small_radixnet.submatrices[:2]):
+            assert a.same_pattern(b)
+
+    def test_invalid_bounds(self, small_radixnet):
+        with pytest.raises(ValidationError):
+            slice_layers(small_radixnet, 3, 3)
+        with pytest.raises(ValidationError):
+            slice_layers(small_radixnet, 0, 99)
+
+
+class TestSetOperations:
+    def test_union_contains_both(self):
+        a = erdos_renyi_fnnt([6, 6], 0.3, seed=0)
+        b = erdos_renyi_fnnt([6, 6], 0.3, seed=1)
+        combined = union(a, b)
+        assert combined.num_edges >= max(a.num_edges, b.num_edges)
+        dense_a = a.submatrix(0).to_dense() != 0
+        dense_u = combined.submatrix(0).to_dense() != 0
+        assert np.all(dense_u[dense_a])
+
+    def test_intersection_subset_of_both(self):
+        a = erdos_renyi_fnnt([6, 6], 0.5, seed=2)
+        b = erdos_renyi_fnnt([6, 6], 0.5, seed=3)
+        common = intersection(a, b)
+        assert common.num_edges <= min(a.num_edges, b.num_edges)
+
+    def test_self_overlap_is_one(self, small_radixnet):
+        assert edge_overlap(small_radixnet, small_radixnet) == 1.0
+
+    def test_overlap_bounds_and_symmetry(self):
+        a = erdos_renyi_fnnt([8, 8], 0.4, seed=4)
+        b = erdos_renyi_fnnt([8, 8], 0.4, seed=5)
+        overlap = edge_overlap(a, b)
+        assert 0.0 <= overlap <= 1.0
+        assert overlap == pytest.approx(edge_overlap(b, a))
+
+    def test_shape_mismatch_rejected(self, small_radixnet):
+        other = erdos_renyi_fnnt([3, 3], 0.5, seed=0)
+        with pytest.raises(TopologyError):
+            union(small_radixnet, other)
+        with pytest.raises(TopologyError):
+            edge_overlap(small_radixnet, other)
+
+    def test_union_with_disjoint_circulants_is_sum(self):
+        left = FNNT([np.eye(4)], validate=False)
+        right = FNNT([np.roll(np.eye(4), 1, axis=1)], validate=False)
+        assert union(left, right).num_edges == 8
+        assert intersection(left, right).num_edges == 0
+
+
+class TestFromWeightMatrices:
+    def test_recovers_mask_topology(self):
+        rng = np.random.default_rng(0)
+        mask = (rng.random((5, 4)) < 0.6).astype(float)
+        mask[mask.sum(axis=1) == 0, 0] = 1.0
+        mask[0, mask.sum(axis=0) == 0] = 1.0
+        weights = mask * rng.normal(size=(5, 4))
+        topo = from_weight_matrices([weights])
+        np.testing.assert_array_equal(topo.submatrix(0).to_dense(), (weights != 0).astype(float))
+
+    def test_tolerance_drops_small_weights(self):
+        weights = np.array([[1.0, 1e-9], [1e-9, 1.0]])
+        topo = from_weight_matrices([weights], tolerance=1e-6)
+        assert topo.num_edges == 2
+
+    def test_dead_neuron_rejected(self):
+        weights = np.array([[1.0, 0.0], [1.0, 0.0]])
+        with pytest.raises(TopologyError):
+            from_weight_matrices([weights])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            from_weight_matrices([])
+
+    def test_round_trip_with_trained_model(self):
+        from repro.nn.builder import model_from_topology
+
+        net = generate_radixnet([(2, 2), (2,)], [1, 2, 2, 1])
+        model = model_from_topology(net, seed=0)
+        recovered = from_weight_matrices(model.weight_matrices())
+        assert recovered.same_topology(net)

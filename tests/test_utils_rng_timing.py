@@ -1,0 +1,113 @@
+"""Tests for repro.utils.rng and repro.utils.timing."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timing import Timer, timed
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).random(5)
+        b = ensure_rng(2).random(5)
+        assert not np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_bool_rejected(self):
+        with pytest.raises(ValidationError):
+            ensure_rng(True)
+
+    def test_string_rejected(self):
+        with pytest.raises(ValidationError):
+            ensure_rng("seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValidationError):
+            spawn_rngs(0, -1)
+
+    def test_streams_are_independent(self):
+        rngs = spawn_rngs(7, 3)
+        draws = [r.random(4) for r in rngs]
+        assert not np.allclose(draws[0], draws[1])
+        assert not np.allclose(draws[1], draws[2])
+
+    def test_deterministic_given_seed(self):
+        a = [r.random(3) for r in spawn_rngs(11, 2)]
+        b = [r.random(3) for r in spawn_rngs(11, 2)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_spawn_from_generator(self):
+        gen = np.random.default_rng(3)
+        rngs = spawn_rngs(gen, 2)
+        assert len(rngs) == 2
+        assert all(isinstance(r, np.random.Generator) for r in rngs)
+
+
+class TestTimer:
+    def test_records_elapsed(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.005
+        assert len(timer.laps) == 1
+
+    def test_accumulates_laps(self):
+        timer = Timer()
+        for _ in range(3):
+            with timer:
+                pass
+        assert len(timer.laps) == 3
+        assert timer.mean >= 0.0
+
+    def test_reset(self):
+        timer = Timer()
+        with timer:
+            pass
+        timer.reset()
+        assert timer.elapsed == 0.0
+        assert timer.laps == []
+
+    def test_mean_of_empty_timer_is_zero(self):
+        assert Timer().mean == 0.0
+
+
+class TestTimed:
+    def test_returns_result_and_duration(self):
+        @timed
+        def add(a, b):
+            return a + b
+
+        result, seconds = add(2, 3)
+        assert result == 5
+        assert seconds >= 0.0
+
+    def test_preserves_function_name(self):
+        @timed
+        def my_function():
+            return None
+
+        assert my_function.__name__ == "my_function"

@@ -1,0 +1,124 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, ValidationError
+from repro.utils.validation import (
+    check_array_2d,
+    check_positive_int,
+    check_probability,
+    check_radix_list,
+    check_same_length,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_plain_int(self):
+        assert check_positive_int(5, "x") == 5
+
+    def test_accepts_numpy_integer(self):
+        assert check_positive_int(np.int64(7), "x") == 7
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError, match="bool"):
+            check_positive_int(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(3.0, "x")
+
+    def test_rejects_below_minimum(self):
+        with pytest.raises(ValidationError, match=">= 2"):
+            check_positive_int(1, "x", minimum=2)
+
+    def test_rejects_zero_by_default(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(0, "x")
+
+    def test_custom_minimum_accepts_zero(self):
+        assert check_positive_int(0, "x", minimum=0) == 0
+
+    def test_error_message_contains_name(self):
+        with pytest.raises(ValidationError, match="my_param"):
+            check_positive_int(-1, "my_param")
+
+
+class TestCheckRadixList:
+    def test_valid_list(self):
+        assert check_radix_list([2, 3, 4]) == (2, 3, 4)
+
+    def test_valid_tuple(self):
+        assert check_radix_list((5, 2)) == (5, 2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError, match="empty"):
+            check_radix_list([])
+
+    def test_rejects_radix_one(self):
+        with pytest.raises(ValidationError):
+            check_radix_list([2, 1])
+
+    def test_rejects_string(self):
+        with pytest.raises(ValidationError, match="string"):
+            check_radix_list("23")
+
+    def test_rejects_float_radix(self):
+        with pytest.raises(ValidationError):
+            check_radix_list([2.0, 3])
+
+    def test_error_indexes_offending_element(self):
+        with pytest.raises(ValidationError, match=r"radices\[1\]"):
+            check_radix_list([2, 0, 3])
+
+
+class TestCheckProbability:
+    def test_accepts_bounds(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+
+    def test_accepts_interior(self):
+        assert check_probability(0.25, "p") == 0.25
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_probability(-0.1, "p")
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValidationError):
+            check_probability(1.5, "p")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            check_probability(float("nan"), "p")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ValidationError):
+            check_probability("half", "p")
+
+
+class TestCheckArray2d:
+    def test_accepts_list_of_lists(self):
+        arr = check_array_2d([[1, 2], [3, 4]], "m")
+        assert arr.shape == (2, 2)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            check_array_2d([1, 2, 3], "m")
+
+    def test_rejects_3d(self):
+        with pytest.raises(ShapeError):
+            check_array_2d(np.zeros((2, 2, 2)), "m")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ShapeError):
+            check_array_2d(np.zeros((0, 3)), "m")
+
+
+class TestCheckSameLength:
+    def test_equal_lengths_pass(self):
+        check_same_length([1, 2], [3, 4], "a", "b")
+
+    def test_unequal_lengths_raise(self):
+        with pytest.raises(ValidationError, match="same length"):
+            check_same_length([1], [2, 3], "a", "b")
