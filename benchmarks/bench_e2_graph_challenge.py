@@ -6,12 +6,27 @@ factors of four in neurons per layer.  This benchmark regenerates
 challenge-style instances with this package's generator (scaled to laptop
 sizes), runs the reference ReLU-threshold recurrence, verifies the result
 against a dense reference, and reports the same throughput figure of merit.
+
+``test_e2_backend_throughput`` additionally reports edges/second for every
+registered sparse backend (see :mod:`repro.backends`), so a single run
+compares kernel strategies.  Instance size is tunable through the
+``E2_NEURONS`` / ``E2_LAYERS`` / ``E2_BATCH`` environment variables -- CI
+smoke runs set tiny values, local runs default to a laptop-scale instance.
 """
 
+import os
+
+import pytest
+
+from repro.backends import available_backends
 from repro.challenge.generator import challenge_input_batch, generate_challenge_network
-from repro.challenge.inference import sparse_dnn_inference
+from repro.challenge.inference import InferenceEngine, sparse_dnn_inference
 from repro.experiments.scaling import graph_challenge_scaling
 from repro.parallel.pipeline import parallel_inference
+
+E2_NEURONS = int(os.environ.get("E2_NEURONS", "256"))
+E2_LAYERS = int(os.environ.get("E2_LAYERS", "24"))
+E2_BATCH = int(os.environ.get("E2_BATCH", "64"))
 
 
 def test_e2_inference_scaling(benchmark, report_table):
@@ -54,10 +69,53 @@ def test_e2_inference_scaling(benchmark, report_table):
 
 def test_e2_single_inference_kernel(benchmark):
     """Raw kernel timing at one fixed size (pytest-benchmark statistics)."""
-    network = generate_challenge_network(256, 24, connections=8, seed=1)
-    batch = challenge_input_batch(256, 64, seed=2)
+    network = generate_challenge_network(E2_NEURONS, E2_LAYERS, connections=8, seed=1)
+    batch = challenge_input_batch(E2_NEURONS, E2_BATCH, seed=2)
     result = benchmark(sparse_dnn_inference, network, batch)
-    assert result.activations.shape == (64, 256)
+    assert result.activations.shape == (E2_BATCH, E2_NEURONS)
+
+
+@pytest.mark.parametrize("backend", available_backends())
+def test_e2_backend_throughput(benchmark, backend):
+    """Edges/second of the inference engine under every registered backend.
+
+    The per-backend numbers land in the pytest-benchmark JSON (via
+    ``extra_info``), so a ``--benchmark-json`` run is a self-contained
+    backend comparison artifact.
+    """
+    network = generate_challenge_network(E2_NEURONS, E2_LAYERS, connections=8, seed=1)
+    batch = challenge_input_batch(E2_NEURONS, E2_BATCH, seed=2)
+    engine = InferenceEngine(network, backend=backend)
+    result = benchmark(engine.run, batch)
+    assert result.backend == backend
+    assert result.activations.shape == (E2_BATCH, E2_NEURONS)
+    benchmark.extra_info["backend"] = backend
+    benchmark.extra_info["edges_per_second"] = result.edges_per_second
+    benchmark.extra_info["edges_traversed"] = result.edges_traversed
+
+
+def test_e2_chunked_engine_matches_single_shot(benchmark, report_table):
+    """Chunked mini-batch streaming is bit-identical to the single-shot path."""
+    network = generate_challenge_network(E2_NEURONS, max(4, E2_LAYERS // 2), connections=8, seed=5)
+    batch = challenge_input_batch(E2_NEURONS, E2_BATCH, seed=6)
+    engine = InferenceEngine(network, backend=None)
+    single = engine.run(batch, record_timing=False)
+
+    chunked = benchmark.pedantic(
+        engine.run, args=(batch,), kwargs={"chunk_size": max(1, E2_BATCH // 8)},
+        rounds=3, iterations=1,
+    )
+    assert (chunked.activations == single.activations).all()
+    assert list(chunked.categories) == list(single.categories)
+
+    report_table(
+        "E2: chunked vs single-shot inference",
+        ["mode", "batch", "categories", "edges"],
+        [
+            ["single-shot", batch.shape[0], single.categories.size, single.edges_traversed],
+            [f"chunked ({max(1, E2_BATCH // 8)}/chunk)", batch.shape[0], chunked.categories.size, chunked.edges_traversed],
+        ],
+    )
 
 
 def test_e2_batch_parallel_inference_matches_serial(benchmark, report_table):

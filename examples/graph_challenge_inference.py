@@ -1,21 +1,29 @@
 #!/usr/bin/env python3
-"""Generate a Graph Challenge style sparse DNN with RadiX-Net and run the inference kernel.
+"""Generate a Graph Challenge style sparse DNN with RadiX-Net and run the inference engine.
 
 The MIT/IEEE/Amazon Sparse DNN Graph Challenge distributes networks
 generated with RadiX-Net.  This example regenerates challenge-style
-instances at laptop scale, runs the reference recurrence
-``Y <- min(max(Y W + b, 0), 32)``, verifies the surviving categories
-against a dense reference implementation, round-trips the challenge TSV
-format, and reports edges/second across a x4 neuron scaling series.
+instances at laptop scale, builds an :class:`InferenceEngine` (which
+precomputes each layer's transposed weights once and runs the recurrence
+``Y <- min(max(Y W + b, 0), 32)`` on a pluggable sparse backend),
+verifies the surviving categories against a dense reference
+implementation, compares backends, demonstrates chunked mini-batch
+streaming, round-trips the challenge TSV format, and reports
+edges/second across a x4 neuron scaling series.
 
-Run with:  python examples/graph_challenge_inference.py [--neurons 256] [--layers 24]
+Backend selection: ``--backend {reference,scipy,vectorized}`` here, the
+``REPRO_BACKEND`` environment variable, or ``repro.backends.use(...)``
+in code.
+
+Run with:  python examples/graph_challenge_inference.py [--neurons 256] [--layers 24] [--backend scipy]
 """
 
 import argparse
 import tempfile
 
+import repro.backends as backends
 from repro.challenge.generator import challenge_input_batch, generate_challenge_network
-from repro.challenge.inference import layer_activation_profile, sparse_dnn_inference
+from repro.challenge.inference import InferenceEngine, engine_for
 from repro.challenge.io import load_challenge_network, save_challenge_network
 from repro.challenge.verify import category_checksum, verify_categories
 from repro.experiments.scaling import graph_challenge_scaling
@@ -29,6 +37,9 @@ def main() -> None:
     parser.add_argument("--connections", type=int, default=8)
     parser.add_argument("--batch", type=int, default=64)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--backend", default=None, choices=backends.available_backends())
+    parser.add_argument("--chunk-size", type=int, default=None,
+                        help="mini-batch rows per chunk (bounds peak memory)")
     args = parser.parse_args()
 
     print(f"generating challenge network: {args.neurons} neurons x {args.layers} layers, "
@@ -38,15 +49,35 @@ def main() -> None:
     )
     batch = challenge_input_batch(args.neurons, args.batch, seed=args.seed + 1)
 
-    result = sparse_dnn_inference(network, batch)
+    # The engine transposes each layer's weights once, at construction;
+    # every run after that is transpose-free.
+    engine = engine_for(network, args.backend)
+    result = engine.run(batch, chunk_size=args.chunk_size)
     print(f"edges/layer: {network.topology.num_edges // args.layers}")
+    print(f"backend:     {result.backend}")
     print(f"inference:   {result.total_seconds:.4f}s, {result.edges_per_second:,.0f} edges/s")
     print(f"categories:  {result.categories.size} of {args.batch} "
           f"(checksum {category_checksum(result.categories)})")
     print(f"verified against dense reference: {verify_categories(network, batch)}")
 
-    profile = layer_activation_profile(network, batch)
+    profile = engine.layer_profile(batch)
     print(f"activation fraction after first/last layer: {profile[0]:.3f} / {profile[-1]:.3f}")
+    print()
+
+    # Compare every registered backend on the same instance: identical
+    # categories, different edges/second.
+    print("backend comparison (identical categories, per-backend throughput):")
+    for name in backends.available_backends():
+        per_backend = InferenceEngine(network, backend=name).run(batch)
+        assert list(per_backend.categories) == list(result.categories)
+        print(f"  {name:<11} {per_backend.total_seconds:.4f}s  "
+              f"{per_backend.edges_per_second:>14,.0f} edges/s")
+    print()
+
+    # Chunked streaming: bounded peak memory for arbitrarily large batches.
+    streamed = sum(r.categories.size for _, r in engine.stream(batch, chunk_size=max(1, args.batch // 8)))
+    print(f"chunked streaming ({max(1, args.batch // 8)} rows/chunk): {streamed} categories (matches: "
+          f"{streamed == result.categories.size})")
     print()
 
     # Round-trip the challenge TSV interchange format.

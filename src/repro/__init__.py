@@ -12,6 +12,11 @@ It provides:
 * :mod:`repro.sparse` -- a small sparse-matrix kernel library (COO/CSR,
   SpGEMM, Kronecker products, semirings) used by the construction and the
   verification machinery.
+* :mod:`repro.backends` -- pluggable sparse-kernel backends behind every
+  sparse operation: ``reference`` (pure NumPy/Python oracle), ``scipy``
+  (compiled kernels, default), and ``vectorized`` (scatter-free NumPy).
+  Select with ``repro.backends.use(...)``, the ``--backend`` CLI flag, or
+  the ``REPRO_BACKEND`` environment variable.
 * :mod:`repro.topology` -- feedforward neural network topologies (FNNTs),
   their adjacency submatrices, and graph-theoretic properties
   (path-connectedness, symmetry, density).

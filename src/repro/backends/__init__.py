@@ -1,0 +1,136 @@
+"""Pluggable sparse-kernel backends.
+
+Every sparse operation in the package -- construction (Kronecker
+expansion), verification (chain products), and the Graph Challenge
+inference recurrence -- dispatches through one *active* backend
+implementing the :class:`~repro.backends.base.SparseBackend` protocol.
+Three implementations are registered on import: ``reference`` (pure
+NumPy/Python oracle), ``scipy`` (compiled scipy.sparse kernels; the
+default when scipy is importable), and ``vectorized`` (pure NumPy,
+scatter-free).
+
+Selecting a backend
+-------------------
+
+* **API**: ``repro.backends.use("vectorized")`` switches globally and
+  also works as a context manager restoring the previous backend::
+
+      import repro.backends as backends
+
+      backends.use("vectorized")            # global switch
+      with backends.use("reference"):       # scoped switch
+          ...
+
+* **CLI**: ``python -m repro.cli challenge --backend vectorized ...``
+  (and the other kernel-heavy subcommands; see ``--help``).
+
+* **Environment**: ``REPRO_BACKEND=vectorized`` sets the initial default
+  before any explicit ``use(...)`` call.
+
+``active_backend()`` returns the backend currently in effect;
+``available_backends()`` lists what is registered.  Registering a custom
+backend is a call to :func:`repro.backends.base.register` with any object
+implementing the protocol.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.backends.base import (
+    SparseBackend,
+    available_backends,
+    get_backend,
+    register,
+)
+from repro.backends import reference as _reference  # noqa: F401 - registers "reference"
+from repro.backends import vectorized as _vectorized  # noqa: F401 - registers "vectorized"
+from repro.backends import scipy_backend as _scipy  # noqa: F401 - registers "scipy" if available
+
+DEFAULT_BACKEND_ENV = "REPRO_BACKEND"
+
+_active: SparseBackend | None = None
+
+
+def _initial_backend() -> SparseBackend:
+    requested = os.environ.get(DEFAULT_BACKEND_ENV)
+    if requested:
+        return get_backend(requested)
+    if "scipy" in available_backends():
+        return get_backend("scipy")
+    return get_backend("vectorized")
+
+
+def active_backend() -> SparseBackend:
+    """The backend all dispatched kernels currently use."""
+    global _active
+    if _active is None:
+        _active = _initial_backend()
+    return _active
+
+
+class _BackendSelection:
+    """Result of :func:`use`: the switch is already done; optionally a context.
+
+    Entering the context keeps the selection and exiting restores whatever
+    was active before the ``use(...)`` call.
+    """
+
+    def __init__(self, backend: SparseBackend, previous: SparseBackend | None) -> None:
+        self.backend = backend
+        self._previous = previous
+
+    def __enter__(self) -> SparseBackend:
+        return self.backend
+
+    def __exit__(self, *exc_info: object) -> None:
+        global _active
+        _active = self._previous
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"<active backend {self.backend.name!r}>"
+
+
+def resolve_backend(backend: str | SparseBackend | None) -> SparseBackend:
+    """Map the ubiquitous ``backend=`` keyword to an instance.
+
+    ``None`` means the active backend, a string is a registry lookup, and
+    an instance passes through -- the one resolution rule shared by every
+    dispatching entry point (``sparse.ops``, ``InferenceEngine``,
+    ``CSRSparseLayer``, ...).
+    """
+    if backend is None:
+        return active_backend()
+    if isinstance(backend, str):
+        return get_backend(backend)
+    return backend
+
+
+def use(backend: str | SparseBackend) -> _BackendSelection:
+    """Make ``backend`` (a name or an instance) the active backend.
+
+    The switch takes effect immediately and persists; when the returned
+    object is used as a context manager, the previous backend is restored
+    on exit::
+
+        backends.use("vectorized")          # sticky
+        with backends.use("reference"):     # scoped
+            ...
+    """
+    global _active
+    previous = _active
+    chosen = get_backend(backend) if isinstance(backend, str) else backend
+    _active = chosen
+    return _BackendSelection(chosen, previous)
+
+
+__all__ = [
+    "SparseBackend",
+    "register",
+    "get_backend",
+    "available_backends",
+    "active_backend",
+    "resolve_backend",
+    "use",
+    "DEFAULT_BACKEND_ENV",
+]

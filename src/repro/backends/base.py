@@ -1,0 +1,120 @@
+"""The sparse-kernel backend protocol and registry.
+
+A *backend* is a bundle of the six sparse kernels everything else in the
+package bottoms out in: SpGEMM (sparse @ sparse), SpMM (sparse @ dense
+batch), SpMV (sparse @ vector), Kronecker product, transpose, and
+entry-wise add.  The RadiX-Net construction (Kronecker expansion,
+eq. (3)), its verification (Theorem 1 chain products), and the Graph
+Challenge inference recurrence all dispatch through the active backend,
+so an implementation can be swapped wholesale -- for cross-checking, for
+benchmarking, or to target different hardware.
+
+Backends are *unchecked* kernels: operand shapes are validated once at
+the dispatch layer (:mod:`repro.sparse.ops`) or at engine construction
+(:class:`repro.challenge.inference.InferenceEngine`), and the backend may
+assume conformable inputs.  This keeps hot loops free of repeated
+validation.
+
+Three implementations ship with the package:
+
+``reference``
+    Pure NumPy/Python (Gustavson row-merge SpGEMM, ``np.add.at``
+    scatter).  Slow but dependency-free and easy to audit; the oracle the
+    others are cross-checked against.
+``scipy``
+    Delegates to ``scipy.sparse`` compiled kernels.  The default when
+    scipy is importable.
+``vectorized``
+    Pure NumPy but fully vectorized: segment sums via
+    ``np.add.reduceat``/``np.bincount`` instead of ``np.add.at``, and a
+    COO-expansion SpGEMM with no per-row Python loop.  The fallback
+    default where scipy is unavailable, and a useful middle point when
+    benchmarking kernel strategies.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.sparse.csr import CSRMatrix
+
+
+@runtime_checkable
+class SparseBackend(Protocol):
+    """The kernel bundle every backend implements.
+
+    All matrix arguments and results are :class:`repro.sparse.csr.CSRMatrix`
+    in canonical form (sorted column indices, duplicates summed); dense
+    operands are float64 ``ndarray``.
+
+    The cross-backend contract is *numerical* equality (identical
+    ``to_dense()``).  Retention of explicitly stored zeros -- e.g. a 0.0
+    produced by cancellation in ``add`` -- may differ between backends
+    (scipy prunes some that the pure-NumPy backends keep), so code must
+    not rely on ``nnz`` of a kernel *result* being backend-independent.
+    RadiX-Net topology matrices are strictly nonzero-valued, so this
+    never affects edge accounting in practice.
+    """
+
+    name: str
+
+    def spgemm(self, a: "CSRMatrix", b: "CSRMatrix") -> "CSRMatrix":
+        """Sparse-sparse product ``a @ b`` over the (+, *) semiring."""
+        ...
+
+    def spmm(self, a: "CSRMatrix", dense: np.ndarray) -> np.ndarray:
+        """Sparse-dense product ``a @ dense`` for a 2-D dense operand."""
+        ...
+
+    def spmv(self, a: "CSRMatrix", vector: np.ndarray) -> np.ndarray:
+        """Sparse matrix times dense vector."""
+        ...
+
+    def kron(self, a: "CSRMatrix", b: "CSRMatrix") -> "CSRMatrix":
+        """Kronecker product ``a (x) b`` (paper equation (3))."""
+        ...
+
+    def transpose(self, a: "CSRMatrix") -> "CSRMatrix":
+        """Canonical CSR of the transpose of ``a``."""
+        ...
+
+    def add(self, a: "CSRMatrix", b: "CSRMatrix") -> "CSRMatrix":
+        """Entry-wise sum of two same-shape matrices."""
+        ...
+
+
+_REGISTRY: dict[str, SparseBackend] = {}
+
+
+def register(backend: SparseBackend) -> SparseBackend:
+    """Register a backend under its ``name`` (later registrations replace earlier).
+
+    Returns the backend so it can be used as a decorator on instances or
+    called inline at module import time.
+    """
+    name = getattr(backend, "name", None)
+    if not name or not isinstance(name, str):
+        raise ValidationError("backend must expose a non-empty string `name`")
+    _REGISTRY[name] = backend
+    return backend
+
+
+def get_backend(name: str) -> SparseBackend:
+    """Look up a registered backend by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise ValidationError(
+            f"unknown sparse backend {name!r}; registered backends: {known}"
+        ) from None
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of all registered backends, sorted."""
+    return tuple(sorted(_REGISTRY))

@@ -1,0 +1,95 @@
+"""The pure NumPy/Python reference backend.
+
+These are the original kernels of the package, kept verbatim as the
+cross-check oracle for the faster backends: a Gustavson row-merge SpGEMM
+with an explicit per-row Python loop, ``np.add.at`` scatter for
+SpMM/SpMV, and COO round-trips for transpose/add/kron.  Every other
+backend's parity suite (``tests/test_backends.py``) compares against
+these implementations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.base import register
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+
+def spgemm_rowmerge(a: CSRMatrix, b: CSRMatrix) -> CSRMatrix:
+    """Reference Gustavson row-merge SpGEMM (pure NumPy/Python)."""
+    nrows, ncols = a.shape[0], b.shape[1]
+    out_indptr = np.zeros(nrows + 1, dtype=np.int64)
+    out_indices: list[np.ndarray] = []
+    out_data: list[np.ndarray] = []
+    accumulator = np.zeros(ncols, dtype=np.float64)
+    for i in range(nrows):
+        a_cols, a_vals = a.row(i)
+        touched: list[np.ndarray] = []
+        for k, av in zip(a_cols, a_vals):
+            b_cols, b_vals = b.row(int(k))
+            accumulator[b_cols] += av * b_vals
+            touched.append(b_cols)
+        if touched:
+            cols = np.unique(np.concatenate(touched))
+            vals = accumulator[cols]
+            keep = vals != 0.0
+            cols, vals = cols[keep], vals[keep]
+            accumulator[cols] = 0.0
+            accumulator[np.concatenate(touched)] = 0.0
+        else:
+            cols = np.empty(0, dtype=np.int64)
+            vals = np.empty(0, dtype=np.float64)
+        out_indices.append(cols)
+        out_data.append(vals)
+        out_indptr[i + 1] = out_indptr[i] + cols.size
+    indices = np.concatenate(out_indices) if out_indices else np.empty(0, dtype=np.int64)
+    data = np.concatenate(out_data) if out_data else np.empty(0, dtype=np.float64)
+    return CSRMatrix((nrows, ncols), out_indptr, indices, data)
+
+
+class ReferenceBackend:
+    """Pure NumPy kernels with scatter-add; the oracle implementation."""
+
+    name = "reference"
+
+    def spgemm(self, a: CSRMatrix, b: CSRMatrix) -> CSRMatrix:
+        return spgemm_rowmerge(a, b)
+
+    def spmm(self, a: CSRMatrix, dense: np.ndarray) -> np.ndarray:
+        out = np.zeros((a.shape[0], dense.shape[1]), dtype=np.float64)
+        row_ids = np.repeat(np.arange(a.shape[0]), np.diff(a.indptr))
+        # scatter-add of value-scaled rows of the dense operand
+        np.add.at(out, row_ids, a.data[:, None] * dense[a.indices])
+        return out
+
+    def spmv(self, a: CSRMatrix, vector: np.ndarray) -> np.ndarray:
+        products = a.data * vector[a.indices]
+        out = np.zeros(a.shape[0], dtype=np.float64)
+        row_ids = np.repeat(np.arange(a.shape[0]), np.diff(a.indptr))
+        np.add.at(out, row_ids, products)
+        return out
+
+    def kron(self, a: CSRMatrix, b: CSRMatrix) -> CSRMatrix:
+        a_coo, b_coo = a.to_coo().coalesce(), b.to_coo().coalesce()
+        out_shape = (a.shape[0] * b.shape[0], a.shape[1] * b.shape[1])
+        if a_coo.nnz == 0 or b_coo.nnz == 0:
+            return CSRMatrix.zeros(out_shape)
+        rows = (a_coo.rows[:, None] * b.shape[0] + b_coo.rows[None, :]).ravel()
+        cols = (a_coo.cols[:, None] * b.shape[1] + b_coo.cols[None, :]).ravel()
+        vals = (a_coo.values[:, None] * b_coo.values[None, :]).ravel()
+        return COOMatrix(out_shape, rows, cols, vals).to_csr()
+
+    def transpose(self, a: CSRMatrix) -> CSRMatrix:
+        return a.to_coo().transpose().to_csr()
+
+    def add(self, a: CSRMatrix, b: CSRMatrix) -> CSRMatrix:
+        a_coo, b_coo = a.to_coo(), b.to_coo()
+        rows = np.concatenate([a_coo.rows, b_coo.rows])
+        cols = np.concatenate([a_coo.cols, b_coo.cols])
+        vals = np.concatenate([a_coo.values, b_coo.values])
+        return COOMatrix(a.shape, rows, cols, vals).to_csr()
+
+
+BACKEND = register(ReferenceBackend())

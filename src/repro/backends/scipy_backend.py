@@ -1,0 +1,80 @@
+"""The scipy.sparse backend: compiled kernels behind the package's CSR type.
+
+This lifts the ``use_scipy`` fast path that used to live inline in
+``repro.sparse.ops.spgemm`` into a full backend.  All six kernels
+round-trip through ``scipy.sparse.csr_matrix`` views of the package's
+:class:`~repro.sparse.csr.CSRMatrix` buffers (no data copy on the way
+in), run the compiled scipy kernel, and re-canonicalize the result.
+
+The module imports lazily: constructing the backend does not require
+scipy, only calling a kernel does, and registration is skipped entirely
+when scipy is missing so ``available_backends()`` stays truthful.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.base import register
+from repro.sparse.csr import CSRMatrix
+
+
+def _to_scipy(a: CSRMatrix):
+    import scipy.sparse as sp
+
+    return sp.csr_matrix((a.data, a.indices, a.indptr), shape=a.shape)
+
+
+def _from_scipy(matrix) -> CSRMatrix:
+    csr = matrix.tocsr()
+    csr.sort_indices()
+    csr.sum_duplicates()
+    return CSRMatrix(
+        csr.shape,
+        csr.indptr.astype(np.int64),
+        csr.indices.astype(np.int64),
+        csr.data.astype(np.float64),
+    )
+
+
+class ScipyBackend:
+    """Kernels delegated to scipy.sparse (the default backend)."""
+
+    name = "scipy"
+
+    def spgemm(self, a: CSRMatrix, b: CSRMatrix) -> CSRMatrix:
+        return _from_scipy(_to_scipy(a) @ _to_scipy(b))
+
+    def spmm(self, a: CSRMatrix, dense: np.ndarray) -> np.ndarray:
+        return np.asarray(_to_scipy(a) @ dense, dtype=np.float64)
+
+    def spmv(self, a: CSRMatrix, vector: np.ndarray) -> np.ndarray:
+        return np.asarray(_to_scipy(a) @ vector, dtype=np.float64).ravel()
+
+    def kron(self, a: CSRMatrix, b: CSRMatrix) -> CSRMatrix:
+        import scipy.sparse as sp
+
+        out_shape = (a.shape[0] * b.shape[0], a.shape[1] * b.shape[1])
+        if a.nnz == 0 or b.nnz == 0:
+            return CSRMatrix.zeros(out_shape)
+        return _from_scipy(sp.kron(_to_scipy(a), _to_scipy(b), format="csr"))
+
+    def transpose(self, a: CSRMatrix) -> CSRMatrix:
+        return _from_scipy(_to_scipy(a).transpose())
+
+    def add(self, a: CSRMatrix, b: CSRMatrix) -> CSRMatrix:
+        return _from_scipy(_to_scipy(a) + _to_scipy(b))
+
+
+def scipy_available() -> bool:
+    """True when scipy.sparse can be imported in this environment."""
+    try:
+        import scipy.sparse  # noqa: F401
+    except ImportError:  # pragma: no cover - scipy ships in the toolchain
+        return False
+    return True
+
+
+BACKEND = ScipyBackend()
+if scipy_available():
+    register(BACKEND)

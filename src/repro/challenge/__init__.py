@@ -8,13 +8,22 @@ implementations to run the inference recurrence
 
 over all layers, then report which inputs remain active (the "categories").
 This subpackage regenerates challenge-style instances directly from the
-RadiX-Net construction (scaled to laptop sizes), provides the reference
-inference engine in both dense-batch and sparse-batch forms, and
-round-trips the challenge's TSV interchange format.
+RadiX-Net construction (scaled to laptop sizes), provides the batched
+:class:`~repro.challenge.inference.InferenceEngine` (backend-pluggable via
+:mod:`repro.backends`, with precomputed transposed weights, chunked
+mini-batch streaming, and optional process-pool fan-out), and round-trips
+the challenge's TSV interchange format.
 """
 
 from repro.challenge.generator import ChallengeNetwork, generate_challenge_network, challenge_input_batch
-from repro.challenge.inference import sparse_dnn_inference, infer_categories, InferenceResult
+from repro.challenge.inference import (
+    InferenceEngine,
+    InferenceResult,
+    engine_for,
+    infer_categories,
+    layer_activation_profile,
+    sparse_dnn_inference,
+)
 from repro.challenge.io import save_challenge_network, load_challenge_network
 from repro.challenge.verify import verify_categories, category_checksum
 
@@ -22,8 +31,11 @@ __all__ = [
     "ChallengeNetwork",
     "generate_challenge_network",
     "challenge_input_batch",
+    "InferenceEngine",
+    "engine_for",
     "sparse_dnn_inference",
     "infer_categories",
+    "layer_activation_profile",
     "InferenceResult",
     "save_challenge_network",
     "load_challenge_network",

@@ -1,4 +1,4 @@
-"""The Graph Challenge sparse DNN inference kernel.
+"""The Graph Challenge sparse DNN inference engine.
 
 The reference recurrence (Kepner et al., "Sparse Deep Neural Network Graph
 Challenge") is, for activation matrix ``Y`` with one row per input sample:
@@ -7,21 +7,35 @@ Challenge") is, for activation matrix ``Y`` with one row per input sample:
     Y = min(max(Z, 0), threshold)
 
 after the last layer, the *categories* are the rows of ``Y`` with any
-positive entry.  This module implements the recurrence with either dense
-or sparse activation storage and reports per-layer timing.
+positive entry.
+
+:class:`InferenceEngine` is the production path: it binds a network to a
+sparse-kernel backend (see :mod:`repro.backends`), precomputes every
+layer's transposed weight matrix **once** at construction (the recurrence
+computes ``Y W`` as ``(W^T Y^T)^T``, so a naive implementation pays a
+transpose per layer per call), and runs the recurrence either single-shot
+or in chunked mini-batches -- optionally fanned out across processes via
+:func:`repro.parallel.executor.parallel_map` -- while recording per-layer
+wall-clock time and the backend used.
+
+:func:`sparse_dnn_inference` keeps the original functional API on top of
+the engine; engines are cached per ``(network, backend)`` so repeated
+calls (and :func:`layer_activation_profile`) reuse the transposed
+weights.
 """
 
 from __future__ import annotations
 
 import time
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import ShapeError, ValidationError
+from repro.backends import resolve_backend
+from repro.backends.base import SparseBackend
 from repro.challenge.generator import ChallengeNetwork
-from repro.sparse.csr import CSRMatrix
-from repro.sparse.ops import spmm, sparse_transpose
+from repro.errors import ShapeError, ValidationError
 
 
 @dataclass
@@ -32,6 +46,7 @@ class InferenceResult:
     categories: np.ndarray
     layer_seconds: list[float] = field(default_factory=list)
     edges_traversed: int = 0
+    backend: str = ""
 
     @property
     def total_seconds(self) -> float:
@@ -45,53 +60,286 @@ class InferenceResult:
         return self.edges_traversed / total if total > 0 else float("inf")
 
 
+def _layer_step(
+    y: np.ndarray,
+    weight_t,
+    bias: np.ndarray,
+    threshold: float,
+    backend: SparseBackend,
+) -> np.ndarray:
+    """One layer of the recurrence: ``min(max(Y W + b, 0), threshold)``.
+
+    ``weight_t`` is the pre-transposed weight matrix (``Y W`` is computed
+    as ``(W^T Y^T)^T``).  The bias is only added to rows that have any
+    active input, matching the GraphBLAS reference implementation (bias
+    enters through the semiring on existing entries, so fully-inactive
+    samples stay inactive).
+    """
+    z = backend.spmm(weight_t, y.T).T
+    active_rows = y.sum(axis=1) > 0
+    z[active_rows] += bias
+    np.maximum(z, 0.0, out=z)
+    np.minimum(z, threshold, out=z)
+    return z
+
+
+class InferenceEngine:
+    """A network bound to a backend, ready for repeated batched inference.
+
+    Parameters
+    ----------
+    network:
+        The :class:`~repro.challenge.generator.ChallengeNetwork` to run.
+    backend:
+        Backend name, instance, or ``None`` for the active backend.  The
+        per-layer transposed weights are computed once here, with this
+        backend, and reused by every subsequent call -- the hot loop never
+        transposes.
+    """
+
+    def __init__(
+        self,
+        network: ChallengeNetwork,
+        *,
+        backend: str | SparseBackend | None = None,
+    ) -> None:
+        self.network = network
+        self.backend = resolve_backend(backend)
+        # x @ W computed as (W^T @ x^T)^T; pay the transposes once, here.
+        self.weights_t = tuple(self.backend.transpose(w) for w in network.weights)
+        self.edges_per_sample = int(sum(w.nnz for w in network.weights))
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        inputs: np.ndarray,
+        *,
+        chunk_size: int | None = None,
+        workers: int | None = None,
+        record_timing: bool = True,
+    ) -> InferenceResult:
+        """Run the full recurrence over ``inputs`` (``(batch, neurons)``).
+
+        ``chunk_size`` splits the batch into mini-batches of at most that
+        many rows, bounding the peak size of intermediate activation
+        buffers (each chunk's intermediates are released before the next
+        chunk starts); the merged result is bit-identical to the
+        single-shot path.  ``workers`` additionally fans the chunks out
+        across a process pool (chunks are independent, so this is a pure
+        batch partition); per-layer timings are not collected on the
+        parallel path.
+        """
+        y = self._validate_inputs(inputs)
+        batch = y.shape[0]
+        if chunk_size is not None and chunk_size < 1:
+            raise ValidationError(f"chunk_size must be >= 1, got {chunk_size}")
+        if workers is not None and workers < 1:
+            raise ValidationError(f"workers must be >= 1, got {workers}")
+        if batch == 0:
+            return self._run_block(y, record_timing=record_timing)
+        if chunk_size is None:
+            if workers is None or workers == 1:
+                return self._run_block(y, record_timing=record_timing)
+            # floor, not ceil: ceil(batch/workers) can yield fewer chunks
+            # than workers (batch=9, workers=4 -> 3 chunks of 3), idling a
+            # worker; floor gives at least `workers` chunks when batch
+            # allows, and the pool queue balances the remainder
+            chunk_size = max(1, batch // workers)
+        if batch <= chunk_size:
+            # a single chunk: run it in-process; fanning one task out to a
+            # pool would only add spawn/pickle overhead
+            return self._run_block(y, record_timing=record_timing)
+        if workers is not None and workers > 1:
+            return self._run_parallel(y, chunk_size, workers)
+        layer_seconds = [0.0] * self.network.num_layers
+        activations: list[np.ndarray] = []
+        categories: list[np.ndarray] = []
+        for offset, chunk_result in self.stream(
+            y, chunk_size=chunk_size, record_timing=record_timing
+        ):
+            activations.append(chunk_result.activations)
+            categories.append(chunk_result.categories + offset)
+            for i, seconds in enumerate(chunk_result.layer_seconds):
+                layer_seconds[i] += seconds
+        return self._merged_result(
+            activations, categories, layer_seconds if record_timing else [], batch
+        )
+
+    def stream(
+        self,
+        inputs: np.ndarray,
+        *,
+        chunk_size: int,
+        record_timing: bool = False,
+    ) -> Iterator[tuple[int, InferenceResult]]:
+        """Yield ``(row_offset, result)`` per mini-batch of ``chunk_size`` rows.
+
+        The streaming form keeps only one chunk's activations alive at a
+        time, so arbitrarily large batches run in bounded memory when the
+        caller consumes (or discards) each chunk before requesting the
+        next.  Chunk category indices are chunk-local; add ``row_offset``
+        to place them in the full batch.
+        """
+        y = self._validate_inputs(inputs)
+        if chunk_size < 1:
+            raise ValidationError(f"chunk_size must be >= 1, got {chunk_size}")
+        for offset in range(0, y.shape[0], chunk_size):
+            chunk = y[offset : offset + chunk_size]
+            yield offset, self._run_block(chunk, record_timing=record_timing)
+
+    def layer_profile(self, inputs: np.ndarray) -> list[float]:
+        """Fraction of nonzero activations after every layer (diagnostic curve).
+
+        The challenge instances are tuned so activations neither die out
+        nor saturate; this profile is the quickest way to confirm a
+        generated instance behaves like the real ones.
+        """
+        y = self._validate_inputs(inputs)
+        profile = []
+        for weight_t, bias in zip(self.weights_t, self.network.biases):
+            y = self._apply_layer(y, weight_t, bias)
+            profile.append(float(np.count_nonzero(y) / y.size))
+        return profile
+
+    # ------------------------------------------------------------------ #
+    def _validate_inputs(self, inputs: np.ndarray) -> np.ndarray:
+        y = np.asarray(inputs, dtype=np.float64)
+        if y.ndim != 2 or y.shape[1] != self.network.neurons:
+            raise ShapeError(
+                f"inputs must have shape (batch, {self.network.neurons}), got {y.shape}"
+            )
+        return y
+
+    def _apply_layer(self, y: np.ndarray, weight_t, bias: np.ndarray) -> np.ndarray:
+        return _layer_step(y, weight_t, bias, self.network.threshold, self.backend)
+
+    def _run_block(self, y: np.ndarray, *, record_timing: bool) -> InferenceResult:
+        batch = y.shape[0]
+        layer_seconds: list[float] = []
+        for weight_t, bias in zip(self.weights_t, self.network.biases):
+            start = time.perf_counter() if record_timing else 0.0
+            y = self._apply_layer(y, weight_t, bias)
+            if record_timing:
+                layer_seconds.append(time.perf_counter() - start)
+        categories = np.flatnonzero(y.sum(axis=1) > 0)
+        return InferenceResult(
+            activations=y,
+            categories=categories,
+            layer_seconds=layer_seconds,
+            edges_traversed=self.edges_per_sample * batch,
+            backend=self.backend.name,
+        )
+
+    def _run_parallel(
+        self, y: np.ndarray, chunk_size: int, workers: int
+    ) -> InferenceResult:
+        from repro.parallel.executor import parallel_map
+
+        chunks = [y[offset : offset + chunk_size] for offset in range(0, y.shape[0], chunk_size)]
+        # Ship only what the recurrence needs (transposed weights, biases,
+        # threshold, backend) -- not the whole engine, whose network would
+        # add the original weights and topology to every task's pickle.
+        model = (self.weights_t, self.network.biases, self.network.threshold, self.backend)
+        tasks = [(model, chunk) for chunk in chunks]
+        outputs = parallel_map(
+            _engine_chunk_worker, tasks, workers=workers, min_items_for_parallel=2
+        )
+        activations = [o[0] for o in outputs]
+        categories = []
+        offset = 0
+        for chunk, (_, cats) in zip(chunks, outputs):
+            categories.append(cats + offset)
+            offset += chunk.shape[0]
+        return self._merged_result(activations, categories, [], y.shape[0])
+
+    def _merged_result(
+        self,
+        activations: list[np.ndarray],
+        categories: list[np.ndarray],
+        layer_seconds: list[float],
+        batch: int,
+    ) -> InferenceResult:
+        """Assemble per-chunk outputs (categories already offset) into one result."""
+        return InferenceResult(
+            activations=np.concatenate(activations, axis=0)
+            if activations
+            else np.empty((0, self.network.neurons)),
+            categories=np.concatenate(categories)
+            if categories
+            else np.empty(0, dtype=np.int64),
+            layer_seconds=layer_seconds,
+            edges_traversed=self.edges_per_sample * batch,
+            backend=self.backend.name,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"InferenceEngine(network={self.network!r}, "
+            f"backend={self.backend.name!r})"
+        )
+
+
+def _engine_chunk_worker(task) -> tuple[np.ndarray, np.ndarray]:
+    """Process-pool worker: run one chunk through the recurrence.
+
+    The model bundle (transposed weights, biases, threshold, backend)
+    rides along in the task tuple (CSR matrices and backends pickle
+    cleanly) so the worker is independent of process start method and of
+    module-level state.
+    """
+    (weights_t, biases, threshold, backend), y = task
+    for weight_t, bias in zip(weights_t, biases):
+        y = _layer_step(y, weight_t, bias, threshold, backend)
+    return y, np.flatnonzero(y.sum(axis=1) > 0)
+
+
+def engine_for(
+    network: ChallengeNetwork, backend: str | SparseBackend | None = None
+) -> InferenceEngine:
+    """The cached engine of ``network`` for ``backend`` (built on first use).
+
+    Engines are memoized on the network object itself (one per backend
+    name), so their lifetime is tied to the network and repeated
+    functional-API calls never pay the per-layer transposes again.
+    """
+    impl = resolve_backend(backend)
+    engines: dict[str, InferenceEngine] | None = getattr(network, "_engines", None)
+    if engines is None:
+        engines = {}
+        object.__setattr__(network, "_engines", engines)
+    engine = engines.get(impl.name)
+    if engine is None:
+        engine = InferenceEngine(network, backend=impl)
+        engines[impl.name] = engine
+    return engine
+
+
 def sparse_dnn_inference(
     network: ChallengeNetwork,
     inputs: np.ndarray,
     *,
     record_timing: bool = True,
+    backend: str | SparseBackend | None = None,
+    chunk_size: int | None = None,
+    workers: int | None = None,
 ) -> InferenceResult:
     """Run the challenge inference recurrence over all layers of ``network``.
 
     ``inputs`` is a dense ``(batch, neurons)`` activation matrix (sparse
     batches are supported by the caller simply passing mostly-zero rows --
     the kernel exploits sparsity through the CSR weight matrices).
+
+    This is the stable functional front end of :class:`InferenceEngine`;
+    see :meth:`InferenceEngine.run` for the ``chunk_size`` / ``workers``
+    semantics.  ``edges_traversed`` is the Graph Challenge convention:
+    total stored weight entries across layers, times the batch size.
     """
-    y = np.asarray(inputs, dtype=np.float64)
-    if y.ndim != 2 or y.shape[1] != network.neurons:
-        raise ShapeError(
-            f"inputs must have shape (batch, {network.neurons}), got {y.shape}"
-        )
-    layer_seconds: list[float] = []
-    edges = 0
-    for weight, bias in zip(network.weights, network.biases):
-        start = time.perf_counter() if record_timing else 0.0
-        y = _layer_step(y, weight, bias, network.threshold)
-        if record_timing:
-            layer_seconds.append(time.perf_counter() - start)
-        edges += weight.nnz
-    categories = np.flatnonzero(y.sum(axis=1) > 0)
-    return InferenceResult(
-        activations=y,
-        categories=categories,
-        layer_seconds=layer_seconds,
-        edges_traversed=edges * y.shape[0] if y.shape[0] else edges,
+    return engine_for(network, backend).run(
+        inputs,
+        chunk_size=chunk_size,
+        workers=workers,
+        record_timing=record_timing,
     )
-
-
-def _layer_step(y: np.ndarray, weight: CSRMatrix, bias: np.ndarray, threshold: float) -> np.ndarray:
-    """One layer of the recurrence: ``min(max(Y W + b, 0), threshold)``.
-
-    The bias is only added to rows that have any active input, matching the
-    GraphBLAS reference implementation (bias enters through the semiring on
-    existing entries, so fully-inactive samples stay inactive).
-    """
-    z = spmm(sparse_transpose(weight), y.T).T
-    active_rows = y.sum(axis=1) > 0
-    z[active_rows] += bias
-    np.maximum(z, 0.0, out=z)
-    np.minimum(z, threshold, out=z)
-    return z
 
 
 def infer_categories(network: ChallengeNetwork, inputs: np.ndarray) -> np.ndarray:
@@ -102,17 +350,12 @@ def infer_categories(network: ChallengeNetwork, inputs: np.ndarray) -> np.ndarra
 def layer_activation_profile(network: ChallengeNetwork, inputs: np.ndarray) -> list[float]:
     """Fraction of nonzero activations after every layer (diagnostic curve).
 
-    The challenge instances are tuned so activations neither die out nor
-    saturate; this profile is the quickest way to confirm a generated
-    instance behaves like the real ones.
+    Delegates to the cached :class:`InferenceEngine` of ``network`` so the
+    transposed weights are shared with inference calls.  Raises
+    :class:`ValidationError` on malformed inputs (the historical contract
+    of this wrapper; the engine itself raises :class:`ShapeError`).
     """
-    y = np.asarray(inputs, dtype=np.float64)
-    if y.ndim != 2 or y.shape[1] != network.neurons:
-        raise ValidationError(
-            f"inputs must have shape (batch, {network.neurons}), got {y.shape}"
-        )
-    profile = []
-    for weight, bias in zip(network.weights, network.biases):
-        y = _layer_step(y, weight, bias, network.threshold)
-        profile.append(float(np.count_nonzero(y) / y.size))
-    return profile
+    try:
+        return engine_for(network).layer_profile(inputs)
+    except ShapeError as exc:
+        raise ValidationError(str(exc)) from None

@@ -9,6 +9,14 @@ generated, inspected, verified, and exported without writing Python::
     python -m repro.cli density --systems "3,3;9" --widths 1,1,1,1
     python -m repro.cli challenge --neurons 128 --layers 12 --connections 8
     python -m repro.cli design --layer-widths 32,64,64,16
+    python -m repro.cli backends
+
+The kernel-heavy subcommands (``challenge``, ``verify``) accept
+``--backend {reference,scipy,vectorized}`` to select the sparse-kernel
+implementation (see :mod:`repro.backends`; the ``REPRO_BACKEND``
+environment variable sets the default).  ``challenge`` additionally
+accepts ``--chunk-size`` / ``--workers`` for chunked or process-parallel
+batched inference through the :class:`InferenceEngine`.
 
 Every subcommand prints a plain-text report and exits 0 on success, 2 on
 argument errors (argparse convention), 1 on library errors.
@@ -68,6 +76,7 @@ def build_parser() -> argparse.ArgumentParser:
     verify = subparsers.add_parser("verify", help="verify Theorem 1 on a specification")
     verify.add_argument("--systems", type=parse_systems, required=True)
     verify.add_argument("--widths", type=parse_widths, required=True)
+    verify.add_argument("--backend", default=None, help="sparse backend for the chain products (see `backends`)")
 
     density = subparsers.add_parser("density", help="report eq. (4)/(5)/(6) densities for a specification")
     density.add_argument("--systems", type=parse_systems, required=True)
@@ -79,10 +88,15 @@ def build_parser() -> argparse.ArgumentParser:
     challenge.add_argument("--connections", type=int, default=8)
     challenge.add_argument("--batch", type=int, default=32)
     challenge.add_argument("--seed", type=int, default=0)
+    challenge.add_argument("--backend", default=None, help="sparse backend for the inference kernels (see `backends`)")
+    challenge.add_argument("--chunk-size", type=int, default=None, help="mini-batch rows per chunk (bounds peak memory)")
+    challenge.add_argument("--workers", type=int, default=None, help="process-pool fan-out across chunks")
 
     design = subparsers.add_parser("design", help="find a specification matching layer widths")
     design.add_argument("--layer-widths", type=parse_widths, required=True)
     design.add_argument("--max-n-prime", type=int, default=None)
+
+    subparsers.add_parser("backends", help="list registered sparse-kernel backends")
 
     return parser
 
@@ -117,7 +131,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.core.theory import verify_theorem_1
 
     spec = RadixNetSpec(args.systems, args.widths)
-    check = verify_theorem_1(spec)
+    check = verify_theorem_1(spec, backend=args.backend)
     print(f"specification: {spec}")
     print(f"symmetric: {check.symmetric}")
     print(f"paths per (input, output) pair: measured {check.measured_paths}, predicted {check.predicted_paths}")
@@ -140,16 +154,21 @@ def _cmd_density(args: argparse.Namespace) -> int:
 
 def _cmd_challenge(args: argparse.Namespace) -> int:
     from repro.challenge.generator import challenge_input_batch, generate_challenge_network
-    from repro.challenge.inference import sparse_dnn_inference
+    from repro.challenge.inference import engine_for
     from repro.challenge.verify import verify_categories
 
     network = generate_challenge_network(
         args.neurons, args.layers, connections=args.connections, seed=args.seed
     )
     batch = challenge_input_batch(args.neurons, args.batch, seed=args.seed + 1)
-    result = sparse_dnn_inference(network, batch)
+    engine = engine_for(network, args.backend)
+    result = engine.run(batch, chunk_size=args.chunk_size, workers=args.workers)
     print(f"network: {network!r}")
-    print(f"inference: {result.total_seconds:.4f}s, {result.edges_per_second:,.0f} edges/s")
+    print(f"backend: {result.backend}")
+    if result.layer_seconds:
+        print(f"inference: {result.total_seconds:.4f}s, {result.edges_per_second:,.0f} edges/s")
+    else:  # parallel fan-out does not collect per-layer timings
+        print(f"inference: {result.edges_traversed:,} edges traversed (parallel run; per-layer timing off)")
     print(f"categories: {result.categories.size} of {args.batch}")
     verified = verify_categories(network, batch)
     print(f"verified against dense reference: {verified}")
@@ -169,6 +188,18 @@ def _cmd_design(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_backends(args: argparse.Namespace) -> int:
+    import repro.backends as backends
+
+    active = backends.active_backend().name
+    for name in backends.available_backends():
+        marker = "*" if name == active else " "
+        print(f"{marker} {name}")
+    print(f"(* = active; override with repro.backends.use(...), --backend, "
+          f"or the {backends.DEFAULT_BACKEND_ENV} environment variable)")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "info": _cmd_info,
@@ -176,6 +207,7 @@ _COMMANDS = {
     "density": _cmd_density,
     "challenge": _cmd_challenge,
     "design": _cmd_design,
+    "backends": _cmd_backends,
 }
 
 

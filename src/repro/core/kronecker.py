@@ -14,9 +14,9 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.backends import active_backend
 from repro.errors import ValidationError
 from repro.sparse.csr import CSRMatrix
-from repro.sparse.ops import kron
 from repro.utils.validation import check_positive_int
 
 
@@ -25,6 +25,11 @@ def kron_expand_submatrices(
     widths: Sequence[int],
 ) -> list[CSRMatrix]:
     """Apply equation (3): ``W_i -> 1_{D_{i-1}, D_i} (x) W_i`` for every level.
+
+    The Kronecker products run on the active sparse backend
+    (:mod:`repro.backends`), so large expansions benefit from the
+    compiled ``scipy`` kernels while small ones can be cross-checked
+    against ``reference``.
 
     Parameters
     ----------
@@ -40,10 +45,11 @@ def kron_expand_submatrices(
             f"(one per node layer), got {len(widths)}"
         )
     d = [check_positive_int(w, f"widths[{i}]") for i, w in enumerate(widths)]
+    backend = active_backend()
     expanded = []
     for i, w in enumerate(submatrices):
         ones_block = CSRMatrix.ones((d[i], d[i + 1]))
-        expanded.append(kron(ones_block, w))
+        expanded.append(backend.kron(ones_block, w))
     return expanded
 
 

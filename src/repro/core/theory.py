@@ -18,16 +18,23 @@ product of the constructed topology.
 
 from __future__ import annotations
 
+import contextlib
 import math
 from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
 
+import repro.backends as backends
 from repro.core.radixnet import RadixNetSpec, SystemLike, generate_from_spec
 from repro.numeral.mixed_radix import MixedRadixSystem
 from repro.topology.fnnt import FNNT
 from repro.topology.properties import path_count_matrix
+
+
+def _backend_scope(backend: str | None):
+    """Context running the Theorem-1 chain products on a chosen backend."""
+    return backends.use(backend) if backend is not None else contextlib.nullcontext()
 
 
 def predicted_mixed_radix_path_count() -> int:
@@ -94,29 +101,44 @@ def _check_against(topology: FNNT, predicted: int) -> TheoremCheck:
     )
 
 
-def verify_lemma_1(system: SystemLike) -> TheoremCheck:
-    """Verify Lemma 1 on the mixed-radix topology of ``system``."""
+def verify_lemma_1(system: SystemLike, *, backend: str | None = None) -> TheoremCheck:
+    """Verify Lemma 1 on the mixed-radix topology of ``system``.
+
+    ``backend`` optionally pins the sparse backend for the path-count
+    chain product (the verification is backend-independent, so running it
+    under each registered backend is itself a kernel cross-check).
+    """
     from repro.core.mixed_radix_topology import mixed_radix_topology
 
-    return _check_against(mixed_radix_topology(system), predicted_mixed_radix_path_count())
+    with _backend_scope(backend):
+        return _check_against(
+            mixed_radix_topology(system), predicted_mixed_radix_path_count()
+        )
 
 
-def verify_lemma_2(systems: Sequence[SystemLike]) -> TheoremCheck:
+def verify_lemma_2(
+    systems: Sequence[SystemLike], *, backend: str | None = None
+) -> TheoremCheck:
     """Verify Lemma 2 on the extended mixed-radix topology of ``systems``."""
     from repro.core.radixnet import generate_extended_mixed_radix
 
-    return _check_against(
-        generate_extended_mixed_radix(systems), predicted_emr_path_count(systems)
-    )
+    with _backend_scope(backend):
+        return _check_against(
+            generate_extended_mixed_radix(systems), predicted_emr_path_count(systems)
+        )
 
 
-def verify_theorem_1(spec: RadixNetSpec, *, topology: FNNT | None = None) -> TheoremCheck:
+def verify_theorem_1(
+    spec: RadixNetSpec, *, topology: FNNT | None = None, backend: str | None = None
+) -> TheoremCheck:
     """Verify Theorem 1 on the RadiX-Net generated from ``spec``.
 
-    ``topology`` may be supplied to avoid regenerating an already-built net.
+    ``topology`` may be supplied to avoid regenerating an already-built
+    net; ``backend`` pins the sparse backend used for the chain product.
     """
-    net = topology if topology is not None else generate_from_spec(spec)
-    return _check_against(net, predicted_radixnet_path_count(spec))
+    with _backend_scope(backend):
+        net = topology if topology is not None else generate_from_spec(spec)
+        return _check_against(net, predicted_radixnet_path_count(spec))
 
 
 def path_count_spectrum(topology: FNNT) -> dict[int, int]:

@@ -12,7 +12,9 @@ Three affine layer types share one interface (``forward``, ``backward``,
   sparse-training companion experiments were run.
 * :class:`CSRSparseLayer` -- weights stored in a CSR matrix; forward-only
   (inference), used by the Graph Challenge engine and for deploying
-  trained masked layers in a genuinely sparse representation.
+  trained masked layers in a genuinely sparse representation.  Its sparse
+  kernels dispatch through :mod:`repro.backends` (the backend is bound at
+  construction, when the transposed weights are precomputed once).
 
 All layers operate on batches shaped ``(batch, features)``.
 """
@@ -21,11 +23,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backends import resolve_backend
+from repro.backends.base import SparseBackend
 from repro.errors import ShapeError, ValidationError
 from repro.nn.activations import Activation, get_activation
 from repro.nn.initializers import glorot_uniform, he_normal, sparse_corrected_scale, zeros_bias
 from repro.sparse.csr import CSRMatrix
-from repro.sparse.ops import spmm, sparse_transpose
 from repro.utils.rng import RngLike
 
 
@@ -169,6 +172,23 @@ class MaskedSparseLayer(DenseLayer):
         """Trainable scalars: one weight per connection plus the biases."""
         return self.connection_count + self.biases.size
 
+    def to_csr_layer(
+        self, *, backend: str | SparseBackend | None = None
+    ) -> "CSRSparseLayer":
+        """Deploy the trained masked layer as a genuinely sparse inference layer.
+
+        The effective (masked) weights are compressed to CSR and wrapped in
+        a :class:`CSRSparseLayer` bound to ``backend`` (default: the active
+        sparse backend), so a trained topology can be served through the
+        same kernel layer as the Graph Challenge engine.
+        """
+        return CSRSparseLayer(
+            CSRMatrix.from_dense(self.effective_weights()),
+            self.biases.copy(),
+            activation=self.activation,
+            backend=backend,
+        )
+
 
 class CSRSparseLayer:
     """Inference-only sparse affine layer with CSR-stored weights.
@@ -185,6 +205,7 @@ class CSRSparseLayer:
         biases: np.ndarray | None = None,
         *,
         activation: str | Activation = "relu",
+        backend: str | SparseBackend | None = None,
     ) -> None:
         if not isinstance(weights, CSRMatrix):
             raise ValidationError("weights must be a CSRMatrix")
@@ -198,8 +219,9 @@ class CSRSparseLayer:
                 f"biases must have length {self.fan_out}, got {self.biases.size}"
             )
         self.activation = get_activation(activation)
+        self.backend = resolve_backend(backend)
         # x @ W computed as (W^T @ x^T)^T; cache the transpose once.
-        self._weights_t = sparse_transpose(weights)
+        self._weights_t = self.backend.transpose(weights)
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
         """Compute ``activation(inputs @ W + b)`` for a batch of inputs."""
@@ -208,7 +230,7 @@ class CSRSparseLayer:
             raise ShapeError(
                 f"inputs must have shape (batch, {self.fan_in}), got {x.shape}"
             )
-        pre_activation = spmm(self._weights_t, x.T).T + self.biases
+        pre_activation = self.backend.spmm(self._weights_t, x.T).T + self.biases
         return self.activation(pre_activation)
 
     @property
@@ -219,5 +241,6 @@ class CSRSparseLayer:
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (
             f"CSRSparseLayer(fan_in={self.fan_in}, fan_out={self.fan_out}, "
-            f"nnz={self.weights.nnz}, activation={self.activation.name!r})"
+            f"nnz={self.weights.nnz}, activation={self.activation.name!r}, "
+            f"backend={self.backend.name!r})"
         )

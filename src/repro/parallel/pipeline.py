@@ -17,20 +17,10 @@ from typing import Any
 
 import numpy as np
 
+from repro.backends.base import SparseBackend
 from repro.challenge.generator import ChallengeNetwork
-from repro.challenge.inference import InferenceResult, sparse_dnn_inference
-from repro.parallel.executor import parallel_map
-from repro.parallel.partition import partition_batch
-
-def _infer_chunk(task: tuple[ChallengeNetwork, np.ndarray]) -> tuple[np.ndarray, np.ndarray, int]:
-    """Worker body: run inference on one chunk of the batch.
-
-    The network rides along in the task tuple so the worker is independent
-    of process start method (fork or spawn) and of module-level state.
-    """
-    network, chunk = task
-    result = sparse_dnn_inference(network, chunk, record_timing=False)
-    return result.activations, result.categories, result.edges_traversed
+from repro.challenge.inference import InferenceResult, engine_for
+from repro.parallel.executor import effective_worker_count, parallel_map
 
 
 def parallel_inference(
@@ -39,33 +29,28 @@ def parallel_inference(
     *,
     workers: int | None = None,
     parts: int | None = None,
+    backend: str | SparseBackend | None = None,
 ) -> InferenceResult:
     """Batch-parallel Graph Challenge inference.
 
     The batch is split into ``parts`` chunks (default: one per worker) and
     each chunk runs the full layer recurrence independently; category
     indices are re-offset into the original batch numbering and merged.
-    Falls back to serial execution transparently (see
-    :func:`repro.parallel.executor.parallel_map`).
+    This is a thin front end over
+    :meth:`repro.challenge.inference.InferenceEngine.run`, which owns the
+    chunking and the process-pool fan-out (with the usual transparent
+    serial fallback of :func:`repro.parallel.executor.parallel_map`).
     """
     batch = np.asarray(inputs, dtype=np.float64)
-    chunk_count = parts if parts is not None else max(1, (workers or 2))
-    chunks = partition_batch(batch, chunk_count)
-    tasks = [(network, chunk) for chunk in chunks]
-    outputs = parallel_map(_infer_chunk, tasks, workers=workers, min_items_for_parallel=2)
-    activations = np.concatenate([o[0] for o in outputs], axis=0)
-    categories = []
-    offset = 0
-    edges = 0
-    for chunk, (_, cats, chunk_edges) in zip(chunks, outputs):
-        categories.append(cats + offset)
-        offset += chunk.shape[0]
-        edges += chunk_edges
-    return InferenceResult(
-        activations=activations,
-        categories=np.concatenate(categories) if categories else np.empty(0, dtype=np.int64),
-        layer_seconds=[],
-        edges_traversed=edges,
+    worker_count = effective_worker_count(workers)
+    # Only an explicit `parts` pins the chunk size; otherwise the engine
+    # derives a worker-balanced split itself.
+    chunk_size = max(1, batch.shape[0] // parts) if parts and batch.shape[0] else None
+    return engine_for(network, backend).run(
+        batch,
+        chunk_size=chunk_size,
+        workers=worker_count,
+        record_timing=False,
     )
 
 

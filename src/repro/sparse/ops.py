@@ -1,13 +1,16 @@
 """Sparse matrix kernels: SpGEMM, SpMM, SpMV, Kronecker products, powers.
 
-These implement, in pure NumPy, exactly the operations the RadiX-Net
-construction (Kronecker products of adjacency submatrices) and its
-verification (chain products of submatrices for Theorem 1) require.
+These are the operations the RadiX-Net construction (Kronecker products
+of adjacency submatrices) and its verification (chain products of
+submatrices for Theorem 1) require.
 
-The SpGEMM here uses scipy.sparse internally when available for speed on
-large instances, but the row-merge reference implementation is kept and
-tested so the package is self-contained and the scipy path can be
-cross-checked.
+This module is a thin *dispatch layer*: it validates operand shapes and
+forwards to the active :mod:`repro.backends` implementation (``scipy``
+by default, with ``reference`` and ``vectorized`` pure-NumPy
+alternatives).  Switch implementations globally or per-scope with
+``repro.backends.use(...)``, or per-call via the ``backend=`` keyword
+accepted by every kernel here.  The public API of this module is stable
+across backends.
 """
 
 from __future__ import annotations
@@ -16,8 +19,10 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.backends import available_backends, resolve_backend as _resolve
+from repro.backends.base import SparseBackend
+from repro.backends.reference import spgemm_rowmerge as _spgemm_rowmerge  # noqa: F401 - re-export
 from repro.errors import ShapeError
-from repro.sparse.coo import COOMatrix
 from repro.sparse.csr import CSRMatrix
 
 
@@ -28,109 +33,79 @@ def _check_matmul_shapes(a: CSRMatrix, b: CSRMatrix) -> None:
         )
 
 
-def spgemm(a: CSRMatrix, b: CSRMatrix, *, use_scipy: bool = True) -> CSRMatrix:
+def spgemm(
+    a: CSRMatrix,
+    b: CSRMatrix,
+    *,
+    use_scipy: bool | None = None,
+    backend: str | SparseBackend | None = None,
+) -> CSRMatrix:
     """Sparse-sparse matrix multiply ``a @ b`` over the (+, *) semiring.
 
     Parameters
     ----------
     use_scipy:
-        When True (default) delegate to ``scipy.sparse`` which is much
-        faster for large operands; the pure-NumPy row-merge path is used
-        otherwise and in tests as a cross-check.
+        Back-compat switch predating the backend registry: ``True``
+        selects the ``scipy`` backend (falling back to ``reference``
+        when scipy is not installed, as the pre-registry code did),
+        ``False`` forces ``reference`` (the row-merge oracle).  Leave
+        as ``None`` (default) to use the active backend.
+    backend:
+        Explicit backend name or instance for this call only; overrides
+        ``use_scipy``.
     """
     _check_matmul_shapes(a, b)
-    if use_scipy:
-        try:
-            import scipy.sparse as sp
-        except ImportError:  # pragma: no cover - scipy is a hard dependency
-            use_scipy = False
+    if backend is None and use_scipy is not None:
+        if use_scipy and "scipy" in available_backends():
+            backend = "scipy"
         else:
-            sa = sp.csr_matrix((a.data, a.indices, a.indptr), shape=a.shape)
-            sb = sp.csr_matrix((b.data, b.indices, b.indptr), shape=b.shape)
-            sc = (sa @ sb).tocsr()
-            sc.sort_indices()
-            sc.sum_duplicates()
-            return CSRMatrix(sc.shape, sc.indptr.astype(np.int64), sc.indices.astype(np.int64), sc.data.astype(np.float64))
-    return _spgemm_rowmerge(a, b)
+            backend = "reference"
+    return _resolve(backend).spgemm(a, b)
 
 
-def _spgemm_rowmerge(a: CSRMatrix, b: CSRMatrix) -> CSRMatrix:
-    """Reference Gustavson row-merge SpGEMM (pure NumPy/Python)."""
-    nrows, ncols = a.shape[0], b.shape[1]
-    out_indptr = np.zeros(nrows + 1, dtype=np.int64)
-    out_indices: list[np.ndarray] = []
-    out_data: list[np.ndarray] = []
-    accumulator = np.zeros(ncols, dtype=np.float64)
-    for i in range(nrows):
-        a_cols, a_vals = a.row(i)
-        touched: list[np.ndarray] = []
-        for k, av in zip(a_cols, a_vals):
-            b_cols, b_vals = b.row(int(k))
-            accumulator[b_cols] += av * b_vals
-            touched.append(b_cols)
-        if touched:
-            cols = np.unique(np.concatenate(touched))
-            vals = accumulator[cols]
-            keep = vals != 0.0
-            cols, vals = cols[keep], vals[keep]
-            accumulator[cols] = 0.0
-            accumulator[np.concatenate(touched)] = 0.0
-        else:
-            cols = np.empty(0, dtype=np.int64)
-            vals = np.empty(0, dtype=np.float64)
-        out_indices.append(cols)
-        out_data.append(vals)
-        out_indptr[i + 1] = out_indptr[i] + cols.size
-    indices = np.concatenate(out_indices) if out_indices else np.empty(0, dtype=np.int64)
-    data = np.concatenate(out_data) if out_data else np.empty(0, dtype=np.float64)
-    return CSRMatrix((nrows, ncols), out_indptr, indices, data)
-
-
-def spmm(a: CSRMatrix, dense: np.ndarray) -> np.ndarray:
+def spmm(
+    a: CSRMatrix, dense: np.ndarray, *, backend: str | SparseBackend | None = None
+) -> np.ndarray:
     """Sparse @ dense: multiply a CSR matrix by a dense matrix or batch."""
     arr = np.asarray(dense, dtype=np.float64)
     if arr.ndim == 1:
-        return spmv(a, arr)
+        return spmv(a, arr, backend=backend)
     if arr.ndim != 2 or arr.shape[0] != a.shape[1]:
         raise ShapeError(
             f"dense operand must have shape ({a.shape[1]}, k), got {arr.shape}"
         )
-    out = np.zeros((a.shape[0], arr.shape[1]), dtype=np.float64)
-    row_ids = np.repeat(np.arange(a.shape[0]), np.diff(a.indptr))
-    # scatter-add of value-scaled rows of the dense operand
-    np.add.at(out, row_ids, a.data[:, None] * arr[a.indices])
-    return out
+    return _resolve(backend).spmm(a, arr)
 
 
-def spmv(a: CSRMatrix, vector: np.ndarray) -> np.ndarray:
+def spmv(
+    a: CSRMatrix, vector: np.ndarray, *, backend: str | SparseBackend | None = None
+) -> np.ndarray:
     """Sparse matrix times dense vector."""
     vec = np.asarray(vector, dtype=np.float64).ravel()
     if vec.size != a.shape[1]:
         raise ShapeError(f"vector must have length {a.shape[1]}, got {vec.size}")
-    products = a.data * vec[a.indices]
-    out = np.zeros(a.shape[0], dtype=np.float64)
-    row_ids = np.repeat(np.arange(a.shape[0]), np.diff(a.indptr))
-    np.add.at(out, row_ids, products)
-    return out
+    return _resolve(backend).spmv(a, vec)
 
 
-def sparse_transpose(a: CSRMatrix) -> CSRMatrix:
+def sparse_transpose(
+    a: CSRMatrix, *, backend: str | SparseBackend | None = None
+) -> CSRMatrix:
     """Transpose a CSR matrix (returns canonical CSR of the transpose)."""
-    return a.to_coo().transpose().to_csr()
+    return _resolve(backend).transpose(a)
 
 
-def sparse_add(a: CSRMatrix, b: CSRMatrix) -> CSRMatrix:
+def sparse_add(
+    a: CSRMatrix, b: CSRMatrix, *, backend: str | SparseBackend | None = None
+) -> CSRMatrix:
     """Entry-wise sum of two CSR matrices of identical shape."""
     if a.shape != b.shape:
         raise ShapeError(f"cannot add shapes {a.shape} and {b.shape}")
-    a_coo, b_coo = a.to_coo(), b.to_coo()
-    rows = np.concatenate([a_coo.rows, b_coo.rows])
-    cols = np.concatenate([a_coo.cols, b_coo.cols])
-    vals = np.concatenate([a_coo.values, b_coo.values])
-    return COOMatrix(a.shape, rows, cols, vals).to_csr()
+    return _resolve(backend).add(a, b)
 
 
-def kron(a: CSRMatrix, b: CSRMatrix) -> CSRMatrix:
+def kron(
+    a: CSRMatrix, b: CSRMatrix, *, backend: str | SparseBackend | None = None
+) -> CSRMatrix:
     """Kronecker product ``a (x) b`` of two sparse matrices.
 
     This is the operation of the paper's equation (3): every RadiX-Net
@@ -140,35 +115,33 @@ def kron(a: CSRMatrix, b: CSRMatrix) -> CSRMatrix:
     The result row ``i_a * rows(b) + i_b`` holds, for every stored pair,
     value ``a[i_a, j_a] * b[i_b, j_b]`` at column ``j_a * cols(b) + j_b``.
     """
-    a_coo, b_coo = a.to_coo().coalesce(), b.to_coo().coalesce()
-    out_shape = (a.shape[0] * b.shape[0], a.shape[1] * b.shape[1])
-    if a_coo.nnz == 0 or b_coo.nnz == 0:
-        return CSRMatrix.zeros(out_shape)
-    rows = (a_coo.rows[:, None] * b.shape[0] + b_coo.rows[None, :]).ravel()
-    cols = (a_coo.cols[:, None] * b.shape[1] + b_coo.cols[None, :]).ravel()
-    vals = (a_coo.values[:, None] * b_coo.values[None, :]).ravel()
-    return COOMatrix(out_shape, rows, cols, vals).to_csr()
+    return _resolve(backend).kron(a, b)
 
 
-def matrix_power(a: CSRMatrix, exponent: int) -> CSRMatrix:
+def matrix_power(
+    a: CSRMatrix, exponent: int, *, backend: str | SparseBackend | None = None
+) -> CSRMatrix:
     """Raise a square CSR matrix to a non-negative integer power."""
     if a.shape[0] != a.shape[1]:
         raise ShapeError(f"matrix_power requires a square matrix, got {a.shape}")
     if exponent < 0:
         raise ShapeError(f"exponent must be >= 0, got {exponent}")
+    impl = _resolve(backend)
     result = CSRMatrix.eye(a.shape[0])
     base = a
     e = exponent
     while e > 0:
         if e & 1:
-            result = spgemm(result, base)
+            result = impl.spgemm(result, base)
         e >>= 1
         if e:
-            base = spgemm(base, base)
+            base = impl.spgemm(base, base)
     return result
 
 
-def chain_product(matrices: Sequence[CSRMatrix]) -> CSRMatrix:
+def chain_product(
+    matrices: Sequence[CSRMatrix], *, backend: str | SparseBackend | None = None
+) -> CSRMatrix:
     """Product ``W_1 @ W_2 @ ... @ W_n`` of a chain of conformable matrices.
 
     Used to compute the input-to-output path-count matrix of an FNNT (the
@@ -177,7 +150,9 @@ def chain_product(matrices: Sequence[CSRMatrix]) -> CSRMatrix:
     """
     if not matrices:
         raise ShapeError("chain_product requires at least one matrix")
+    impl = _resolve(backend)
     result = matrices[0]
     for m in matrices[1:]:
-        result = spgemm(result, m)
+        _check_matmul_shapes(result, m)
+        result = impl.spgemm(result, m)
     return result

@@ -1,0 +1,41 @@
+"""Shared test/benchmark fixtures importable as a real module.
+
+Historically the test suite kept its shared spec panel in
+``tests/conftest.py`` and imported it with ``from conftest import ...``.
+That import resolves whichever ``conftest.py`` pytest put on ``sys.path``
+first -- with both ``tests/`` and ``benchmarks/`` collected it picked
+``benchmarks/conftest.py`` and the suite failed to even collect.  The
+shared data now lives here, in the package namespace, where imports are
+unambiguous from tests, benchmarks, and downstream users alike.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+
+# A panel of admissible (systems, widths) pairs reused by parametrized
+# tests: every entry satisfies the shared-product constraint (each
+# system's capacity divides into the first one's N') and the width-list
+# length rule (one width per node layer).
+ADMISSIBLE_SPECS: list[tuple[list[tuple[int, ...]], list[int]]] = [
+    ([(2, 2), (2, 2)], [1, 2, 2, 2, 1]),
+    ([(2, 2), (4,)], [1, 3, 3, 1]),
+    ([(3, 3), (9,)], [2, 2, 2, 2]),
+    ([(2, 3), (6,)], [1, 2, 2, 1]),
+    ([(2, 2, 2), (4, 2)], [1, 1, 1, 2, 2, 1]),
+    ([(4,), (2, 2)], [1, 2, 2, 1]),
+    ([(6,)], [1, 1]),
+    ([(2, 2), (2,)], [1, 2, 2, 1]),
+    ([(3, 4), (12,), (6, 2)], [1, 1, 2, 2, 1, 1]),
+]
+
+
+def random_csr(
+    shape: tuple[int, int], density: float, seed: int
+) -> tuple[CSRMatrix, np.ndarray]:
+    """A random sparse matrix and its dense equivalent, for kernel parity tests."""
+    rng = np.random.default_rng(seed)
+    dense = rng.random(shape) * (rng.random(shape) < density)
+    return CSRMatrix.from_dense(dense), dense

@@ -1,4 +1,11 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Shared *data* (the admissible spec panel, random-matrix helpers) lives in
+the importable :mod:`repro.testing` module; only pytest fixtures belong
+here.  Never ``from conftest import ...`` -- with multiple conftest files
+on ``sys.path`` (tests/ and benchmarks/) that import is ambiguous and
+used to break collection.
+"""
 
 from __future__ import annotations
 
@@ -31,17 +38,3 @@ def small_radixnet(small_spec: RadixNetSpec) -> FNNT:
 def tiny_dense_topology() -> FNNT:
     """A 3-4-2 dense FNNT."""
     return FNNT([np.ones((3, 4)), np.ones((4, 2))], name="tiny-dense")
-
-
-# A panel of admissible (systems, widths) pairs reused by parametrized tests.
-ADMISSIBLE_SPECS = [
-    ([(2, 2), (2, 2)], [1, 2, 2, 2, 1]),
-    ([(2, 2), (4,)], [1, 3, 3, 1]),
-    ([(3, 3), (9,)], [2, 2, 2, 2]),
-    ([(2, 3), (6,)], [1, 2, 2, 1]),
-    ([(2, 2, 2), (4, 2)], [1, 1, 1, 2, 2, 1]),
-    ([(4,), (2, 2)], [1, 2, 2, 1]),
-    ([(6,)], [1, 1]),
-    ([(2, 2), (2,)], [1, 2, 2, 1]),
-    ([(3, 4), (12,), (6, 2)], [1, 1, 2, 2, 1, 1]),
-]

@@ -1,0 +1,309 @@
+"""Backend parity and engine tests.
+
+The contract of :mod:`repro.backends` is that every registered backend
+computes the same six kernels; this suite pins that down by comparing
+``reference``, ``scipy``, and ``vectorized`` on random matrices and on
+actual RadiX-Net adjacency submatrices, and checks that the
+:class:`~repro.challenge.inference.InferenceEngine` chunked/parallel
+paths are bit-identical to single-shot inference.
+"""
+
+import numpy as np
+import pytest
+
+import repro.backends as backends
+from repro.backends.base import SparseBackend
+from repro.challenge.generator import challenge_input_batch, generate_challenge_network
+from repro.challenge.inference import (
+    InferenceEngine,
+    engine_for,
+    layer_activation_profile,
+    sparse_dnn_inference,
+)
+from repro.core.radixnet import generate_radixnet
+from repro.errors import ValidationError
+from repro.nn.layers import CSRSparseLayer, MaskedSparseLayer
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import spgemm
+from repro.testing import ADMISSIBLE_SPECS, random_csr
+
+ALL_BACKENDS = backends.available_backends()
+
+
+def radixnet_submatrices():
+    """Adjacency submatrices of a small RadiX-Net (real workload matrices)."""
+    systems, widths = ADMISSIBLE_SPECS[0]
+    return list(generate_radixnet(systems, widths).submatrices)
+
+
+# --------------------------------------------------------------------------- #
+# registry and selection
+# --------------------------------------------------------------------------- #
+class TestRegistry:
+    def test_pure_numpy_backends_always_registered(self):
+        assert {"reference", "vectorized"} <= set(ALL_BACKENDS)
+
+    def test_scipy_backend_registered_iff_scipy_importable(self):
+        from repro.backends.scipy_backend import scipy_available
+
+        assert ("scipy" in ALL_BACKENDS) == scipy_available()
+
+    def test_get_backend_unknown_raises(self):
+        with pytest.raises(ValidationError, match="unknown sparse backend"):
+            backends.get_backend("no-such-backend")
+
+    def test_backends_satisfy_protocol(self):
+        for name in ALL_BACKENDS:
+            assert isinstance(backends.get_backend(name), SparseBackend)
+
+    def test_use_is_sticky(self):
+        original = backends.active_backend()
+        try:
+            backends.use("reference")
+            assert backends.active_backend().name == "reference"
+        finally:
+            backends.use(original)
+
+    def test_use_as_context_restores(self):
+        original = backends.active_backend()
+        with backends.use("vectorized") as chosen:
+            assert chosen.name == "vectorized"
+            assert backends.active_backend().name == "vectorized"
+        assert backends.active_backend() is original
+
+    def test_env_var_sets_initial_default(self, monkeypatch):
+        monkeypatch.setenv(backends.DEFAULT_BACKEND_ENV, "vectorized")
+        assert backends._initial_backend().name == "vectorized"
+        monkeypatch.delenv(backends.DEFAULT_BACKEND_ENV)
+        assert backends._initial_backend().name in {"scipy", "vectorized"}
+
+
+# --------------------------------------------------------------------------- #
+# kernel parity across backends
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+class TestKernelParity:
+    def test_spgemm_random(self, backend):
+        impl = backends.get_backend(backend)
+        a, da = random_csr((7, 5), 0.4, 1)
+        b, db = random_csr((5, 6), 0.4, 2)
+        np.testing.assert_allclose(impl.spgemm(a, b).to_dense(), da @ db, atol=1e-12)
+
+    def test_spgemm_radixnet_chain(self, backend):
+        impl = backends.get_backend(backend)
+        subs = radixnet_submatrices()
+        result = subs[0]
+        expected = subs[0].to_dense()
+        for m in subs[1:]:
+            result = impl.spgemm(result, m)
+            expected = expected @ m.to_dense()
+        np.testing.assert_allclose(result.to_dense(), expected)
+
+    def test_spmm_random_and_radixnet(self, backend):
+        impl = backends.get_backend(backend)
+        a, da = random_csr((6, 8), 0.5, 3)
+        x = np.random.default_rng(4).random((8, 5))
+        np.testing.assert_allclose(impl.spmm(a, x), da @ x, atol=1e-12)
+        w = radixnet_submatrices()[1]
+        y = np.random.default_rng(5).random((w.shape[1], 3))
+        np.testing.assert_allclose(impl.spmm(w, y), w.to_dense() @ y, atol=1e-12)
+
+    def test_spmv_random(self, backend):
+        impl = backends.get_backend(backend)
+        a, da = random_csr((9, 4), 0.5, 6)
+        v = np.random.default_rng(7).random(4)
+        np.testing.assert_allclose(impl.spmv(a, v), da @ v, atol=1e-12)
+
+    def test_kron_random_and_radixnet(self, backend):
+        impl = backends.get_backend(backend)
+        a, da = random_csr((3, 2), 0.6, 8)
+        b, db = random_csr((2, 4), 0.6, 9)
+        np.testing.assert_allclose(impl.kron(a, b).to_dense(), np.kron(da, db), atol=1e-12)
+        ones = CSRMatrix.ones((2, 3))
+        w = radixnet_submatrices()[0]
+        np.testing.assert_allclose(
+            impl.kron(ones, w).to_dense(), np.kron(np.ones((2, 3)), w.to_dense())
+        )
+
+    def test_transpose_random(self, backend):
+        impl = backends.get_backend(backend)
+        a, da = random_csr((5, 7), 0.4, 10)
+        np.testing.assert_allclose(impl.transpose(a).to_dense(), da.T)
+
+    def test_add_random(self, backend):
+        impl = backends.get_backend(backend)
+        a, da = random_csr((4, 6), 0.5, 11)
+        b, db = random_csr((4, 6), 0.5, 12)
+        np.testing.assert_allclose(impl.add(a, b).to_dense(), da + db, atol=1e-12)
+
+    def test_empty_operands(self, backend):
+        impl = backends.get_backend(backend)
+        zero = CSRMatrix.zeros((3, 4))
+        assert impl.spgemm(zero, CSRMatrix.zeros((4, 2))).nnz == 0
+        assert impl.kron(zero, CSRMatrix.eye(2)).nnz == 0
+        assert impl.transpose(zero).shape == (4, 3)
+        np.testing.assert_allclose(impl.spmm(zero, np.ones((4, 2))), np.zeros((3, 2)))
+
+    def test_results_are_canonical_csr(self, backend):
+        impl = backends.get_backend(backend)
+        a, _ = random_csr((6, 6), 0.5, 13)
+        b, _ = random_csr((6, 6), 0.5, 14)
+        for result in (impl.spgemm(a, b), impl.transpose(a), impl.add(a, b)):
+            for i in range(result.shape[0]):
+                cols, _ = result.row(i)
+                assert np.all(np.diff(cols) > 0), "columns must be strictly increasing"
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_transpose_retains_stored_zeros(backend):
+    """Explicitly stored zeros survive transpose on every backend.
+
+    (The cross-backend contract for kernel *results* is numerical
+    equality; transpose is a pure reordering, so here even the
+    structural pattern must agree.)
+    """
+    m = CSRMatrix((2, 2), [0, 2, 3], [0, 1, 1], [1.0, 0.0, 2.0])
+    t = backends.get_backend(backend).transpose(m)
+    assert t.nnz == 3
+    np.testing.assert_allclose(t.to_dense(), m.to_dense().T)
+
+
+def test_backends_agree_pairwise_on_spgemm():
+    a, _ = random_csr((8, 8), 0.3, 20)
+    b, _ = random_csr((8, 8), 0.3, 21)
+    results = {name: spgemm(a, b, backend=name).to_dense() for name in ALL_BACKENDS}
+    baseline = results["reference"]
+    for name, got in results.items():
+        np.testing.assert_allclose(got, baseline, atol=1e-12, err_msg=name)
+
+
+# --------------------------------------------------------------------------- #
+# inference engine
+# --------------------------------------------------------------------------- #
+class TestInferenceEngine:
+    def network_and_batch(self, neurons=32, layers=6, batch=24, seed=0):
+        network = generate_challenge_network(neurons, layers, connections=4, seed=seed)
+        inputs = challenge_input_batch(neurons, batch, seed=seed + 1)
+        return network, inputs
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_backends_agree_on_inference(self, backend):
+        network, inputs = self.network_and_batch()
+        expected = InferenceEngine(network, backend="reference").run(inputs)
+        result = InferenceEngine(network, backend=backend).run(inputs)
+        assert list(result.categories) == list(expected.categories)
+        np.testing.assert_allclose(result.activations, expected.activations, atol=1e-9)
+        assert result.backend == backend
+
+    @pytest.mark.parametrize("chunk_size", [1, 5, 7, 24, 100])
+    def test_chunked_matches_single_shot_bit_identical(self, chunk_size):
+        network, inputs = self.network_and_batch()
+        engine = InferenceEngine(network)
+        single = engine.run(inputs)
+        chunked = engine.run(inputs, chunk_size=chunk_size)
+        assert (chunked.activations == single.activations).all()
+        assert np.array_equal(chunked.categories, single.categories)
+        assert chunked.edges_traversed == single.edges_traversed
+
+    def test_chunked_matches_functional_api(self):
+        network, inputs = self.network_and_batch()
+        single = sparse_dnn_inference(network, inputs)
+        chunked = sparse_dnn_inference(network, inputs, chunk_size=6)
+        assert (chunked.activations == single.activations).all()
+        assert np.array_equal(chunked.categories, single.categories)
+
+    def test_parallel_workers_match_serial(self):
+        network, inputs = self.network_and_batch()
+        engine = InferenceEngine(network)
+        serial = engine.run(inputs)
+        parallel = engine.run(inputs, workers=2)
+        assert (parallel.activations == serial.activations).all()
+        assert np.array_equal(parallel.categories, serial.categories)
+        assert parallel.edges_traversed == serial.edges_traversed
+
+    def test_stream_is_chunk_local_with_offsets(self):
+        network, inputs = self.network_and_batch(batch=10)
+        engine = InferenceEngine(network)
+        single = engine.run(inputs)
+        merged = []
+        for offset, chunk_result in engine.stream(inputs, chunk_size=3):
+            assert chunk_result.activations.shape[0] <= 3
+            merged.extend(chunk_result.categories + offset)
+        assert merged == list(single.categories)
+
+    def test_edges_traversed_accounting(self):
+        network, inputs = self.network_and_batch(batch=24)
+        nnz_total = sum(w.nnz for w in network.weights)
+        result = sparse_dnn_inference(network, inputs)
+        assert result.edges_traversed == nnz_total * 24
+        chunked = sparse_dnn_inference(network, inputs, chunk_size=7)
+        assert chunked.edges_traversed == nnz_total * 24
+
+    def test_chunk_size_validation(self):
+        network, inputs = self.network_and_batch()
+        with pytest.raises(ValidationError):
+            InferenceEngine(network).run(inputs, chunk_size=0)
+
+    def test_engine_cache_reused_per_backend(self):
+        network, _ = self.network_and_batch()
+        assert engine_for(network) is engine_for(network)
+        vec = engine_for(network, "vectorized")
+        assert vec is engine_for(network, "vectorized")
+        assert vec is not engine_for(network, "reference")
+
+    def test_no_transpose_in_hot_loop(self):
+        """Repeated inference and profiling never re-transpose the weights."""
+
+        class CountingBackend:
+            name = "counting"
+
+            def __init__(self, inner):
+                self.inner = inner
+                self.transposes = 0
+
+            def __getattr__(self, attr):
+                return getattr(self.inner, attr)
+
+            def transpose(self, a):
+                self.transposes += 1
+                return self.inner.transpose(a)
+
+        network, inputs = self.network_and_batch()
+        counting = CountingBackend(backends.active_backend())
+        engine = InferenceEngine(network, backend=counting)
+        assert counting.transposes == network.num_layers
+        engine.run(inputs)
+        engine.run(inputs, chunk_size=4)
+        engine.layer_profile(inputs)
+        assert counting.transposes == network.num_layers
+
+    def test_layer_profile_matches_functional_wrapper(self):
+        network, inputs = self.network_and_batch()
+        assert layer_activation_profile(network, inputs) == pytest.approx(
+            InferenceEngine(network).layer_profile(inputs)
+        )
+
+
+# --------------------------------------------------------------------------- #
+# backend-aware layers
+# --------------------------------------------------------------------------- #
+class TestBackendAwareLayers:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_csr_layer_forward_parity(self, backend):
+        weights, dense = random_csr((6, 4), 0.5, 30)
+        layer = CSRSparseLayer(weights, np.arange(4, dtype=float), backend=backend)
+        x = np.random.default_rng(31).random((3, 6))
+        expected = np.maximum(x @ dense + np.arange(4), 0.0)
+        np.testing.assert_allclose(layer.forward(x), expected, atol=1e-12)
+        assert layer.backend.name == backend
+
+    def test_masked_layer_deploys_to_csr(self):
+        mask = (np.random.default_rng(32).random((5, 3)) < 0.6).astype(float)
+        mask[0, 0] = 1.0  # keep at least one connection
+        trained = MaskedSparseLayer(mask, activation="relu", seed=33)
+        deployed = trained.to_csr_layer()
+        x = np.random.default_rng(34).random((4, 5))
+        np.testing.assert_allclose(
+            deployed.forward(x), trained.forward(x, training=False), atol=1e-12
+        )
+        assert deployed.weights.nnz == trained.connection_count

@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from conftest import ADMISSIBLE_SPECS
+from repro.testing import ADMISSIBLE_SPECS
 from repro.errors import ConstraintError, ValidationError
 from repro.core.kronecker import kron_expand_submatrices
 from repro.core.mixed_radix_topology import mixed_radix_submatrices

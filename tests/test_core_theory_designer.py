@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from conftest import ADMISSIBLE_SPECS
+from repro.testing import ADMISSIBLE_SPECS
 from repro.errors import ValidationError
 from repro.core.density import exact_density
 from repro.core.designer import DesignResult, design_for_density, design_for_widths
