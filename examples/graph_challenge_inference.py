@@ -7,13 +7,15 @@ instances at laptop scale, builds an :class:`InferenceEngine` (which
 precomputes each layer's transposed weights once and runs the recurrence
 ``Y <- min(max(Y W + b, 0), 32)`` on a pluggable sparse backend),
 verifies the surviving categories against a dense reference
-implementation, compares backends, demonstrates chunked mini-batch
-streaming, round-trips the challenge TSV format, and reports
+implementation, compares backends and activation storage policies
+(dense SpMM buffers vs CSR SpGEMM batches), demonstrates chunked
+mini-batch streaming, round-trips the challenge TSV format (with its
+binary sidecar cache) and streams it back layer by layer, and reports
 edges/second across a x4 neuron scaling series.
 
 Backend selection: ``--backend {reference,scipy,vectorized}`` here, the
 ``REPRO_BACKEND`` environment variable, or ``repro.backends.use(...)``
-in code.
+in code.  Activation policy: ``--activations {auto,dense,sparse}``.
 
 Run with:  python examples/graph_challenge_inference.py [--neurons 256] [--layers 24] [--backend scipy]
 """
@@ -23,8 +25,12 @@ import tempfile
 
 import repro.backends as backends
 from repro.challenge.generator import challenge_input_batch, generate_challenge_network
-from repro.challenge.inference import InferenceEngine, engine_for
-from repro.challenge.io import load_challenge_network, save_challenge_network
+from repro.challenge.inference import InferenceEngine, engine_for, streaming_inference
+from repro.challenge.io import (
+    iter_challenge_layers,
+    load_challenge_network,
+    save_challenge_network,
+)
 from repro.challenge.verify import category_checksum, verify_categories
 from repro.experiments.scaling import graph_challenge_scaling
 from repro.viz.report import format_table
@@ -40,6 +46,8 @@ def main() -> None:
     parser.add_argument("--backend", default=None, choices=backends.available_backends())
     parser.add_argument("--chunk-size", type=int, default=None,
                         help="mini-batch rows per chunk (bounds peak memory)")
+    parser.add_argument("--activations", choices=["auto", "dense", "sparse"], default="auto",
+                        help="activation storage policy (dense SpMM vs CSR SpGEMM)")
     args = parser.parse_args()
 
     print(f"generating challenge network: {args.neurons} neurons x {args.layers} layers, "
@@ -52,13 +60,26 @@ def main() -> None:
     # The engine transposes each layer's weights once, at construction;
     # every run after that is transpose-free.
     engine = engine_for(network, args.backend)
-    result = engine.run(batch, chunk_size=args.chunk_size)
+    result = engine.run(batch, chunk_size=args.chunk_size, activations=args.activations)
     print(f"edges/layer: {network.topology.num_edges // args.layers}")
     print(f"backend:     {result.backend}")
     print(f"inference:   {result.total_seconds:.4f}s, {result.edges_per_second:,.0f} edges/s")
+    print(f"activations: policy {result.activation_policy}, peak nnz "
+          f"{result.peak_activation_nnz:,} (dense buffer: {batch.size:,} elements)")
     print(f"categories:  {result.categories.size} of {args.batch} "
           f"(checksum {category_checksum(result.categories)})")
     print(f"verified against dense reference: {verify_categories(network, batch)}")
+
+    # Dense vs sparse activation storage: identical categories, different
+    # peak activation memory (CSR batches shine once thresholding thins
+    # the activations out).
+    dense_run = engine.run(batch, activations="dense")
+    sparse_run = engine.run(batch, activations="sparse")
+    assert list(dense_run.categories) == list(sparse_run.categories)
+    print("activation policy comparison (identical categories):")
+    for run in (dense_run, sparse_run):
+        print(f"  {run.activation_policy:<7} {run.total_seconds:.4f}s  "
+              f"peak nnz {run.peak_activation_nnz:>10,}")
 
     profile = engine.layer_profile(batch)
     print(f"activation fraction after first/last layer: {profile[0]:.3f} / {profile[-1]:.3f}")
@@ -80,12 +101,25 @@ def main() -> None:
           f"{streamed == result.categories.size})")
     print()
 
-    # Round-trip the challenge TSV interchange format.
+    # Round-trip the challenge TSV interchange format (the second load
+    # hits the binary sidecar cache and memory-maps the weights), then
+    # stream the saved network back layer by layer -- the engine starts
+    # before later layers are even read.
     with tempfile.TemporaryDirectory() as directory:
         save_challenge_network(network, directory)
         reloaded = load_challenge_network(directory, args.neurons)
         assert reloaded.topology.same_topology(network.topology)
-        print(f"TSV round-trip OK ({reloaded.num_layers} layer files)")
+        print(f"TSV round-trip OK ({reloaded.num_layers} layer files + sidecar cache)")
+        streamed_result = streaming_inference(
+            iter_challenge_layers(directory, args.neurons),
+            batch,
+            threshold=network.threshold,
+            backend=args.backend,
+            activations=args.activations,
+        )
+        assert list(streamed_result.categories) == list(result.categories)
+        print(f"layer-streamed inference from disk OK "
+              f"({streamed_result.categories.size} categories, identical)")
     print()
 
     # Scaling series (x4 neurons per step), as in the challenge's scaling study.

@@ -1,12 +1,13 @@
 """The sparse-kernel backend protocol and registry.
 
-A *backend* is a bundle of the six sparse kernels everything else in the
+A *backend* is a bundle of the sparse kernels everything else in the
 package bottoms out in: SpGEMM (sparse @ sparse), SpMM (sparse @ dense
-batch), SpMV (sparse @ vector), Kronecker product, transpose, and
-entry-wise add.  The RadiX-Net construction (Kronecker expansion,
-eq. (3)), its verification (Theorem 1 chain products), and the Graph
-Challenge inference recurrence all dispatch through the active backend,
-so an implementation can be swapped wholesale -- for cross-checking, for
+batch), SpMV (sparse @ vector), Kronecker product, transpose, entry-wise
+add, and the fused Graph Challenge layer step on sparse activations.
+The RadiX-Net construction (Kronecker expansion, eq. (3)), its
+verification (Theorem 1 chain products), and the Graph Challenge
+inference recurrence all dispatch through the active backend, so an
+implementation can be swapped wholesale -- for cross-checking, for
 benchmarking, or to target different hardware.
 
 Backends are *unchecked* kernels: operand shapes are validated once at
@@ -85,6 +86,30 @@ class SparseBackend(Protocol):
 
     def add(self, a: "CSRMatrix", b: "CSRMatrix") -> "CSRMatrix":
         """Entry-wise sum of two same-shape matrices."""
+        ...
+
+    def sparse_layer_step(
+        self,
+        y: "CSRMatrix",
+        weight: "CSRMatrix",
+        bias: np.ndarray,
+        threshold: float,
+    ) -> "CSRMatrix":
+        """One inference layer on a *sparse* activation batch, fused.
+
+        Computes ``min(max(Y W + b, 0), threshold)`` where ``Y`` is a CSR
+        ``(batch, neurons)`` activation matrix, adding the bias only to
+        stored entries of rows whose input row-sum is positive (the
+        GraphBLAS stored-entry convention).  The result is again
+        canonical CSR with all non-positive entries dropped, so the
+        activation matrix stays sparse end-to-end.
+
+        Correctness relative to the dense recurrence requires
+        ``bias <= 0`` element-wise: a positive bias would resurrect
+        entries the sparse result never stores.  The dispatch layer
+        (:func:`repro.sparse.ops.sparse_layer_step`) enforces this;
+        backends may assume it.
+        """
         ...
 
 

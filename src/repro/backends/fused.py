@@ -1,0 +1,51 @@
+"""Shared building blocks for the fused sparse-activation layer step.
+
+The bias/ReLU/clamp postprocessing of ``sparse_layer_step`` is identical
+index bookkeeping whichever SpGEMM produced the product; it lives here --
+neutral ground between the backends and the dispatch layer -- so the
+vectorized backend, the scipy backend, and the generic fallback in
+:mod:`repro.sparse.ops` all run the same code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+
+
+def row_ids(matrix: CSRMatrix) -> np.ndarray:
+    """The COO row index of every stored entry of a CSR matrix."""
+    return np.repeat(
+        np.arange(matrix.shape[0], dtype=np.int64), np.diff(matrix.indptr)
+    )
+
+
+def row_sums(matrix: CSRMatrix) -> np.ndarray:
+    """Per-row sum of stored values (a dense length-``rows`` vector)."""
+    return np.bincount(
+        row_ids(matrix), weights=matrix.data, minlength=matrix.shape[0]
+    )
+
+
+def clamp_bias_filter(
+    z: CSRMatrix,
+    active_rows: np.ndarray,
+    bias: np.ndarray,
+    threshold: float,
+) -> CSRMatrix:
+    """Fused ``min(max(Z + b, 0), threshold)`` on stored entries, scatter-free.
+
+    ``active_rows`` is a boolean mask over rows of ``z``; the bias is added
+    (per column) to stored entries of active rows only.  Entries that end
+    up non-positive are dropped, so the result stays sparse.
+    """
+    if z.nnz == 0:
+        return z
+    ids = row_ids(z)
+    data = z.data + np.where(active_rows[ids], bias[z.indices], 0.0)
+    np.minimum(data, threshold, out=data)
+    keep = data > 0.0
+    indptr = np.zeros(z.shape[0] + 1, dtype=np.int64)
+    np.cumsum(np.bincount(ids[keep], minlength=z.shape[0]), out=indptr[1:])
+    return CSRMatrix(z.shape, indptr, z.indices[keep], data[keep])

@@ -91,5 +91,31 @@ class ReferenceBackend:
         vals = np.concatenate([a_coo.values, b_coo.values])
         return COOMatrix(a.shape, rows, cols, vals).to_csr()
 
+    def sparse_layer_step(
+        self, y: CSRMatrix, weight: CSRMatrix, bias: np.ndarray, threshold: float
+    ) -> CSRMatrix:
+        # Deliberately naive row-by-row oracle: SpGEMM via the row-merge
+        # kernel, then per-row bias/ReLU/clamp with explicit Python loops.
+        z = spgemm_rowmerge(y, weight)
+        nrows, ncols = z.shape
+        indptr = np.zeros(nrows + 1, dtype=np.int64)
+        out_indices: list[np.ndarray] = []
+        out_data: list[np.ndarray] = []
+        for i in range(nrows):
+            cols, vals = z.row(i)
+            vals = vals.copy()
+            _, y_vals = y.row(i)
+            if float(y_vals.sum()) > 0.0:
+                vals += bias[cols]
+            np.minimum(vals, threshold, out=vals)
+            keep = vals > 0.0
+            cols, vals = cols[keep], vals[keep]
+            out_indices.append(cols)
+            out_data.append(vals)
+            indptr[i + 1] = indptr[i] + cols.size
+        indices = np.concatenate(out_indices) if out_indices else np.empty(0, dtype=np.int64)
+        data = np.concatenate(out_data) if out_data else np.empty(0, dtype=np.float64)
+        return CSRMatrix((nrows, ncols), indptr, indices, data)
+
 
 BACKEND = register(ReferenceBackend())

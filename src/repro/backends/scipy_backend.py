@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.backends.base import register
+from repro.backends.fused import clamp_bias_filter
 from repro.sparse.csr import CSRMatrix
 
 
@@ -64,6 +65,19 @@ class ScipyBackend:
 
     def add(self, a: CSRMatrix, b: CSRMatrix) -> CSRMatrix:
         return _from_scipy(_to_scipy(a) + _to_scipy(b))
+
+    def sparse_layer_step(
+        self, y: CSRMatrix, weight: CSRMatrix, bias: np.ndarray, threshold: float
+    ) -> CSRMatrix:
+        sp_y = _to_scipy(y)
+        z = sp_y @ _to_scipy(weight)
+        # sort only (scipy's product has no duplicates to sum); the shared
+        # clamp/filter pass then rebuilds the CSR once, skipping the
+        # canonicalizing _from_scipy round-trip
+        z.sort_indices()
+        active_rows = np.asarray(sp_y.sum(axis=1)).ravel() > 0.0
+        z_csr = CSRMatrix(z.shape, z.indptr, z.indices, z.data)
+        return clamp_bias_filter(z_csr, active_rows, bias, threshold)
 
 
 def scipy_available() -> bool:

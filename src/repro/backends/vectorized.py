@@ -26,6 +26,7 @@ import weakref
 import numpy as np
 
 from repro.backends.base import register
+from repro.backends.fused import clamp_bias_filter
 from repro.sparse.csr import CSRMatrix
 
 # id(matrix) -> (weakref to the matrix, its row-id expansion).  The weakref
@@ -144,6 +145,16 @@ class VectorizedBackend:
         cols = np.concatenate([a.indices, b.indices])
         vals = np.concatenate([a.data, b.data])
         return _coalesce_to_csr(a.shape, rows, cols, vals)
+
+    def sparse_layer_step(
+        self, y: CSRMatrix, weight: CSRMatrix, bias: np.ndarray, threshold: float
+    ) -> CSRMatrix:
+        if y.nnz == 0:
+            return CSRMatrix.zeros((y.shape[0], weight.shape[1]))
+        active_rows = (
+            np.bincount(cached_row_ids(y), weights=y.data, minlength=y.shape[0]) > 0.0
+        )
+        return clamp_bias_filter(self.spgemm(y, weight), active_rows, bias, threshold)
 
 
 BACKEND = register(VectorizedBackend())

@@ -10,35 +10,52 @@ over all layers, then report which inputs remain active (the "categories").
 This subpackage regenerates challenge-style instances directly from the
 RadiX-Net construction (scaled to laptop sizes), provides the batched
 :class:`~repro.challenge.inference.InferenceEngine` (backend-pluggable via
-:mod:`repro.backends`, with precomputed transposed weights, chunked
-mini-batch streaming, and optional process-pool fan-out), and round-trips
-the challenge's TSV interchange format.
+:mod:`repro.backends`, with precomputed transposed weights, a dense/sparse
+:class:`~repro.challenge.inference.ActivationPolicy`, chunked mini-batch
+streaming, and optional process-pool fan-out), streams networks layer by
+layer from disk (:func:`~repro.challenge.io.iter_challenge_layers` +
+:func:`~repro.challenge.inference.streaming_inference`), and round-trips
+the challenge's TSV interchange format with a binary ``.npz`` sidecar
+cache for repeated runs.
 """
 
 from repro.challenge.generator import ChallengeNetwork, generate_challenge_network, challenge_input_batch
 from repro.challenge.inference import (
+    ActivationPolicy,
+    DenseActivations,
     InferenceEngine,
     InferenceResult,
+    SparseActivations,
     engine_for,
     infer_categories,
     layer_activation_profile,
     sparse_dnn_inference,
+    streaming_inference,
 )
-from repro.challenge.io import save_challenge_network, load_challenge_network
+from repro.challenge.io import (
+    iter_challenge_layers,
+    load_challenge_network,
+    save_challenge_network,
+)
 from repro.challenge.verify import verify_categories, category_checksum
 
 __all__ = [
     "ChallengeNetwork",
     "generate_challenge_network",
     "challenge_input_batch",
+    "ActivationPolicy",
+    "DenseActivations",
+    "SparseActivations",
     "InferenceEngine",
     "engine_for",
     "sparse_dnn_inference",
+    "streaming_inference",
     "infer_categories",
     "layer_activation_profile",
     "InferenceResult",
     "save_challenge_network",
     "load_challenge_network",
+    "iter_challenge_layers",
     "verify_categories",
     "category_checksum",
 ]

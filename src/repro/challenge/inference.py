@@ -9,14 +9,42 @@ Challenge") is, for activation matrix ``Y`` with one row per input sample:
 after the last layer, the *categories* are the rows of ``Y`` with any
 positive entry.
 
+Activation storage policy
+-------------------------
+
+At official challenge scale (1024-65536 neurons, 120+ layers) the
+activations themselves go sparse after the first thresholded layers, and
+a dense ``(batch, neurons)`` buffer becomes the memory bottleneck.  The
+engine therefore threads an :class:`ActivationBatch` -- either
+:class:`DenseActivations` (a float64 array, advanced by the backend's
+SpMM) or :class:`SparseActivations` (a CSR matrix, advanced by the
+backend's fused ``sparse_layer_step`` SpGEMM kernel) -- through the
+recurrence, and an :class:`ActivationPolicy` decides the representation
+before every layer:
+
+* ``dense``  -- always the dense SpMM path (the pre-policy behaviour);
+* ``sparse`` -- always CSR activations end-to-end (requires non-positive
+  biases, which the challenge networks satisfy);
+* ``auto``   -- per-layer density tracking with a configurable crossover:
+  batches smaller than ``min_sparse_elements`` or denser than
+  ``crossover_density`` keep the fast dense SpMM, large thresholded
+  batches switch to SpGEMM.
+
+Every :class:`InferenceResult` records the per-layer representation,
+density, and the peak activation ``nnz`` observed, so the memory win of
+the sparse policy is directly reportable (the dense equivalent is always
+``batch * neurons`` stored elements).
+
 :class:`InferenceEngine` is the production path: it binds a network to a
 sparse-kernel backend (see :mod:`repro.backends`), precomputes every
-layer's transposed weight matrix **once** at construction (the recurrence
-computes ``Y W`` as ``(W^T Y^T)^T``, so a naive implementation pays a
-transpose per layer per call), and runs the recurrence either single-shot
-or in chunked mini-batches -- optionally fanned out across processes via
-:func:`repro.parallel.executor.parallel_map` -- while recording per-layer
-wall-clock time and the backend used.
+layer's transposed weight matrix **once** at construction (the dense
+recurrence computes ``Y W`` as ``(W^T Y^T)^T``), and runs the recurrence
+single-shot, chunked, or fanned out across processes.
+:func:`streaming_inference` runs the same recurrence over a *lazily
+produced* sequence of ``(weight, bias)`` layers (see
+:func:`repro.challenge.io.iter_challenge_layers`), so a network far
+larger than memory never needs all layers resident before the first
+chunk runs.
 
 :func:`sparse_dnn_inference` keeps the original functional API on top of
 the engine; engines are cached per ``(network, backend)`` so repeated
@@ -27,15 +55,201 @@ weights.
 from __future__ import annotations
 
 import time
-from collections.abc import Iterator
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.backends import resolve_backend
 from repro.backends.base import SparseBackend
+from repro.backends.fused import row_sums
 from repro.challenge.generator import ChallengeNetwork
 from repro.errors import ShapeError, ValidationError
+from repro.sparse.csr import CSRMatrix
+
+DENSE = "dense"
+SPARSE = "sparse"
+AUTO = "auto"
+_MODES = (AUTO, DENSE, SPARSE)
+
+
+@dataclass(frozen=True)
+class ActivationPolicy:
+    """When to hold the activation batch dense vs. sparse (CSR).
+
+    Attributes
+    ----------
+    mode:
+        ``"dense"`` / ``"sparse"`` force one representation end-to-end;
+        ``"auto"`` decides per layer from the density tracked after the
+        previous step.
+    crossover_density:
+        In ``auto`` mode, switch to CSR activations when the batch
+        density drops to this fraction or below.  SpGEMM work scales with
+        activation nnz, dense SpMM with ``batch * neurons``; the default
+        crossover of 10% is conservative in favour of the dense kernels.
+    min_sparse_elements:
+        In ``auto`` mode, batches with fewer than this many dense
+        elements (``batch * neurons``) never switch: at small sizes the
+        dense SpMM path is faster regardless of density.
+    """
+
+    mode: str = AUTO
+    crossover_density: float = 0.1
+    min_sparse_elements: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ValidationError(
+                f"activation mode must be one of {_MODES}, got {self.mode!r}"
+            )
+        if not 0.0 < self.crossover_density <= 1.0:
+            raise ValidationError(
+                f"crossover_density must be in (0, 1], got {self.crossover_density}"
+            )
+        if self.min_sparse_elements < 0:
+            raise ValidationError(
+                f"min_sparse_elements must be >= 0, got {self.min_sparse_elements}"
+            )
+
+    @classmethod
+    def resolve(cls, value: "str | ActivationPolicy | None") -> "ActivationPolicy":
+        """Map the ubiquitous ``activations=`` keyword to a policy instance."""
+        if value is None:
+            return cls()
+        if isinstance(value, ActivationPolicy):
+            return value
+        return cls(mode=str(value))
+
+    def pick(self, *, density: float, elements: int) -> str:
+        """The representation for the next layer given the current batch state."""
+        if self.mode != AUTO:
+            return self.mode
+        if elements >= self.min_sparse_elements and density <= self.crossover_density:
+            return SPARSE
+        return DENSE
+
+
+# --------------------------------------------------------------------------- #
+# activation batch representations
+# --------------------------------------------------------------------------- #
+class DenseActivations:
+    """A dense ``(batch, neurons)`` activation buffer (the SpMM path)."""
+
+    kind = DENSE
+    __slots__ = ("array", "_nnz")
+
+    def __init__(self, array: np.ndarray) -> None:
+        self.array = array
+        self._nnz: int | None = None
+
+    @property
+    def rows(self) -> int:
+        return self.array.shape[0]
+
+    @property
+    def neurons(self) -> int:
+        return self.array.shape[1]
+
+    @property
+    def elements(self) -> int:
+        return int(self.array.size)
+
+    def nnz(self) -> int:
+        if self._nnz is None:
+            self._nnz = int(np.count_nonzero(self.array))
+        return self._nnz
+
+    def density(self) -> float:
+        return self.nnz() / self.elements if self.elements else 0.0
+
+    def step(
+        self,
+        weight: CSRMatrix | None,
+        weight_t: CSRMatrix | None,
+        bias: np.ndarray,
+        threshold: float,
+        backend: SparseBackend,
+    ) -> "DenseActivations":
+        if weight_t is None:
+            weight_t = backend.transpose(weight)
+        return DenseActivations(
+            _dense_layer_step(self.array, weight_t, bias, threshold, backend)
+        )
+
+    def to_dense(self) -> "DenseActivations":
+        return self
+
+    def to_sparse(self) -> "SparseActivations":
+        return SparseActivations(CSRMatrix.from_dense(self.array))
+
+    def to_array(self) -> np.ndarray:
+        return self.array
+
+    def categories(self) -> np.ndarray:
+        return np.flatnonzero(self.array.sum(axis=1) > 0)
+
+
+class SparseActivations:
+    """A CSR activation batch (the fused SpGEMM path)."""
+
+    kind = SPARSE
+    __slots__ = ("matrix",)
+
+    def __init__(self, matrix: CSRMatrix) -> None:
+        self.matrix = matrix
+
+    @property
+    def rows(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def neurons(self) -> int:
+        return self.matrix.shape[1]
+
+    @property
+    def elements(self) -> int:
+        return self.matrix.shape[0] * self.matrix.shape[1]
+
+    def nnz(self) -> int:
+        return self.matrix.nnz
+
+    def density(self) -> float:
+        return self.matrix.density
+
+    def step(
+        self,
+        weight: CSRMatrix | None,
+        weight_t: CSRMatrix | None,
+        bias: np.ndarray,
+        threshold: float,
+        backend: SparseBackend,
+    ) -> "SparseActivations":
+        kernel = getattr(backend, "sparse_layer_step", None)
+        if kernel is not None:
+            return SparseActivations(kernel(self.matrix, weight, bias, threshold))
+        from repro.sparse.ops import sparse_layer_step
+
+        return SparseActivations(
+            sparse_layer_step(self.matrix, weight, bias, threshold, backend=backend)
+        )
+
+    def to_dense(self) -> DenseActivations:
+        return DenseActivations(self.matrix.to_dense())
+
+    def to_sparse(self) -> "SparseActivations":
+        return self
+
+    def to_array(self) -> np.ndarray:
+        return self.matrix.to_dense()
+
+    def categories(self) -> np.ndarray:
+        if self.matrix.nnz == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.flatnonzero(row_sums(self.matrix) > 0)
+
+
+ActivationBatch = DenseActivations | SparseActivations
 
 
 @dataclass
@@ -47,6 +261,10 @@ class InferenceResult:
     layer_seconds: list[float] = field(default_factory=list)
     edges_traversed: int = 0
     backend: str = ""
+    activation_policy: str = ""
+    layer_modes: list[str] = field(default_factory=list)
+    layer_density: list[float] = field(default_factory=list)
+    peak_activation_nnz: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -60,14 +278,14 @@ class InferenceResult:
         return self.edges_traversed / total if total > 0 else float("inf")
 
 
-def _layer_step(
+def _dense_layer_step(
     y: np.ndarray,
     weight_t,
     bias: np.ndarray,
     threshold: float,
     backend: SparseBackend,
 ) -> np.ndarray:
-    """One layer of the recurrence: ``min(max(Y W + b, 0), threshold)``.
+    """One dense layer: ``min(max(Y W + b, 0), threshold)`` via SpMM.
 
     ``weight_t`` is the pre-transposed weight matrix (``Y W`` is computed
     as ``(W^T Y^T)^T``).  The bias is only added to rows that have any
@@ -83,6 +301,88 @@ def _layer_step(
     return z
 
 
+# retained name of the pre-policy kernel (external callers / pickles)
+_layer_step = _dense_layer_step
+
+
+@dataclass
+class _RecurrenceStats:
+    """Everything :func:`_run_recurrence` observes along the way."""
+
+    final: ActivationBatch
+    layer_seconds: list[float]
+    layer_modes: list[str]
+    layer_density: list[float]
+    peak_nnz: int
+    edges_per_sample: int
+
+
+def _run_recurrence(
+    layers: Iterable[tuple[CSRMatrix | None, CSRMatrix | None, np.ndarray]],
+    y: np.ndarray,
+    *,
+    threshold: float,
+    backend: SparseBackend,
+    policy: ActivationPolicy,
+    record_timing: bool,
+) -> _RecurrenceStats:
+    """Advance ``y`` through ``layers`` under the activation policy.
+
+    ``layers`` yields ``(weight, weight_t, bias)`` per layer and is
+    consumed lazily -- one layer at a time, so a generator source (e.g.
+    streaming TSV ingestion) never has the whole network resident.
+    Either of ``weight`` / ``weight_t`` may be ``None``: the dense path
+    transposes on demand when only ``weight`` is present, and the sparse
+    path (which needs the untransposed ``weight``) falls back to dense
+    when only ``weight_t`` is.
+    """
+    batch: ActivationBatch = DenseActivations(y)
+    rows = batch.rows
+    layer_seconds: list[float] = []
+    layer_modes: list[str] = []
+    layer_density: list[float] = []
+    peak_nnz = batch.nnz()
+    edges_per_sample = 0
+    for weight, weight_t, bias in layers:
+        ref = weight if weight is not None else weight_t
+        if ref is None:
+            raise ValidationError("each layer needs a weight or transposed weight")
+        in_size = ref.shape[0] if weight is not None else ref.shape[1]
+        if in_size != batch.neurons:
+            raise ShapeError(
+                f"layer expects {in_size} input neurons, activations have {batch.neurons}"
+            )
+        edges_per_sample += ref.nnz
+        target = policy.pick(density=batch.density(), elements=batch.elements)
+        if target == SPARSE and (
+            rows == 0 or weight is None or np.any(bias > 0.0)
+        ):
+            if policy.mode == SPARSE and rows > 0 and weight is not None:
+                raise ValidationError(
+                    "sparse activation policy requires non-positive biases "
+                    "(a positive bias activates entries outside the sparse "
+                    "product's pattern); use activations='dense' or 'auto'"
+                )
+            target = DENSE
+        start = time.perf_counter() if record_timing else 0.0
+        batch = batch.to_sparse() if target == SPARSE else batch.to_dense()
+        batch = batch.step(weight, weight_t, bias, threshold, backend)
+        if record_timing:
+            layer_seconds.append(time.perf_counter() - start)
+        nnz = batch.nnz()
+        peak_nnz = max(peak_nnz, nnz)
+        layer_modes.append(target)
+        layer_density.append(nnz / batch.elements if batch.elements else 0.0)
+    return _RecurrenceStats(
+        final=batch,
+        layer_seconds=layer_seconds,
+        layer_modes=layer_modes,
+        layer_density=layer_density,
+        peak_nnz=peak_nnz,
+        edges_per_sample=edges_per_sample,
+    )
+
+
 class InferenceEngine:
     """A network bound to a backend, ready for repeated batched inference.
 
@@ -95,6 +395,9 @@ class InferenceEngine:
         per-layer transposed weights are computed once here, with this
         backend, and reused by every subsequent call -- the hot loop never
         transposes.
+    activations:
+        Default :class:`ActivationPolicy` (or mode string) for runs that
+        do not pass one explicitly.
     """
 
     def __init__(
@@ -102,12 +405,19 @@ class InferenceEngine:
         network: ChallengeNetwork,
         *,
         backend: str | SparseBackend | None = None,
+        activations: str | ActivationPolicy = AUTO,
     ) -> None:
         self.network = network
         self.backend = resolve_backend(backend)
+        self.policy = ActivationPolicy.resolve(activations)
         # x @ W computed as (W^T @ x^T)^T; pay the transposes once, here.
         self.weights_t = tuple(self.backend.transpose(w) for w in network.weights)
         self.edges_per_sample = int(sum(w.nnz for w in network.weights))
+        # The sparse path adds bias only to stored entries; a positive bias
+        # would break parity with the dense recurrence, so gate on it once.
+        self.sparse_bias_ok = all(
+            bool(np.all(b <= 0.0)) for b in network.biases
+        )
 
     # ------------------------------------------------------------------ #
     def run(
@@ -117,6 +427,7 @@ class InferenceEngine:
         chunk_size: int | None = None,
         workers: int | None = None,
         record_timing: bool = True,
+        activations: str | ActivationPolicy | None = None,
     ) -> InferenceResult:
         """Run the full recurrence over ``inputs`` (``(batch, neurons)``).
 
@@ -127,19 +438,21 @@ class InferenceEngine:
         single-shot path.  ``workers`` additionally fans the chunks out
         across a process pool (chunks are independent, so this is a pure
         batch partition); per-layer timings are not collected on the
-        parallel path.
+        parallel path.  ``activations`` overrides the engine's default
+        :class:`ActivationPolicy` for this call.
         """
         y = self._validate_inputs(inputs)
+        policy = self._resolve_policy(activations)
         batch = y.shape[0]
         if chunk_size is not None and chunk_size < 1:
             raise ValidationError(f"chunk_size must be >= 1, got {chunk_size}")
         if workers is not None and workers < 1:
             raise ValidationError(f"workers must be >= 1, got {workers}")
         if batch == 0:
-            return self._run_block(y, record_timing=record_timing)
+            return self._run_block(y, record_timing=record_timing, policy=policy)
         if chunk_size is None:
             if workers is None or workers == 1:
-                return self._run_block(y, record_timing=record_timing)
+                return self._run_block(y, record_timing=record_timing, policy=policy)
             # floor, not ceil: ceil(batch/workers) can yield fewer chunks
             # than workers (batch=9, workers=4 -> 3 chunks of 3), idling a
             # worker; floor gives at least `workers` chunks when batch
@@ -148,21 +461,28 @@ class InferenceEngine:
         if batch <= chunk_size:
             # a single chunk: run it in-process; fanning one task out to a
             # pool would only add spawn/pickle overhead
-            return self._run_block(y, record_timing=record_timing)
+            return self._run_block(y, record_timing=record_timing, policy=policy)
         if workers is not None and workers > 1:
-            return self._run_parallel(y, chunk_size, workers)
+            return self._run_parallel(y, chunk_size, workers, policy)
         layer_seconds = [0.0] * self.network.num_layers
-        activations: list[np.ndarray] = []
+        activations_out: list[np.ndarray] = []
         categories: list[np.ndarray] = []
+        peak_nnz = 0
         for offset, chunk_result in self.stream(
-            y, chunk_size=chunk_size, record_timing=record_timing
+            y, chunk_size=chunk_size, record_timing=record_timing, activations=policy
         ):
-            activations.append(chunk_result.activations)
+            activations_out.append(chunk_result.activations)
             categories.append(chunk_result.categories + offset)
+            peak_nnz = max(peak_nnz, chunk_result.peak_activation_nnz)
             for i, seconds in enumerate(chunk_result.layer_seconds):
                 layer_seconds[i] += seconds
         return self._merged_result(
-            activations, categories, layer_seconds if record_timing else [], batch
+            activations_out,
+            categories,
+            layer_seconds if record_timing else [],
+            y.shape[0],
+            policy,
+            peak_nnz,
         )
 
     def stream(
@@ -171,6 +491,7 @@ class InferenceEngine:
         *,
         chunk_size: int,
         record_timing: bool = False,
+        activations: str | ActivationPolicy | None = None,
     ) -> Iterator[tuple[int, InferenceResult]]:
         """Yield ``(row_offset, result)`` per mini-batch of ``chunk_size`` rows.
 
@@ -181,11 +502,14 @@ class InferenceEngine:
         to place them in the full batch.
         """
         y = self._validate_inputs(inputs)
+        policy = self._resolve_policy(activations)
         if chunk_size < 1:
             raise ValidationError(f"chunk_size must be >= 1, got {chunk_size}")
         for offset in range(0, y.shape[0], chunk_size):
             chunk = y[offset : offset + chunk_size]
-            yield offset, self._run_block(chunk, record_timing=record_timing)
+            yield offset, self._run_block(
+                chunk, record_timing=record_timing, policy=policy
+            )
 
     def layer_profile(self, inputs: np.ndarray) -> list[float]:
         """Fraction of nonzero activations after every layer (diagnostic curve).
@@ -197,7 +521,7 @@ class InferenceEngine:
         y = self._validate_inputs(inputs)
         profile = []
         for weight_t, bias in zip(self.weights_t, self.network.biases):
-            y = self._apply_layer(y, weight_t, bias)
+            y = _dense_layer_step(y, weight_t, bias, self.network.threshold, self.backend)
             profile.append(float(np.count_nonzero(y) / y.size))
         return profile
 
@@ -210,36 +534,66 @@ class InferenceEngine:
             )
         return y
 
-    def _apply_layer(self, y: np.ndarray, weight_t, bias: np.ndarray) -> np.ndarray:
-        return _layer_step(y, weight_t, bias, self.network.threshold, self.backend)
+    def _resolve_policy(
+        self, activations: str | ActivationPolicy | None
+    ) -> ActivationPolicy:
+        policy = self.policy if activations is None else ActivationPolicy.resolve(activations)
+        if policy.mode == SPARSE and not self.sparse_bias_ok:
+            raise ValidationError(
+                "sparse activation policy requires non-positive biases; "
+                "this network has positive bias entries -- use "
+                "activations='dense' or 'auto'"
+            )
+        return policy
 
-    def _run_block(self, y: np.ndarray, *, record_timing: bool) -> InferenceResult:
+    def _layers(self) -> Iterator[tuple[CSRMatrix, CSRMatrix, np.ndarray]]:
+        return zip(self.network.weights, self.weights_t, self.network.biases)
+
+    def _run_block(
+        self, y: np.ndarray, *, record_timing: bool, policy: ActivationPolicy
+    ) -> InferenceResult:
         batch = y.shape[0]
-        layer_seconds: list[float] = []
-        for weight_t, bias in zip(self.weights_t, self.network.biases):
-            start = time.perf_counter() if record_timing else 0.0
-            y = self._apply_layer(y, weight_t, bias)
-            if record_timing:
-                layer_seconds.append(time.perf_counter() - start)
-        categories = np.flatnonzero(y.sum(axis=1) > 0)
+        stats = _run_recurrence(
+            self._layers(),
+            y,
+            threshold=self.network.threshold,
+            backend=self.backend,
+            policy=policy,
+            record_timing=record_timing,
+        )
         return InferenceResult(
-            activations=y,
-            categories=categories,
-            layer_seconds=layer_seconds,
+            activations=stats.final.to_array(),
+            categories=stats.final.categories(),
+            layer_seconds=stats.layer_seconds,
             edges_traversed=self.edges_per_sample * batch,
             backend=self.backend.name,
+            activation_policy=policy.mode,
+            layer_modes=stats.layer_modes,
+            layer_density=stats.layer_density,
+            peak_activation_nnz=stats.peak_nnz,
         )
 
     def _run_parallel(
-        self, y: np.ndarray, chunk_size: int, workers: int
+        self, y: np.ndarray, chunk_size: int, workers: int, policy: ActivationPolicy
     ) -> InferenceResult:
         from repro.parallel.executor import parallel_map
 
         chunks = [y[offset : offset + chunk_size] for offset in range(0, y.shape[0], chunk_size)]
-        # Ship only what the recurrence needs (transposed weights, biases,
-        # threshold, backend) -- not the whole engine, whose network would
-        # add the original weights and topology to every task's pickle.
-        model = (self.weights_t, self.network.biases, self.network.threshold, self.backend)
+        # Ship only what the recurrence needs -- not the whole engine,
+        # whose network would add the original weights and topology to
+        # every task's pickle.  A dense-only policy never touches the
+        # untransposed weights and a sparse-only policy never touches the
+        # transposes, so drop whichever the policy cannot use.
+        weights = None if policy.mode == DENSE else self.network.weights
+        weights_t = None if policy.mode == SPARSE else self.weights_t
+        model = (
+            weights,
+            weights_t,
+            self.network.biases,
+            self.network.threshold,
+            self.backend,
+            policy,
+        )
         tasks = [(model, chunk) for chunk in chunks]
         outputs = parallel_map(
             _engine_chunk_worker, tasks, workers=workers, min_items_for_parallel=2
@@ -247,10 +601,13 @@ class InferenceEngine:
         activations = [o[0] for o in outputs]
         categories = []
         offset = 0
-        for chunk, (_, cats) in zip(chunks, outputs):
+        for chunk, (_, cats, _) in zip(chunks, outputs):
             categories.append(cats + offset)
             offset += chunk.shape[0]
-        return self._merged_result(activations, categories, [], y.shape[0])
+        peak_nnz = max((o[2] for o in outputs), default=0)
+        return self._merged_result(
+            activations, categories, [], y.shape[0], policy, peak_nnz
+        )
 
     def _merged_result(
         self,
@@ -258,8 +615,15 @@ class InferenceEngine:
         categories: list[np.ndarray],
         layer_seconds: list[float],
         batch: int,
+        policy: ActivationPolicy,
+        peak_nnz: int,
     ) -> InferenceResult:
-        """Assemble per-chunk outputs (categories already offset) into one result."""
+        """Assemble per-chunk outputs (categories already offset) into one result.
+
+        Chunks run one at a time (or one per worker), so the reported
+        peak activation nnz is the maximum over chunks, not their sum;
+        per-layer modes/densities are chunk-local and therefore omitted.
+        """
         return InferenceResult(
             activations=np.concatenate(activations, axis=0)
             if activations
@@ -270,6 +634,8 @@ class InferenceEngine:
             layer_seconds=layer_seconds,
             edges_traversed=self.edges_per_sample * batch,
             backend=self.backend.name,
+            activation_policy=policy.mode,
+            peak_activation_nnz=peak_nnz,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
@@ -279,18 +645,77 @@ class InferenceEngine:
         )
 
 
-def _engine_chunk_worker(task) -> tuple[np.ndarray, np.ndarray]:
+def _engine_chunk_worker(task) -> tuple[np.ndarray, np.ndarray, int]:
     """Process-pool worker: run one chunk through the recurrence.
 
-    The model bundle (transposed weights, biases, threshold, backend)
-    rides along in the task tuple (CSR matrices and backends pickle
-    cleanly) so the worker is independent of process start method and of
-    module-level state.
+    The model bundle (weights, transposed weights, biases, threshold,
+    backend, policy) rides along in the task tuple (CSR matrices,
+    backends, and policies pickle cleanly) so the worker is independent
+    of process start method and of module-level state.
     """
-    (weights_t, biases, threshold, backend), y = task
-    for weight_t, bias in zip(weights_t, biases):
-        y = _layer_step(y, weight_t, bias, threshold, backend)
-    return y, np.flatnonzero(y.sum(axis=1) > 0)
+    (weights, weights_t, biases, threshold, backend, policy), y = task
+    n = len(biases)
+    layers = zip(
+        weights if weights is not None else (None,) * n,
+        weights_t if weights_t is not None else (None,) * n,
+        biases,
+    )
+    stats = _run_recurrence(
+        layers,
+        y,
+        threshold=threshold,
+        backend=backend,
+        policy=policy,
+        record_timing=False,
+    )
+    return stats.final.to_array(), stats.final.categories(), stats.peak_nnz
+
+
+def streaming_inference(
+    layers: Iterable[tuple[CSRMatrix, np.ndarray]],
+    inputs: np.ndarray,
+    *,
+    threshold: float,
+    backend: str | SparseBackend | None = None,
+    activations: str | ActivationPolicy | None = None,
+    record_timing: bool = True,
+) -> InferenceResult:
+    """Run the recurrence over a lazily produced sequence of layers.
+
+    ``layers`` yields ``(weight, bias)`` pairs and is consumed one layer
+    at a time, so pairing this with a generator source (e.g.
+    :func:`repro.challenge.io.iter_challenge_layers`) runs networks whose
+    weights never need to be resident all at once.  On the dense path
+    each layer's transpose is computed on the fly (and released with the
+    layer); the sparse path needs no transposes at all.
+
+    ``edges_traversed`` is accumulated from the weights actually seen, so
+    the result is directly comparable with :meth:`InferenceEngine.run`.
+    """
+    y = np.asarray(inputs, dtype=np.float64)
+    if y.ndim != 2:
+        raise ShapeError(f"inputs must be 2-D (batch, neurons), got shape {y.shape}")
+    policy = ActivationPolicy.resolve(activations)
+    impl = resolve_backend(backend)
+    stats = _run_recurrence(
+        ((weight, None, np.asarray(bias, dtype=np.float64)) for weight, bias in layers),
+        y,
+        threshold=float(threshold),
+        backend=impl,
+        policy=policy,
+        record_timing=record_timing,
+    )
+    return InferenceResult(
+        activations=stats.final.to_array(),
+        categories=stats.final.categories(),
+        layer_seconds=stats.layer_seconds,
+        edges_traversed=stats.edges_per_sample * y.shape[0],
+        backend=impl.name,
+        activation_policy=policy.mode,
+        layer_modes=stats.layer_modes,
+        layer_density=stats.layer_density,
+        peak_activation_nnz=stats.peak_nnz,
+    )
 
 
 def engine_for(
@@ -322,23 +747,26 @@ def sparse_dnn_inference(
     backend: str | SparseBackend | None = None,
     chunk_size: int | None = None,
     workers: int | None = None,
+    activations: str | ActivationPolicy | None = None,
 ) -> InferenceResult:
     """Run the challenge inference recurrence over all layers of ``network``.
 
-    ``inputs`` is a dense ``(batch, neurons)`` activation matrix (sparse
-    batches are supported by the caller simply passing mostly-zero rows --
-    the kernel exploits sparsity through the CSR weight matrices).
+    ``inputs`` is a dense ``(batch, neurons)`` activation matrix; under
+    the ``sparse`` (or a triggered ``auto``) activation policy the engine
+    converts it to CSR and keeps it sparse through the layers.
 
     This is the stable functional front end of :class:`InferenceEngine`;
-    see :meth:`InferenceEngine.run` for the ``chunk_size`` / ``workers``
-    semantics.  ``edges_traversed`` is the Graph Challenge convention:
-    total stored weight entries across layers, times the batch size.
+    see :meth:`InferenceEngine.run` for the ``chunk_size`` / ``workers`` /
+    ``activations`` semantics.  ``edges_traversed`` is the Graph
+    Challenge convention: total stored weight entries across layers,
+    times the batch size.
     """
     return engine_for(network, backend).run(
         inputs,
         chunk_size=chunk_size,
         workers=workers,
         record_timing=record_timing,
+        activations=activations,
     )
 
 

@@ -1,4 +1,4 @@
-"""Graph Challenge interchange format (TSV) for whole networks.
+"""Graph Challenge interchange format (TSV) with a binary sidecar cache.
 
 Layout on disk (mirrors the official distribution):
 
@@ -6,90 +6,431 @@ Layout on disk (mirrors the official distribution):
         neuron<N>-l<i>.tsv     one file per layer, lines "row<TAB>col<TAB>weight",
                                1-based indices
         neuron<N>-meta.tsv     one line: neurons, layers, threshold, bias[0]
+        neuron<N>-cache.npz    binary sidecar (optional): every layer's CSR
+                               arrays, written by save/load so repeated runs
+                               skip TSV parsing entirely
+
+TSV paths are fully vectorized: writes go through ``np.savetxt`` on the
+stacked COO triples and reads through chunked ``np.loadtxt`` (a bounded
+number of rows per chunk, so a 65536-neuron layer file never needs a
+per-line Python loop *or* an unbounded parse buffer).
+
+The ``.npz`` sidecar stores each layer's canonical CSR arrays
+(``l<i>_indptr`` / ``l<i>_indices`` / ``l<i>_data``) uncompressed.  It is
+consulted only when *fresh* -- at least as new as every source TSV --
+and rebuilt from the TSVs otherwise, so editing a layer file invalidates
+the cache by mtime alone.  Because ``np.savez`` members are stored
+uncompressed, fresh cache reads memory-map the arrays straight out of
+the zip archive (falling back to a plain read where mapping is not
+possible), which makes repeated benchmark runs on big networks
+effectively free of I/O parsing cost.
+
+:func:`iter_challenge_layers` is the streaming entry point: it yields one
+``(weight, bias)`` pair at a time (from the cache when fresh, from the
+TSVs otherwise) so :func:`repro.challenge.inference.streaming_inference`
+can start the first chunk before later layers are even read.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
+import zipfile
+from collections.abc import Iterator
 from pathlib import Path
 
 import numpy as np
 
 from repro.errors import SerializationError
 from repro.challenge.generator import ChallengeNetwork
-from repro.sparse.coo import COOMatrix
 from repro.sparse.csr import CSRMatrix
 from repro.topology.fnnt import FNNT
 
+CACHE_VERSION = 1
 
-def save_challenge_network(network: ChallengeNetwork, directory: str | os.PathLike) -> Path:
-    """Write a challenge network to a directory of TSV files; returns the directory."""
-    directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
-    n = network.neurons
-    for i, weight in enumerate(network.weights, start=1):
-        coo = weight.to_coo().coalesce()
-        path = directory / f"neuron{n}-l{i}.tsv"
-        with path.open("w", encoding="utf-8") as handle:
-            for r, c, v in zip(coo.rows, coo.cols, coo.values):
-                handle.write(f"{int(r) + 1}\t{int(c) + 1}\t{v:.17g}\n")
-    meta = directory / f"neuron{n}-meta.tsv"
-    with meta.open("w", encoding="utf-8") as handle:
-        handle.write(
-            f"{n}\t{network.num_layers}\t{network.threshold:.17g}\t{float(network.biases[0][0]):.17g}\n"
-        )
-    return directory
+# rows per np.loadtxt call when parsing a layer TSV; bounds the parse
+# buffer for arbitrarily large layer files
+TSV_CHUNK_ROWS = 1 << 16
 
 
-def load_challenge_network(directory: str | os.PathLike, neurons: int) -> ChallengeNetwork:
-    """Load a challenge network previously written by :func:`save_challenge_network`."""
-    directory = Path(directory)
-    meta_path = directory / f"neuron{neurons}-meta.tsv"
+def _layer_path(directory: Path, neurons: int, index: int) -> Path:
+    return directory / f"neuron{neurons}-l{index}.tsv"
+
+
+def _meta_path(directory: Path, neurons: int) -> Path:
+    return directory / f"neuron{neurons}-meta.tsv"
+
+
+def cache_path(directory: str | os.PathLike, neurons: int) -> Path:
+    """Location of the binary sidecar cache for a saved network."""
+    return Path(directory) / f"neuron{neurons}-cache.npz"
+
+
+# --------------------------------------------------------------------------- #
+# metadata
+# --------------------------------------------------------------------------- #
+def _read_meta(directory: Path, neurons: int) -> tuple[int, int, float, float]:
+    meta_path = _meta_path(directory, neurons)
     if not meta_path.exists():
         raise SerializationError(f"metadata file not found: {meta_path}")
     fields = meta_path.read_text(encoding="utf-8").strip().split("\t")
     if len(fields) != 4:
         raise SerializationError(f"malformed metadata file: {meta_path}")
-    n, num_layers = int(fields[0]), int(fields[1])
-    threshold, bias_value = float(fields[2]), float(fields[3])
+    try:
+        n, num_layers = int(fields[0]), int(fields[1])
+        threshold, bias_value = float(fields[2]), float(fields[3])
+    except ValueError as exc:
+        raise SerializationError(f"malformed metadata file: {meta_path}: {exc}") from None
     if n != int(neurons):
         raise SerializationError(
             f"metadata neuron count {n} does not match requested {neurons}"
         )
+    return n, num_layers, threshold, bias_value
+
+
+# --------------------------------------------------------------------------- #
+# vectorized TSV parsing
+# --------------------------------------------------------------------------- #
+def _parse_layer_tsv(path: Path, neurons: int) -> CSRMatrix:
+    """Parse one 1-based ``row<TAB>col<TAB>weight`` layer file into CSR.
+
+    Reads in bounded chunks of :data:`TSV_CHUNK_ROWS` lines via
+    ``np.loadtxt`` -- no per-line Python loop, no unbounded buffer.
+    """
+    if not path.exists():
+        raise SerializationError(f"layer file not found: {path}")
+    blocks: list[np.ndarray] = []
+    try:
+        with path.open("r", encoding="utf-8") as handle, warnings.catch_warnings():
+            # loadtxt warns on an exhausted handle; an empty tail (or an
+            # empty zero-nnz layer file) is expected here
+            warnings.simplefilter("ignore", UserWarning)
+            while True:
+                block = np.loadtxt(
+                    handle, dtype=np.float64, delimiter="\t",
+                    ndmin=2, max_rows=TSV_CHUNK_ROWS,
+                )
+                if block.size == 0:
+                    break
+                if block.shape[1] != 3:
+                    raise SerializationError(
+                        f"{path}: expected 3 tab-separated fields per line, "
+                        f"got {block.shape[1]}"
+                    )
+                blocks.append(block)
+                if block.shape[0] < TSV_CHUNK_ROWS:
+                    break
+    except ValueError as exc:
+        raise SerializationError(f"{path}: malformed layer file: {exc}") from None
+    if not blocks:
+        return CSRMatrix.zeros((neurons, neurons))
+    triples = np.concatenate(blocks, axis=0)
+    if not np.all(triples[:, :2] == np.floor(triples[:, :2])):
+        raise SerializationError(
+            f"{path}: row/col indices must be integers"
+        )
+    rows = triples[:, 0].astype(np.int64) - 1
+    cols = triples[:, 1].astype(np.int64) - 1
+    vals = triples[:, 2]
+    if rows.size and (
+        rows.min() < 0 or rows.max() >= neurons or cols.min() < 0 or cols.max() >= neurons
+    ):
+        raise SerializationError(f"{path}: index out of range for {neurons} neurons")
+    # canonical CSR via lexsort + segment sum: entries may arrive in any
+    # order, and duplicate (row, col) pairs coalesce by summation (the
+    # COO convention, as in the official interchange files)
+    order = np.lexsort((cols, rows))
+    rows, cols, vals = rows[order], cols[order], vals[order]
+    keys = rows * neurons + cols
+    firsts = np.flatnonzero(np.concatenate(([True], keys[1:] != keys[:-1])))
+    rows, cols = rows[firsts], cols[firsts]
+    vals = np.add.reduceat(vals, firsts)
+    indptr = np.zeros(neurons + 1, dtype=np.int64)
+    np.cumsum(np.bincount(rows, minlength=neurons), out=indptr[1:])
+    return CSRMatrix((neurons, neurons), indptr, cols, vals)
+
+
+# --------------------------------------------------------------------------- #
+# binary sidecar cache
+# --------------------------------------------------------------------------- #
+def _source_paths(directory: Path, neurons: int, num_layers: int) -> list[Path]:
+    return [_meta_path(directory, neurons)] + [
+        _layer_path(directory, neurons, i) for i in range(1, num_layers + 1)
+    ]
+
+
+def cache_is_fresh(directory: str | os.PathLike, neurons: int, num_layers: int) -> bool:
+    """True when the sidecar exists and is at least as new as every source TSV."""
+    directory = Path(directory)
+    sidecar = cache_path(directory, neurons)
+    if not sidecar.exists():
+        return False
+    cache_mtime = sidecar.stat().st_mtime
+    for source in _source_paths(directory, neurons, num_layers):
+        # ">=", not ">": a TSV edited within the filesystem's mtime
+        # granularity of the sidecar write must count as newer -- the
+        # failure mode is silently serving stale weights, so ties go to
+        # reparsing (save writes the sidecar last, so a just-saved
+        # network stays fresh on any filesystem with sub-write
+        # resolution)
+        if source.exists() and source.stat().st_mtime >= cache_mtime:
+            return False
+    return True
+
+
+def write_cache(network: ChallengeNetwork, directory: str | os.PathLike) -> Path:
+    """Write the binary sidecar cache of ``network``; returns its path."""
+    directory = Path(directory)
+    sidecar = cache_path(directory, network.neurons)
+    # weights only: threshold/bias stay in the (freshness-checked) meta
+    # TSV, which every load path reads -- duplicating them here would
+    # just create a second, possibly desynced source of truth
+    arrays: dict[str, np.ndarray] = {
+        "meta": np.array(
+            [network.neurons, network.num_layers, CACHE_VERSION], dtype=np.int64
+        ),
+    }
+    for i, weight in enumerate(network.weights, start=1):
+        arrays[f"l{i}_indptr"] = weight.indptr
+        arrays[f"l{i}_indices"] = weight.indices
+        arrays[f"l{i}_data"] = weight.data
+    # uncompressed (np.savez, not savez_compressed) so members can be
+    # memory-mapped straight out of the archive on load; write-then-rename
+    # so networks already holding memmaps into the old sidecar keep
+    # reading the old inode instead of seeing their bytes rewritten
+    temp = sidecar.with_name(sidecar.name + ".tmp.npz")
+    np.savez(temp, **arrays)
+    os.replace(temp, sidecar)
+    return sidecar
+
+
+def _mmap_npz_member(path: Path, archive: zipfile.ZipFile, name: str) -> np.ndarray | None:
+    """Memory-map one uncompressed member of an open ``.npz`` archive.
+
+    ``np.load(..., mmap_mode=...)`` does not map into zip archives, but
+    ``np.savez`` stores members uncompressed, so the raw ``.npy`` bytes
+    sit contiguously in the file: locate them through the (already
+    parsed) zip directory, parse the npy header, and hand the remainder
+    to ``np.memmap``.  Returns ``None`` whenever any assumption fails
+    (compressed member, unexpected npy version, ...); callers fall back
+    to a plain read.
+    """
+    try:
+        info = archive.getinfo(f"{name}.npy")
+        if info.compress_type != zipfile.ZIP_STORED:
+            return None
+        with path.open("rb") as handle:
+            handle.seek(info.header_offset)
+            local_header = handle.read(30)
+            if len(local_header) != 30 or local_header[:4] != b"PK\x03\x04":
+                return None
+            name_len = int.from_bytes(local_header[26:28], "little")
+            extra_len = int.from_bytes(local_header[28:30], "little")
+            handle.seek(info.header_offset + 30 + name_len + extra_len)
+            version = np.lib.format.read_magic(handle)
+            if version == (1, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
+            elif version == (2, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
+            else:
+                return None
+            if fortran or dtype.hasobject:
+                return None
+            offset = handle.tell()
+        return np.memmap(path, dtype=dtype, mode="r", shape=shape, offset=offset)
+    except (OSError, KeyError, ValueError, zipfile.BadZipFile):
+        return None
+
+
+class _CacheReader:
+    """Fresh-sidecar reader: memory-mapped members with a plain-read fallback.
+
+    Close after use: the memmaps handed out by :meth:`array` hold their
+    own file handles, so the reader's archive handle is only needed while
+    arrays are being read.
+    """
+
+    def __init__(self, path: Path, *, mmap: bool = True) -> None:
+        self.path = path
+        self.mmap = mmap
+        self._npz = np.load(path)
+        # np.load already parsed the archive's directory; reuse it for
+        # member lookups instead of re-opening the zip per array
+        self._archive = getattr(self._npz, "zip", None) if mmap else None
+        self._own_archive = False
+        if mmap and self._archive is None:  # pragma: no cover - older numpy
+            self._archive = zipfile.ZipFile(path)
+            self._own_archive = True
+
+    def array(self, name: str) -> np.ndarray:
+        if self._archive is not None:
+            mapped = _mmap_npz_member(self.path, self._archive, name)
+            if mapped is not None:
+                return mapped
+        return self._npz[name]
+
+    def close(self) -> None:
+        if self._own_archive and self._archive is not None:  # pragma: no cover
+            self._archive.close()
+        self._npz.close()  # also closes the archive np.load opened
+        self._archive = None
+
+    def layer(self, index: int, neurons: int) -> CSRMatrix:
+        return CSRMatrix(
+            (neurons, neurons),
+            self.array(f"l{index}_indptr"),
+            self.array(f"l{index}_indices"),
+            self.array(f"l{index}_data"),
+        )
+
+    def matches(self, neurons: int, num_layers: int) -> bool:
+        try:
+            meta = np.asarray(self._npz["meta"])
+            return (
+                meta.shape == (3,)
+                and int(meta[0]) == neurons
+                and int(meta[1]) == num_layers
+                and int(meta[2]) == CACHE_VERSION
+            )
+        except (KeyError, ValueError):
+            return False
+
+
+def _open_fresh_cache(
+    directory: Path, neurons: int, num_layers: int, *, mmap: bool
+) -> _CacheReader | None:
+    if not cache_is_fresh(directory, neurons, num_layers):
+        return None
+    try:
+        reader = _CacheReader(cache_path(directory, neurons), mmap=mmap)
+    except (OSError, ValueError, zipfile.BadZipFile):
+        return None  # unreadable sidecar: treat as absent, reparse the TSVs
+    if not reader.matches(neurons, num_layers):
+        return None
+    return reader
+
+
+# --------------------------------------------------------------------------- #
+# public API
+# --------------------------------------------------------------------------- #
+def save_challenge_network(
+    network: ChallengeNetwork,
+    directory: str | os.PathLike,
+    *,
+    write_sidecar: bool = True,
+) -> Path:
+    """Write a challenge network to a directory of TSV files; returns the directory.
+
+    The TSV write is vectorized (``np.savetxt`` over the stacked COO
+    triples -- no per-nnz Python loop).  Unless ``write_sidecar`` is
+    false, the binary ``.npz`` cache is written alongside, so the first
+    :func:`load_challenge_network` already skips TSV parsing.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    n = network.neurons
+    for i, weight in enumerate(network.weights, start=1):
+        coo = weight.to_coo().coalesce()
+        triples = np.column_stack(
+            [coo.rows + 1.0, coo.cols + 1.0, coo.values]
+        )
+        np.savetxt(
+            _layer_path(directory, n, i),
+            triples,
+            fmt=("%d", "%d", "%.17g"),
+            delimiter="\t",
+        )
+    meta = _meta_path(directory, n)
+    meta.write_text(
+        f"{n}\t{network.num_layers}\t{network.threshold:.17g}\t"
+        f"{float(network.biases[0][0]):.17g}\n",
+        encoding="utf-8",
+    )
+    if write_sidecar:
+        write_cache(network, directory)
+    return directory
+
+
+def iter_challenge_layers(
+    directory: str | os.PathLike,
+    neurons: int,
+    *,
+    use_cache: bool = True,
+    mmap: bool = True,
+) -> Iterator[tuple[CSRMatrix, np.ndarray]]:
+    """Yield ``(weight, bias)`` one layer at a time, never all resident.
+
+    Layers come from the binary sidecar when it is fresh (memory-mapped
+    where possible) and from chunked TSV parsing otherwise.  Feed this
+    directly to :func:`repro.challenge.inference.streaming_inference`::
+
+        result = streaming_inference(
+            iter_challenge_layers(directory, 1024), batch, threshold=32.0
+        )
+    """
+    directory = Path(directory)
+    n, num_layers, _, bias_value = _read_meta(directory, neurons)
+    reader = (
+        _open_fresh_cache(directory, n, num_layers, mmap=mmap) if use_cache else None
+    )
+    try:
+        for i in range(1, num_layers + 1):
+            if reader is not None:
+                weight = reader.layer(i, n)
+            else:
+                weight = _parse_layer_tsv(_layer_path(directory, n, i), n)
+            yield weight, np.full(n, bias_value)
+    finally:
+        if reader is not None:
+            reader.close()
+
+
+def load_challenge_network(
+    directory: str | os.PathLike,
+    neurons: int,
+    *,
+    use_cache: bool = True,
+    mmap: bool = True,
+) -> ChallengeNetwork:
+    """Load a challenge network previously written by :func:`save_challenge_network`.
+
+    When a fresh ``.npz`` sidecar is present the weights come straight
+    from it (memory-mapped where possible); otherwise the TSVs are parsed
+    with the vectorized chunked reader and -- unless ``use_cache`` is
+    false -- the sidecar is (re)written so the next load skips parsing.
+    """
+    directory = Path(directory)
+    n, num_layers, threshold, bias_value = _read_meta(directory, neurons)
+    reader = (
+        _open_fresh_cache(directory, n, num_layers, mmap=mmap) if use_cache else None
+    )
     weights: list[CSRMatrix] = []
     submatrices: list[CSRMatrix] = []
     biases: list[np.ndarray] = []
-    for i in range(1, num_layers + 1):
-        path = directory / f"neuron{n}-l{i}.tsv"
-        if not path.exists():
-            raise SerializationError(f"layer file not found: {path}")
-        rows, cols, vals = [], [], []
-        with path.open("r", encoding="utf-8") as handle:
-            for line_number, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                parts = line.split("\t")
-                if len(parts) != 3:
-                    raise SerializationError(
-                        f"{path}:{line_number}: expected 3 fields, got {len(parts)}"
-                    )
-                rows.append(int(parts[0]) - 1)
-                cols.append(int(parts[1]) - 1)
-                vals.append(float(parts[2]))
-        weight = COOMatrix(
-            (n, n),
-            np.asarray(rows, dtype=np.int64),
-            np.asarray(cols, dtype=np.int64),
-            np.asarray(vals, dtype=np.float64),
-        ).to_csr()
-        weights.append(weight)
-        submatrices.append(weight.astype_binary())
-        biases.append(np.full(n, bias_value))
+    try:
+        for i in range(1, num_layers + 1):
+            if reader is not None:
+                weight = reader.layer(i, n)
+            else:
+                weight = _parse_layer_tsv(_layer_path(directory, n, i), n)
+            weights.append(weight)
+            submatrices.append(weight.astype_binary())
+            biases.append(np.full(n, bias_value))
+    finally:
+        if reader is not None:
+            reader.close()
     topology = FNNT(submatrices, validate=False, name=f"graph-challenge-{n}x{num_layers}")
-    return ChallengeNetwork(
+    network = ChallengeNetwork(
         topology=topology,
         weights=tuple(weights),
         biases=tuple(biases),
         threshold=threshold,
     )
+    if use_cache and reader is None:
+        try:
+            write_cache(network, directory)
+        except OSError:
+            # the sidecar is an opportunistic speed-up; loading from a
+            # read-only directory must still succeed
+            pass
+    return network

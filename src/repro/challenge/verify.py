@@ -27,9 +27,22 @@ def reference_categories(network: ChallengeNetwork, inputs: np.ndarray) -> np.nd
     return np.flatnonzero(y.sum(axis=1) > 0)
 
 
-def verify_categories(network: ChallengeNetwork, inputs: np.ndarray) -> bool:
-    """True if the sparse kernel and the dense reference agree on the categories."""
-    sparse_result = sparse_dnn_inference(network, inputs, record_timing=False)
+def verify_categories(
+    network: ChallengeNetwork,
+    inputs: np.ndarray,
+    *,
+    backend=None,
+    activations=None,
+) -> bool:
+    """True if the sparse kernel and the dense reference agree on the categories.
+
+    ``backend`` / ``activations`` select the production path under test
+    (sparse-kernel backend and activation storage policy); the reference
+    side is always the naive dense recurrence.
+    """
+    sparse_result = sparse_dnn_inference(
+        network, inputs, record_timing=False, backend=backend, activations=activations
+    )
     dense_result = reference_categories(network, inputs)
     return bool(np.array_equal(sparse_result.categories, dense_result))
 

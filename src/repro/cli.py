@@ -8,6 +8,8 @@ generated, inspected, verified, and exported without writing Python::
     python -m repro.cli verify --systems "2,2;2,2" --widths 1,2,2,2,1
     python -m repro.cli density --systems "3,3;9" --widths 1,1,1,1
     python -m repro.cli challenge --neurons 128 --layers 12 --connections 8
+    python -m repro.cli challenge --neurons 128 --layers 12 --save-dir nets/
+    python -m repro.cli challenge verify --dir nets/ --neurons 128
     python -m repro.cli design --layer-widths 32,64,64,16
     python -m repro.cli backends
 
@@ -16,7 +18,13 @@ The kernel-heavy subcommands (``challenge``, ``verify``) accept
 implementation (see :mod:`repro.backends`; the ``REPRO_BACKEND``
 environment variable sets the default).  ``challenge`` additionally
 accepts ``--chunk-size`` / ``--workers`` for chunked or process-parallel
-batched inference through the :class:`InferenceEngine`.
+batched inference, and ``--activations {auto,dense,sparse}`` /
+``--sparse-crossover`` to pick the activation storage policy (CSR
+activation batches via SpGEMM vs. dense buffers via SpMM; see
+:class:`repro.challenge.inference.ActivationPolicy`).  ``challenge
+verify`` cross-checks a network saved on disk (``--save-dir`` /
+:func:`repro.challenge.io.save_challenge_network`) against the naive
+dense reference recurrence.
 
 Every subcommand prints a plain-text report and exits 0 on success, 2 on
 argument errors (argparse convention), 1 on library errors.
@@ -91,6 +99,27 @@ def build_parser() -> argparse.ArgumentParser:
     challenge.add_argument("--backend", default=None, help="sparse backend for the inference kernels (see `backends`)")
     challenge.add_argument("--chunk-size", type=int, default=None, help="mini-batch rows per chunk (bounds peak memory)")
     challenge.add_argument("--workers", type=int, default=None, help="process-pool fan-out across chunks")
+    challenge.add_argument("--activations", choices=["auto", "dense", "sparse"], default="auto",
+                           help="activation storage policy: dense SpMM buffers, CSR SpGEMM batches, or per-layer auto crossover")
+    challenge.add_argument("--sparse-crossover", type=float, default=None, metavar="DENSITY",
+                           help="auto-policy density at or below which activations switch to CSR (default 0.1)")
+    challenge.add_argument("--save-dir", default=None, metavar="DIR",
+                           help="also save the generated network (TSV + binary sidecar cache) to DIR")
+    challenge_sub = challenge.add_subparsers(dest="challenge_command")
+    challenge_verify = challenge_sub.add_parser(
+        "verify", help="cross-check a saved network directory against the dense reference"
+    )
+    challenge_verify.add_argument("--dir", required=True, help="directory written by `challenge --save-dir` (TSV + sidecar)")
+    challenge_verify.add_argument("--neurons", type=int, required=True, help="neurons per layer of the saved network")
+    # SUPPRESS defaults: these flags are also defined on the parent
+    # `challenge` parser, and a subparser default would silently clobber
+    # a value given before the `verify` token (argparse parses the
+    # parent first, then lets the child's defaults overwrite)
+    challenge_verify.add_argument("--batch", type=int, default=argparse.SUPPRESS)
+    challenge_verify.add_argument("--seed", type=int, default=argparse.SUPPRESS)
+    challenge_verify.add_argument("--backend", default=argparse.SUPPRESS, help="sparse backend for the production path under test")
+    challenge_verify.add_argument("--activations", choices=["auto", "dense", "sparse"], default=argparse.SUPPRESS)
+    challenge_verify.add_argument("--no-cache", action="store_true", help="force TSV parsing (ignore the binary sidecar cache)")
 
     design = subparsers.add_parser("design", help="find a specification matching layer widths")
     design.add_argument("--layer-widths", type=parse_widths, required=True)
@@ -153,24 +182,66 @@ def _cmd_density(args: argparse.Namespace) -> int:
 
 
 def _cmd_challenge(args: argparse.Namespace) -> int:
+    if getattr(args, "challenge_command", None) == "verify":
+        return _cmd_challenge_verify(args)
     from repro.challenge.generator import challenge_input_batch, generate_challenge_network
-    from repro.challenge.inference import engine_for
+    from repro.challenge.inference import ActivationPolicy, engine_for
+    from repro.challenge.io import save_challenge_network
     from repro.challenge.verify import verify_categories
 
+    if args.sparse_crossover is not None:
+        policy = ActivationPolicy(mode=args.activations, crossover_density=args.sparse_crossover)
+    else:
+        policy = ActivationPolicy(mode=args.activations)
     network = generate_challenge_network(
         args.neurons, args.layers, connections=args.connections, seed=args.seed
     )
     batch = challenge_input_batch(args.neurons, args.batch, seed=args.seed + 1)
     engine = engine_for(network, args.backend)
-    result = engine.run(batch, chunk_size=args.chunk_size, workers=args.workers)
+    result = engine.run(
+        batch, chunk_size=args.chunk_size, workers=args.workers, activations=policy
+    )
     print(f"network: {network!r}")
     print(f"backend: {result.backend}")
     if result.layer_seconds:
         print(f"inference: {result.total_seconds:.4f}s, {result.edges_per_second:,.0f} edges/s")
     else:  # parallel fan-out does not collect per-layer timings
         print(f"inference: {result.edges_traversed:,} edges traversed (parallel run; per-layer timing off)")
+    print(f"activations: policy {result.activation_policy}, "
+          f"peak nnz {result.peak_activation_nnz:,} "
+          f"(dense buffer would hold {args.batch * args.neurons:,})")
+    if result.layer_modes:
+        sparse_layers = result.layer_modes.count("sparse")
+        print(f"layer modes: {sparse_layers} sparse / {len(result.layer_modes) - sparse_layers} dense")
     print(f"categories: {result.categories.size} of {args.batch}")
-    verified = verify_categories(network, batch)
+    if args.save_dir:
+        saved = save_challenge_network(network, args.save_dir)
+        print(f"saved network (TSV + sidecar cache) to {saved}")
+    verified = verify_categories(network, batch, backend=args.backend, activations=policy)
+    print(f"verified against dense reference: {verified}")
+    return 0 if verified else 1
+
+
+def _cmd_challenge_verify(args: argparse.Namespace) -> int:
+    from repro.challenge.generator import challenge_input_batch
+    from repro.challenge.inference import sparse_dnn_inference
+    from repro.challenge.io import load_challenge_network
+    from repro.challenge.verify import category_checksum, reference_categories
+
+    import numpy as np
+
+    network = load_challenge_network(args.dir, args.neurons, use_cache=not args.no_cache)
+    batch = challenge_input_batch(args.neurons, args.batch, seed=args.seed)
+    result = sparse_dnn_inference(
+        network, batch, record_timing=False,
+        backend=args.backend, activations=args.activations,
+    )
+    reference = reference_categories(network, batch)
+    verified = bool(np.array_equal(result.categories, reference))
+    print(f"network: {network!r} (loaded from {args.dir})")
+    print(f"backend: {result.backend}, activations: {result.activation_policy}")
+    print(f"categories: {result.categories.size} of {args.batch} "
+          f"(checksum {category_checksum(result.categories)})")
     print(f"verified against dense reference: {verified}")
     return 0 if verified else 1
 

@@ -1,8 +1,9 @@
 """Sparse matrix kernels: SpGEMM, SpMM, SpMV, Kronecker products, powers.
 
 These are the operations the RadiX-Net construction (Kronecker products
-of adjacency submatrices) and its verification (chain products of
-submatrices for Theorem 1) require.
+of adjacency submatrices), its verification (chain products of
+submatrices for Theorem 1), and the Graph Challenge recurrence (the
+fused :func:`sparse_layer_step` on sparse activation batches) require.
 
 This module is a thin *dispatch layer*: it validates operand shapes and
 forwards to the active :mod:`repro.backends` implementation (``scipy``
@@ -21,8 +22,12 @@ import numpy as np
 
 from repro.backends import available_backends, resolve_backend as _resolve
 from repro.backends.base import SparseBackend
+from repro.backends.fused import (
+    clamp_bias_filter as _clamp_bias_filter,
+    row_sums as _row_sums,
+)
 from repro.backends.reference import spgemm_rowmerge as _spgemm_rowmerge  # noqa: F401 - re-export
-from repro.errors import ShapeError
+from repro.errors import ShapeError, ValidationError
 from repro.sparse.csr import CSRMatrix
 
 
@@ -116,6 +121,50 @@ def kron(
     value ``a[i_a, j_a] * b[i_b, j_b]`` at column ``j_a * cols(b) + j_b``.
     """
     return _resolve(backend).kron(a, b)
+
+
+def sparse_layer_step(
+    y: CSRMatrix,
+    weight: CSRMatrix,
+    bias: np.ndarray,
+    threshold: float,
+    *,
+    backend: str | SparseBackend | None = None,
+) -> CSRMatrix:
+    """One Graph Challenge layer ``min(max(Y W + b, 0), threshold)`` on CSR ``Y``.
+
+    The sparse-activation counterpart of the engine's dense SpMM step:
+    ``Y`` is a CSR ``(batch, neurons)`` activation matrix and the result is
+    again CSR with non-positive entries dropped.  The bias is added to
+    stored entries of rows whose input row-sum is positive, which matches
+    the dense recurrence exactly **when the bias is non-positive** (a
+    positive bias would also lift entries the sparse product never
+    stores); that precondition is validated here so backends can assume
+    it.
+
+    Backends without a fused ``sparse_layer_step`` kernel (e.g. custom
+    registrations predating it) fall back to their ``spgemm`` followed by
+    a shared vectorized bias/ReLU/clamp pass.
+    """
+    _check_matmul_shapes(y, weight)
+    bias_arr = np.asarray(bias, dtype=np.float64).ravel()
+    if bias_arr.size != weight.shape[1]:
+        raise ShapeError(
+            f"bias must have length {weight.shape[1]}, got {bias_arr.size}"
+        )
+    if np.any(bias_arr > 0.0):
+        raise ValidationError(
+            "sparse_layer_step requires a non-positive bias; positive biases "
+            "activate entries outside the sparse product's pattern -- use the "
+            "dense activation path instead"
+        )
+    impl = _resolve(backend)
+    step = getattr(impl, "sparse_layer_step", None)
+    if step is not None:
+        return step(y, weight, bias_arr, float(threshold))
+    active_rows = _row_sums(y) > 0.0
+    z = impl.spgemm(y, weight)
+    return _clamp_bias_filter(z, active_rows, bias_arr, float(threshold))
 
 
 def matrix_power(

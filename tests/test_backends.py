@@ -114,6 +114,23 @@ class TestKernelParity:
         v = np.random.default_rng(7).random(4)
         np.testing.assert_allclose(impl.spmv(a, v), da @ v, atol=1e-12)
 
+    def test_sparse_layer_step_random(self, backend):
+        impl = backends.get_backend(backend)
+        y, dy = random_csr((6, 8), 0.4, 30)
+        w, dw = random_csr((8, 8), 0.4, 31)
+        bias = -np.random.default_rng(32).random(8)
+        threshold = 0.75
+        z = dy @ dw
+        z[dy.sum(axis=1) > 0] += bias
+        expected = np.clip(z, 0.0, threshold)
+        got = impl.sparse_layer_step(y, w, bias, threshold)
+        np.testing.assert_allclose(got.to_dense(), expected, atol=1e-12)
+        # fused result is already filtered: only strictly positive,
+        # clamped entries are stored
+        if got.nnz:
+            assert got.data.min() > 0.0
+            assert got.data.max() <= threshold
+
     def test_kron_random_and_radixnet(self, backend):
         impl = backends.get_backend(backend)
         a, da = random_csr((3, 2), 0.6, 8)

@@ -77,6 +77,82 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "achieved widths: (32, 64, 64, 16)" in out
 
+    @pytest.mark.parametrize("activations", ["dense", "sparse", "auto"])
+    def test_challenge_activation_policies(self, capsys, activations):
+        code = main(
+            ["challenge", "--neurons", "16", "--layers", "4", "--connections", "4",
+             "--batch", "8", "--activations", activations]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"activations: policy {activations}" in out
+        assert "peak nnz" in out
+        assert "verified against dense reference: True" in out
+
+    def test_challenge_sparse_crossover_flag(self, capsys):
+        code = main(
+            ["challenge", "--neurons", "16", "--layers", "3", "--connections", "4",
+             "--batch", "8", "--sparse-crossover", "0.9"]
+        )
+        assert code == 0
+        assert "verified against dense reference: True" in capsys.readouterr().out
+
+    def test_challenge_save_dir_and_verify(self, tmp_path, capsys):
+        directory = tmp_path / "net"
+        code = main(
+            ["challenge", "--neurons", "16", "--layers", "4", "--connections", "4",
+             "--batch", "8", "--save-dir", str(directory)]
+        )
+        assert code == 0
+        assert (directory / "neuron16-meta.tsv").exists()
+        assert (directory / "neuron16-cache.npz").exists()
+        capsys.readouterr()
+
+        code = main(
+            ["challenge", "verify", "--dir", str(directory), "--neurons", "16",
+             "--batch", "6", "--activations", "sparse"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "loaded from" in out
+        assert "checksum" in out
+        assert "verified against dense reference: True" in out
+
+    def test_challenge_verify_flags_before_subcommand_survive(self, tmp_path, capsys):
+        # options given before the `verify` token must not be clobbered
+        # by the subparser's defaults
+        from repro.challenge.generator import generate_challenge_network
+        from repro.challenge.io import save_challenge_network
+
+        network = generate_challenge_network(8, 2, connections=2, seed=0)
+        save_challenge_network(network, tmp_path)
+        code = main(
+            ["challenge", "--backend", "vectorized", "--activations", "sparse",
+             "verify", "--dir", str(tmp_path), "--neurons", "8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "backend: vectorized, activations: sparse" in out
+
+    def test_challenge_verify_no_cache(self, tmp_path, capsys):
+        from repro.challenge.generator import generate_challenge_network
+        from repro.challenge.io import save_challenge_network
+
+        network = generate_challenge_network(8, 2, connections=2, seed=0)
+        save_challenge_network(network, tmp_path)
+        code = main(
+            ["challenge", "verify", "--dir", str(tmp_path), "--neurons", "8", "--no-cache"]
+        )
+        assert code == 0
+        assert "verified against dense reference: True" in capsys.readouterr().out
+
+    def test_challenge_verify_missing_dir_returns_one(self, tmp_path, capsys):
+        code = main(
+            ["challenge", "verify", "--dir", str(tmp_path / "nope"), "--neurons", "8"]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
     def test_library_error_returns_one(self, capsys):
         # constraint violation: products differ
         code = main(["generate", "--systems", "2,2;3,3", "--widths", "1,1,1,1,1"])
