@@ -21,18 +21,37 @@ activation nnz for both forced policies side by side, and
 challenge size (1024 neurons x 120 layers, ``E2_SCALE_*``-tunable) under
 the sparse policy, asserting its peak activation storage stays below the
 dense ``batch * neurons`` buffer.
+
+``test_e2_generation_throughput`` reports the *generation* side of the
+pipeline -- edges/second written through the fully sparse streaming
+path (``iter_generate_challenge_layers`` -> ``save_challenge_layers``)
+plus the traced per-run generation memory peak -- and
+``test_e2_generation_official_scale_smoke``
+(marked ``slow``) runs it at the 16384-neuron official size, where the
+pre-sparse generator's dense per-layer round-trip would have allocated
+2 GB per layer.
 """
 
 import os
+import time
 
 import pytest
 
 from repro.backends import available_backends
-from repro.challenge.generator import challenge_input_batch, generate_challenge_network
+from repro.challenge.generator import (
+    challenge_input_batch,
+    generate_challenge_network,
+    iter_generate_challenge_layers,
+)
 from repro.challenge.inference import InferenceEngine, sparse_dnn_inference
-from repro.challenge.io import load_challenge_network, save_challenge_network
+from repro.challenge.io import (
+    load_challenge_network,
+    save_challenge_layers,
+    save_challenge_network,
+)
 from repro.experiments.scaling import graph_challenge_scaling
 from repro.parallel.pipeline import parallel_inference
+from repro.utils.timing import peak_rss_mb
 
 E2_NEURONS = int(os.environ.get("E2_NEURONS", "256"))
 E2_LAYERS = int(os.environ.get("E2_LAYERS", "24"))
@@ -41,6 +60,10 @@ E2_ACTIVATIONS = os.environ.get("E2_ACTIVATIONS", "auto")
 E2_SCALE_NEURONS = int(os.environ.get("E2_SCALE_NEURONS", "1024"))
 E2_SCALE_LAYERS = int(os.environ.get("E2_SCALE_LAYERS", "120"))
 E2_SCALE_BATCH = int(os.environ.get("E2_SCALE_BATCH", "16"))
+E2_GEN_NEURONS = int(os.environ.get("E2_GEN_NEURONS", "2048"))
+E2_GEN_LAYERS = int(os.environ.get("E2_GEN_LAYERS", "12"))
+E2_GEN_SCALE_NEURONS = int(os.environ.get("E2_GEN_SCALE_NEURONS", "16384"))
+E2_GEN_SCALE_LAYERS = int(os.environ.get("E2_GEN_SCALE_LAYERS", "2"))
 
 
 def test_e2_inference_scaling(benchmark, report_table):
@@ -180,6 +203,105 @@ def test_e2_official_scale_sparse_policy(benchmark, report_table):
             batch.size,
             round(result.layer_density[-1], 4),
         ]],
+    )
+
+
+def _traced_generation_peak_mb(neurons: int, layers: int, connections: int) -> float:
+    """tracemalloc peak (MB) of consuming the layer generator, disk-free.
+
+    Isolated per call, unlike ``ru_maxrss`` (a process-lifetime
+    high-water mark that earlier tests in the same pytest process would
+    contaminate): this is the number that demonstrates generation memory
+    is bounded by a single layer's nnz.  Measured without the TSV write
+    (tracemalloc makes ``np.savetxt`` pathologically slow and per-row
+    string buffers are transient anyway).
+    """
+    import tracemalloc
+
+    tracemalloc.start()
+    try:
+        for _ in iter_generate_challenge_layers(
+            neurons, layers, connections=connections, seed=7
+        ):
+            pass
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak / 2**20
+
+
+def test_e2_generation_throughput(benchmark, tmp_path, report_table):
+    """Streaming generation -> disk: edges/second generated and peak memory.
+
+    Drives the fully sparse generation path
+    (:func:`iter_generate_challenge_layers` feeding
+    :func:`save_challenge_layers`): one CSR layer resident at a time,
+    TSV + sidecar members written as each layer is produced.  Size is
+    tunable via ``E2_GEN_NEURONS`` / ``E2_GEN_LAYERS``.  Reports both
+    the per-run traced generation peak (isolated; see
+    :func:`_traced_generation_peak_mb`) and the process-lifetime RSS
+    high-water mark for context.
+    """
+    neurons, layers, connections = E2_GEN_NEURONS, E2_GEN_LAYERS, 32
+    if neurons % connections != 0:
+        connections = 8
+    edges = neurons * connections * layers
+
+    def generate():
+        return save_challenge_layers(
+            tmp_path / "net",
+            iter_generate_challenge_layers(
+                neurons, layers, connections=connections, seed=7
+            ),
+            neurons=neurons,
+            num_layers=layers,
+            threshold=32.0,
+        )
+
+    benchmark.pedantic(generate, rounds=3, iterations=1)
+    seconds = benchmark.stats.stats.mean
+    traced_mb = _traced_generation_peak_mb(neurons, layers, connections)
+    benchmark.extra_info["edges_generated"] = edges
+    benchmark.extra_info["edges_per_second"] = edges / seconds
+    benchmark.extra_info["generation_peak_traced_mb"] = traced_mb
+    benchmark.extra_info["process_peak_rss_mb"] = peak_rss_mb()
+
+    report_table(
+        "E2: streaming challenge generation -> disk",
+        ["neurons", "layers", "edges", "seconds", "edges/s", "gen peak (MB, traced)"],
+        [[neurons, layers, edges, round(seconds, 4), int(edges / seconds), round(traced_mb, 1)]],
+    )
+
+
+@pytest.mark.slow
+def test_e2_generation_official_scale_smoke(tmp_path, report_table):
+    """16384-neuron generation smoke: the old dense path allocated an N^2
+    buffer per layer (2 GB at this size); the sparse streaming path must
+    complete quickly in bounded memory.  ``E2_GEN_SCALE_*``-tunable up to
+    the full official 65536."""
+    neurons, layers = E2_GEN_SCALE_NEURONS, E2_GEN_SCALE_LAYERS
+    connections = 32
+    edges = neurons * connections * layers
+    start = time.perf_counter()
+    save_challenge_layers(
+        tmp_path / "net",
+        iter_generate_challenge_layers(neurons, layers, connections=connections, seed=8),
+        neurons=neurons,
+        num_layers=layers,
+        threshold=32.0,
+    )
+    seconds = time.perf_counter() - start
+    traced_mb = _traced_generation_peak_mb(neurons, layers, connections)
+    dense_layer_mb = neurons * neurons * 8 / 2**20
+    # far below the dense per-layer buffer; the 64 MB floor keeps the
+    # bound meaningful when E2_GEN_SCALE_* shrinks the run to sizes where
+    # constant interpreter/numpy overhead dominates
+    assert traced_mb < max(dense_layer_mb / 8, 64.0)
+    report_table(
+        "E2: official-scale streaming generation smoke",
+        ["neurons", "layers", "edges", "seconds", "edges/s", "gen peak (MB, traced)", "dense layer (MB)"],
+        [[neurons, layers, edges, round(seconds, 4), int(edges / seconds),
+          round(traced_mb, 1), int(dense_layer_mb)]],
     )
 
 

@@ -10,8 +10,11 @@ verifies the surviving categories against a dense reference
 implementation, compares backends and activation storage policies
 (dense SpMM buffers vs CSR SpGEMM batches), demonstrates chunked
 mini-batch streaming, round-trips the challenge TSV format (with its
-binary sidecar cache) and streams it back layer by layer, and reports
-edges/second across a x4 neuron scaling series.
+binary sidecar cache) and streams it back layer by layer, runs the
+fully streaming generate->infer and generate->disk->infer pipelines
+(one CSR layer resident at a time -- the path that scales to the
+official 16384/65536-neuron sizes), and reports edges/second across a
+x4 neuron scaling series.
 
 Backend selection: ``--backend {reference,scipy,vectorized}`` here, the
 ``REPRO_BACKEND`` environment variable, or ``repro.backends.use(...)``
@@ -24,11 +27,16 @@ import argparse
 import tempfile
 
 import repro.backends as backends
-from repro.challenge.generator import challenge_input_batch, generate_challenge_network
+from repro.challenge.generator import (
+    challenge_input_batch,
+    generate_challenge_network,
+    iter_generate_challenge_layers,
+)
 from repro.challenge.inference import InferenceEngine, engine_for, streaming_inference
 from repro.challenge.io import (
     iter_challenge_layers,
     load_challenge_network,
+    save_challenge_layers,
     save_challenge_network,
 )
 from repro.challenge.verify import category_checksum, verify_categories
@@ -120,6 +128,47 @@ def main() -> None:
         assert list(streamed_result.categories) == list(result.categories)
         print(f"layer-streamed inference from disk OK "
               f"({streamed_result.categories.size} categories, identical)")
+    print()
+
+    # Fully streaming pipeline: generate -> infer with the network NEVER
+    # materialized.  iter_generate_challenge_layers builds one CSR layer
+    # at a time (the shuffle is a sparse O(nnz) column permutation, not a
+    # dense N^2 round-trip) and streaming_inference consumes it layer by
+    # layer -- this is the path that scales to the official
+    # 16384/65536-neuron challenge sizes.
+    fully_streamed = streaming_inference(
+        iter_generate_challenge_layers(
+            args.neurons, args.layers, connections=args.connections, seed=args.seed
+        ),
+        batch,
+        threshold=network.threshold,
+        backend=args.backend,
+        activations=args.activations,
+    )
+    assert list(fully_streamed.categories) == list(result.categories)
+    print(f"generate->infer streaming pipeline OK (no resident network, "
+          f"{fully_streamed.categories.size} categories, identical)")
+
+    # The same stream writes straight to disk, one layer resident at a
+    # time (TSV + incrementally built sidecar cache) -- `repro challenge
+    # generate --neurons 16384 --layers 120 --out DIR` is this call.
+    with tempfile.TemporaryDirectory() as directory:
+        save_challenge_layers(
+            directory,
+            iter_generate_challenge_layers(
+                args.neurons, args.layers, connections=args.connections, seed=args.seed
+            ),
+            neurons=args.neurons,
+            num_layers=args.layers,
+            threshold=network.threshold,
+        )
+        replayed = streaming_inference(
+            iter_challenge_layers(directory, args.neurons),
+            batch,
+            threshold=network.threshold,
+        )
+        assert list(replayed.categories) == list(result.categories)
+        print("generate->disk->infer streaming pipeline OK (one layer resident)")
     print()
 
     # Scaling series (x4 neurons per step), as in the challenge's scaling study.

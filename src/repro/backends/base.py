@@ -3,7 +3,8 @@
 A *backend* is a bundle of the sparse kernels everything else in the
 package bottoms out in: SpGEMM (sparse @ sparse), SpMM (sparse @ dense
 batch), SpMV (sparse @ vector), Kronecker product, transpose, entry-wise
-add, and the fused Graph Challenge layer step on sparse activations.
+add, column permutation, and the fused Graph Challenge layer step on
+sparse activations.
 The RadiX-Net construction (Kronecker expansion, eq. (3)), its
 verification (Theorem 1 chain products), and the Graph Challenge
 inference recurrence all dispatch through the active backend, so an
@@ -86,6 +87,21 @@ class SparseBackend(Protocol):
 
     def add(self, a: "CSRMatrix", b: "CSRMatrix") -> "CSRMatrix":
         """Entry-wise sum of two same-shape matrices."""
+        ...
+
+    def permute_columns(self, a: "CSRMatrix", permutation: np.ndarray) -> "CSRMatrix":
+        """Sparse column selection ``a[:, permutation]`` (canonical CSR).
+
+        The result's column ``j`` is the operand's column
+        ``permutation[j]``; per-row degrees (and therefore the row
+        pointer) are invariant, so this is a pure O(nnz) reordering of
+        stored entries -- the primitive the Graph Challenge generator
+        uses to decorrelate consecutive layers without ever building an
+        ``N x N`` dense buffer.  Like ``transpose``, explicitly stored
+        zeros are retained.  ``permutation`` is validated once at the
+        dispatch layer (:func:`repro.sparse.ops.permute_columns`);
+        backends may assume a valid permutation of ``0..cols-1``.
+        """
         ...
 
     def sparse_layer_step(

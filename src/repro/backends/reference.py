@@ -91,6 +91,26 @@ class ReferenceBackend:
         vals = np.concatenate([a_coo.values, b_coo.values])
         return COOMatrix(a.shape, rows, cols, vals).to_csr()
 
+    def permute_columns(self, a: CSRMatrix, permutation: np.ndarray) -> CSRMatrix:
+        # Deliberately naive row-by-row oracle: remap each row's columns
+        # through the inverse permutation and re-sort with an explicit
+        # per-row argsort (independent of the vectorized lexsort path).
+        inverse = np.empty(a.shape[1], dtype=np.int64)
+        inverse[np.asarray(permutation, dtype=np.int64)] = np.arange(
+            a.shape[1], dtype=np.int64
+        )
+        out_indices: list[np.ndarray] = []
+        out_data: list[np.ndarray] = []
+        for i in range(a.shape[0]):
+            cols, vals = a.row(i)
+            mapped = inverse[cols]
+            order = np.argsort(mapped, kind="stable")
+            out_indices.append(mapped[order])
+            out_data.append(vals[order])
+        indices = np.concatenate(out_indices) if out_indices else np.empty(0, dtype=np.int64)
+        data = np.concatenate(out_data) if out_data else np.empty(0, dtype=np.float64)
+        return CSRMatrix(a.shape, a.indptr, indices, data)
+
     def sparse_layer_step(
         self, y: CSRMatrix, weight: CSRMatrix, bias: np.ndarray, threshold: float
     ) -> CSRMatrix:

@@ -66,6 +66,11 @@ class ScipyBackend:
     def add(self, a: CSRMatrix, b: CSRMatrix) -> CSRMatrix:
         return _from_scipy(_to_scipy(a) + _to_scipy(b))
 
+    def permute_columns(self, a: CSRMatrix, permutation: np.ndarray) -> CSRMatrix:
+        # scipy's fancy column indexing on CSR is a compiled column remap
+        permutation = np.asarray(permutation, dtype=np.int64)
+        return _from_scipy(_to_scipy(a)[:, permutation])
+
     def sparse_layer_step(
         self, y: CSRMatrix, weight: CSRMatrix, bias: np.ndarray, threshold: float
     ) -> CSRMatrix:

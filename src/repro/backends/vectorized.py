@@ -146,6 +146,15 @@ class VectorizedBackend:
         vals = np.concatenate([a.data, b.data])
         return _coalesce_to_csr(a.shape, rows, cols, vals)
 
+    def permute_columns(self, a: CSRMatrix, permutation: np.ndarray) -> CSRMatrix:
+        if a.nnz == 0:
+            return a
+        from repro.core.permutation import invert_permutation
+
+        cols = invert_permutation(permutation)[a.indices]
+        order = np.lexsort((cols, cached_row_ids(a)))
+        return CSRMatrix(a.shape, a.indptr, cols[order], a.data[order])
+
     def sparse_layer_step(
         self, y: CSRMatrix, weight: CSRMatrix, bias: np.ndarray, threshold: float
     ) -> CSRMatrix:

@@ -8,7 +8,10 @@ implementations to run the inference recurrence
 
 over all layers, then report which inputs remain active (the "categories").
 This subpackage regenerates challenge-style instances directly from the
-RadiX-Net construction (scaled to laptop sizes), provides the batched
+RadiX-Net construction -- fully sparse and streaming, so the official
+16384/65536-neuron sizes are generable layer by layer
+(:func:`~repro.challenge.generator.iter_generate_challenge_layers` +
+:func:`~repro.challenge.io.save_challenge_layers`) -- provides the batched
 :class:`~repro.challenge.inference.InferenceEngine` (backend-pluggable via
 :mod:`repro.backends`, with precomputed transposed weights, a dense/sparse
 :class:`~repro.challenge.inference.ActivationPolicy`, chunked mini-batch
@@ -19,7 +22,12 @@ the challenge's TSV interchange format with a binary ``.npz`` sidecar
 cache for repeated runs.
 """
 
-from repro.challenge.generator import ChallengeNetwork, generate_challenge_network, challenge_input_batch
+from repro.challenge.generator import (
+    ChallengeNetwork,
+    challenge_input_batch,
+    generate_challenge_network,
+    iter_generate_challenge_layers,
+)
 from repro.challenge.inference import (
     ActivationPolicy,
     DenseActivations,
@@ -35,6 +43,7 @@ from repro.challenge.inference import (
 from repro.challenge.io import (
     iter_challenge_layers,
     load_challenge_network,
+    save_challenge_layers,
     save_challenge_network,
 )
 from repro.challenge.verify import verify_categories, category_checksum
@@ -42,6 +51,7 @@ from repro.challenge.verify import verify_categories, category_checksum
 __all__ = [
     "ChallengeNetwork",
     "generate_challenge_network",
+    "iter_generate_challenge_layers",
     "challenge_input_batch",
     "ActivationPolicy",
     "DenseActivations",
@@ -54,6 +64,7 @@ __all__ = [
     "layer_activation_profile",
     "InferenceResult",
     "save_challenge_network",
+    "save_challenge_layers",
     "load_challenge_network",
     "iter_challenge_layers",
     "verify_categories",

@@ -4,19 +4,31 @@ The official challenge networks have ``N`` neurons per layer
 (1024/4096/16384/65536), 120-1920 layers, 32 connections per neuron, all
 weights equal, and biases chosen so that a neuron with all inputs active
 stays near the activation threshold.  They were produced with RadiX-Net;
-we regenerate the same structure (at reduced, laptop-friendly sizes) from
-this package's own generator: neurons-per-layer is the RadiX-Net ``N'``
-times a dense width, and the per-layer connectivity is a mixed-radix
-submatrix repeated/cycled through the requested depth.
+we regenerate the same structure from this package's own generator:
+neurons-per-layer is the RadiX-Net ``N'`` times a dense width, and the
+per-layer connectivity is a mixed-radix submatrix repeated/cycled through
+the requested depth.
+
+Generation is fully sparse: the per-layer neuron shuffle is a CSR column
+permutation (:func:`repro.sparse.ops.permute_columns`, O(nnz)), never a
+dense ``N x N`` round-trip, so the *official* sizes are reachable.
+:func:`iter_generate_challenge_layers` is the streaming form -- it yields
+one ``(weight, bias)`` CSR layer at a time, ready to feed
+:func:`repro.challenge.inference.streaming_inference` or
+:func:`repro.challenge.io.save_challenge_layers` with only a single
+layer's nnz ever resident.  :func:`generate_challenge_network` collects
+the same stream into a fully materialized :class:`ChallengeNetwork` for
+the laptop-scale workflows.
 """
 
 from __future__ import annotations
 
-import math
+from collections.abc import Iterator
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backends.base import SparseBackend
 from repro.errors import ValidationError
 from repro.sparse.csr import CSRMatrix
 from repro.topology.fnnt import FNNT
@@ -59,7 +71,17 @@ class ChallengeNetwork:
 
     @property
     def connections_per_neuron(self) -> float:
-        """Average out-degree (the challenge fixes this at 32)."""
+        """Average out-degree (the challenge fixes this at 32).
+
+        For generated networks this is *exact* (an integer-valued float)
+        whether or not the layers were shuffled: the per-layer neuron
+        permutation is a column permutation, which preserves every
+        layer's nnz, so ``topology.num_edges`` stays
+        ``neurons * connections * num_layers`` -- consistent with
+        :func:`repro.core.radixnet.radixnet_edge_count` applied to the
+        underlying mixed-radix layer (each of the ``N'`` rows of a
+        mixed-radix submatrix stores exactly its radix's entries).
+        """
         return self.topology.num_edges / (self.neurons * self.num_layers)
 
     def __getstate__(self) -> dict:
@@ -103,6 +125,99 @@ def _challenge_base_layer(neurons: int, connections: int) -> CSRMatrix:
     return mixed_radix_submatrix(system, 0)
 
 
+def _validate_challenge_params(
+    neurons: int, num_layers: int, connections: int, threshold: float
+) -> tuple[int, int, int]:
+    """Shared argument validation of the streaming and collecting generators."""
+    neurons = check_positive_int(neurons, "neurons", minimum=2)
+    num_layers = check_positive_int(num_layers, "num_layers")
+    connections = check_positive_int(connections, "connections", minimum=2)
+    if neurons % connections != 0:
+        raise ValidationError(
+            f"neurons ({neurons}) must be divisible by connections ({connections})"
+        )
+    if threshold <= 0:
+        raise ValidationError("threshold must be positive")
+    return neurons, num_layers, connections
+
+
+def challenge_bias_value(connections: int, weight: float) -> float:
+    """The constant per-neuron bias of a generated challenge layer.
+
+    Keeps a typically-active neuron just above zero, as in the
+    challenge's choice of -0.3 at 32 connections and weight 0.0625
+    (incoming weight sum 2).
+    """
+    return -0.3 * connections * weight / 2.0
+
+
+def iter_generate_challenge_layers(
+    neurons: int,
+    num_layers: int,
+    *,
+    connections: int = 8,
+    weight_value: float | None = None,
+    threshold: float = 32.0,
+    seed: RngLike = None,
+    shuffle_neurons: bool = True,
+    backend: str | SparseBackend | None = None,
+) -> Iterator[tuple[CSRMatrix, np.ndarray]]:
+    """Lazily yield the ``(weight, bias)`` layers of a challenge network.
+
+    The streaming counterpart of :func:`generate_challenge_network` (same
+    parameters, identical layers for identical arguments): one CSR layer
+    is built -- and may be consumed, written to disk, or dropped --
+    before the next exists, so peak weight memory is a single layer's
+    nnz regardless of depth.  That makes the official 16384/65536-neuron
+    sizes generable: a 65536-neuron layer holds ``65536 x 32`` entries
+    (a few tens of MB) where the old dense per-layer round-trip needed a
+    ``65536^2`` float64 buffer (32 GB).
+
+    Feed the iterator directly to
+    :func:`repro.challenge.inference.streaming_inference` (generate ->
+    infer without the network ever being resident) or to
+    :func:`repro.challenge.io.save_challenge_layers` (generate -> TSV +
+    sidecar on disk, one layer at a time).
+
+    ``backend`` selects the sparse kernels for the per-layer column
+    permutation (``None`` = the active backend).  ``threshold`` is
+    accepted (and validated) for signature parity with
+    :func:`generate_challenge_network`; it does not affect the layers.
+
+    Arguments are validated *eagerly* (at the call, not on first
+    ``next()``), so callers that set up side effects -- output
+    directories, progress reporting -- before consuming the stream see
+    bad parameters immediately.
+    """
+    neurons, num_layers, connections = _validate_challenge_params(
+        neurons, num_layers, connections, threshold
+    )
+    weight = float(weight_value) if weight_value is not None else 2.0 / connections
+    rng = ensure_rng(seed)
+
+    def _layers() -> Iterator[tuple[CSRMatrix, np.ndarray]]:
+        from repro.sparse.ops import permute_columns
+
+        # Base mixed-radix layer: N' = neurons, first radix = connections,
+        # so every neuron has exactly `connections` outgoing and incoming
+        # edges.
+        base_layer = _challenge_base_layer(neurons, connections)
+        base_weight = base_layer.with_data(np.full(base_layer.nnz, weight))
+        bias_value = challenge_bias_value(connections, weight)
+        for _ in range(num_layers):
+            layer = base_weight
+            if shuffle_neurons:
+                # sparse column permutation: O(nnz), preserves per-layer
+                # nnz (so connections_per_neuron stays exact) -- never a
+                # dense N x N buffer
+                layer = permute_columns(
+                    base_weight, rng.permutation(neurons), backend=backend
+                )
+            yield layer, np.full(neurons, bias_value)
+
+    return _layers()
+
+
 def generate_challenge_network(
     neurons: int,
     num_layers: int,
@@ -112,8 +227,13 @@ def generate_challenge_network(
     threshold: float = 32.0,
     seed: RngLike = None,
     shuffle_neurons: bool = True,
+    backend: str | SparseBackend | None = None,
 ) -> ChallengeNetwork:
     """Generate a challenge-style sparse DNN.
+
+    Collects the layer stream of :func:`iter_generate_challenge_layers`
+    into a materialized :class:`ChallengeNetwork`; for networks too large
+    to hold resident, use the iterator directly.
 
     Parameters
     ----------
@@ -135,38 +255,25 @@ def generate_challenge_network(
         Apply a per-layer random permutation of neuron labels, matching how
         the challenge instances decorrelate consecutive layers; the
         underlying structure stays a mixed-radix (RadiX-Net) layer.
+    backend:
+        Sparse-kernel backend for the per-layer column permutation
+        (``None`` = the active backend).
     """
-    neurons = check_positive_int(neurons, "neurons", minimum=2)
-    num_layers = check_positive_int(num_layers, "num_layers")
-    connections = check_positive_int(connections, "connections", minimum=2)
-    if neurons % connections != 0:
-        raise ValidationError(
-            f"neurons ({neurons}) must be divisible by connections ({connections})"
-        )
-    if threshold <= 0:
-        raise ValidationError("threshold must be positive")
-    rng = ensure_rng(seed)
-    weight = float(weight_value) if weight_value is not None else 2.0 / connections
-
-    # Base mixed-radix layer: N' = neurons, first radix = connections, so
-    # every neuron has exactly `connections` outgoing and incoming edges.
-    base_layer = _challenge_base_layer(neurons, connections)
-
-    submatrices: list[CSRMatrix] = []
     weights: list[CSRMatrix] = []
     biases: list[np.ndarray] = []
-    for _ in range(num_layers):
-        layer = base_layer
-        if shuffle_neurons:
-            permutation = rng.permutation(neurons)
-            dense = layer.to_dense()[:, permutation]
-            layer = CSRMatrix.from_dense(dense)
-        submatrices.append(layer)
-        weights.append(layer.with_data(np.full(layer.nnz, weight)))
-        # bias keeps a typically-active neuron just above zero, as in the
-        # challenge's choice of -0.3 at 32 connections and weight 0.0625
-        # (incoming weight sum 2).
-        biases.append(np.full(neurons, -0.3 * connections * weight / 2.0))
+    for weight, bias in iter_generate_challenge_layers(
+        neurons,
+        num_layers,
+        connections=connections,
+        weight_value=weight_value,
+        threshold=threshold,
+        seed=seed,
+        shuffle_neurons=shuffle_neurons,
+        backend=backend,
+    ):
+        weights.append(weight)
+        biases.append(bias)
+    submatrices = [w.astype_binary() for w in weights]
     topology = FNNT(submatrices, validate=False, name=f"graph-challenge-{neurons}x{num_layers}")
     return ChallengeNetwork(
         topology=topology,

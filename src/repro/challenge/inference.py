@@ -683,8 +683,12 @@ def streaming_inference(
     """Run the recurrence over a lazily produced sequence of layers.
 
     ``layers`` yields ``(weight, bias)`` pairs and is consumed one layer
-    at a time, so pairing this with a generator source (e.g.
-    :func:`repro.challenge.io.iter_challenge_layers`) runs networks whose
+    at a time, so pairing this with a generator source -- disk ingestion
+    via :func:`repro.challenge.io.iter_challenge_layers`, or direct
+    generation via
+    :func:`repro.challenge.generator.iter_generate_challenge_layers`
+    (generate -> infer with no disk and no resident network at all) --
+    runs networks whose
     weights never need to be resident all at once.  On the dense path
     each layer's transpose is computed on the fly (and released with the
     layer); the sparse path needs no transposes at all.

@@ -25,10 +25,17 @@ the zip archive (falling back to a plain read where mapping is not
 possible), which makes repeated benchmark runs on big networks
 effectively free of I/O parsing cost.
 
-:func:`iter_challenge_layers` is the streaming entry point: it yields one
-``(weight, bias)`` pair at a time (from the cache when fresh, from the
-TSVs otherwise) so :func:`repro.challenge.inference.streaming_inference`
-can start the first chunk before later layers are even read.
+:func:`iter_challenge_layers` is the streaming entry point for *reads*:
+it yields one ``(weight, bias)`` pair at a time (from the cache when
+fresh, from the TSVs otherwise) so
+:func:`repro.challenge.inference.streaming_inference` can start the
+first chunk before later layers are even read.
+:func:`save_challenge_layers` is its *write* counterpart: it consumes a
+lazy layer stream (e.g.
+:func:`repro.challenge.generator.iter_generate_challenge_layers`) and
+writes each layer's TSV -- and its sidecar members, incrementally --
+before pulling the next, so official-scale networks reach disk with only
+one layer's nnz resident.
 """
 
 from __future__ import annotations
@@ -36,7 +43,7 @@ from __future__ import annotations
 import os
 import warnings
 import zipfile
-from collections.abc import Iterator
+from collections.abc import Iterable, Iterator
 from pathlib import Path
 
 import numpy as np
@@ -165,43 +172,104 @@ def cache_is_fresh(directory: str | os.PathLike, neurons: int, num_layers: int) 
     sidecar = cache_path(directory, neurons)
     if not sidecar.exists():
         return False
-    cache_mtime = sidecar.stat().st_mtime
+    cache_mtime = sidecar.stat().st_mtime_ns
     for source in _source_paths(directory, neurons, num_layers):
         # ">=", not ">": a TSV edited within the filesystem's mtime
         # granularity of the sidecar write must count as newer -- the
         # failure mode is silently serving stale weights, so ties go to
-        # reparsing (save writes the sidecar last, so a just-saved
-        # network stays fresh on any filesystem with sub-write
-        # resolution)
-        if source.exists() and source.stat().st_mtime >= cache_mtime:
+        # reparsing.  Nanosecond timestamps (st_mtime_ns, not the float
+        # st_mtime, which cannot resolve sub-microsecond differences)
+        # pair with the save path's commit nudge (_SidecarWriter.close)
+        # to keep a just-saved network fresh on any filesystem with
+        # sub-write resolution.
+        if source.exists() and source.stat().st_mtime_ns >= cache_mtime:
             return False
     return True
 
 
+class _SidecarWriter:
+    """Incrementally build the uncompressed ``.npz`` sidecar, layer by layer.
+
+    The streaming replacement for a one-shot ``np.savez``: each layer's
+    CSR arrays are appended to the (temporary) zip archive as soon as
+    they exist, so a network generated or copied layer by layer never
+    needs all weights resident to get a sidecar.  Members are stored
+    uncompressed (``ZIP_STORED``), exactly like ``np.savez``, so the
+    mmap fast path of :func:`_mmap_npz_member` applies unchanged.
+
+    Weights only: threshold/bias stay in the (freshness-checked) meta
+    TSV, which every load path reads -- duplicating them here would just
+    create a second, possibly desynced source of truth.  The archive is
+    written to a temp name and renamed into place on :meth:`close`
+    (write-then-rename, so networks already holding memmaps into the old
+    sidecar keep reading the old inode instead of seeing their bytes
+    rewritten); :meth:`abort` discards it.
+    """
+
+    def __init__(self, directory: Path, neurons: int, num_layers: int) -> None:
+        self.directory = directory
+        self.neurons = int(neurons)
+        self.num_layers = int(num_layers)
+        self.final = cache_path(directory, neurons)
+        self.temp = self.final.with_name(self.final.name + ".tmp.npz")
+        self._zip = zipfile.ZipFile(self.temp, "w", zipfile.ZIP_STORED)
+        self._write_array(
+            "meta", np.array([neurons, num_layers, CACHE_VERSION], dtype=np.int64)
+        )
+
+    def _write_array(self, name: str, array: np.ndarray) -> None:
+        # force_zip64: member sizes are unknown up front in streaming
+        # write mode, and official-depth archives can exceed 4 GB
+        with self._zip.open(f"{name}.npy", "w", force_zip64=True) as member:
+            np.lib.format.write_array(
+                member, np.ascontiguousarray(array), allow_pickle=False
+            )
+
+    def add_layer(self, index: int, weight: CSRMatrix) -> None:
+        self._write_array(f"l{index}_indptr", weight.indptr)
+        self._write_array(f"l{index}_indices", weight.indices)
+        self._write_array(f"l{index}_data", weight.data)
+
+    def close(self) -> Path:
+        self._zip.close()
+        os.replace(self.temp, self.final)
+        # File timestamps have kernel-tick granularity, so a source TSV
+        # (or the meta file) written in the same tick as the archive
+        # would *tie* with it -- and cache_is_fresh resolves ties to
+        # "stale".  Nudge the sidecar strictly past its sources so a
+        # just-saved network is always fresh.
+        newest = max(
+            (
+                source.stat().st_mtime_ns
+                for source in _source_paths(self.directory, self.neurons, self.num_layers)
+                if source.exists()
+            ),
+            default=0,
+        )
+        stat = self.final.stat()
+        if stat.st_mtime_ns <= newest:
+            os.utime(self.final, ns=(stat.st_atime_ns, newest + 1))
+        return self.final
+
+    def abort(self) -> None:
+        try:
+            self._zip.close()
+        except OSError:
+            # cleanup must not mask the error that triggered the abort
+            pass
+        self.temp.unlink(missing_ok=True)
+
+
 def write_cache(network: ChallengeNetwork, directory: str | os.PathLike) -> Path:
     """Write the binary sidecar cache of ``network``; returns its path."""
-    directory = Path(directory)
-    sidecar = cache_path(directory, network.neurons)
-    # weights only: threshold/bias stay in the (freshness-checked) meta
-    # TSV, which every load path reads -- duplicating them here would
-    # just create a second, possibly desynced source of truth
-    arrays: dict[str, np.ndarray] = {
-        "meta": np.array(
-            [network.neurons, network.num_layers, CACHE_VERSION], dtype=np.int64
-        ),
-    }
-    for i, weight in enumerate(network.weights, start=1):
-        arrays[f"l{i}_indptr"] = weight.indptr
-        arrays[f"l{i}_indices"] = weight.indices
-        arrays[f"l{i}_data"] = weight.data
-    # uncompressed (np.savez, not savez_compressed) so members can be
-    # memory-mapped straight out of the archive on load; write-then-rename
-    # so networks already holding memmaps into the old sidecar keep
-    # reading the old inode instead of seeing their bytes rewritten
-    temp = sidecar.with_name(sidecar.name + ".tmp.npz")
-    np.savez(temp, **arrays)
-    os.replace(temp, sidecar)
-    return sidecar
+    writer = _SidecarWriter(Path(directory), network.neurons, network.num_layers)
+    try:
+        for i, weight in enumerate(network.weights, start=1):
+            writer.add_layer(i, weight)
+        return writer.close()
+    except BaseException:
+        writer.abort()
+        raise
 
 
 def _mmap_npz_member(path: Path, archive: zipfile.ZipFile, name: str) -> np.ndarray | None:
@@ -313,6 +381,110 @@ def _open_fresh_cache(
 # --------------------------------------------------------------------------- #
 # public API
 # --------------------------------------------------------------------------- #
+def _write_layer_tsv(path: Path, weight: CSRMatrix) -> None:
+    """Write one layer in the official 1-based ``row<TAB>col<TAB>weight`` format.
+
+    Vectorized: ``np.savetxt`` over the stacked COO triples, no per-nnz
+    Python loop.  Shared by the materialized and streaming save paths so
+    both produce byte-identical files (guarded by the golden-file tests).
+    """
+    coo = weight.to_coo().coalesce()
+    triples = np.column_stack([coo.rows + 1.0, coo.cols + 1.0, coo.values])
+    np.savetxt(path, triples, fmt=("%d", "%d", "%.17g"), delimiter="\t")
+
+
+def save_challenge_layers(
+    directory: str | os.PathLike,
+    layers: Iterable[tuple[CSRMatrix, np.ndarray]],
+    *,
+    neurons: int,
+    num_layers: int,
+    threshold: float,
+    write_sidecar: bool = True,
+) -> Path:
+    """Stream ``(weight, bias)`` layers to the challenge TSV format.
+
+    The fully streaming counterpart of :func:`save_challenge_network`:
+    ``layers`` is consumed one pair at a time, and each layer's TSV file
+    (and, unless ``write_sidecar`` is false, its binary sidecar members)
+    is written before the next layer is pulled -- so pairing this with
+    :func:`repro.challenge.generator.iter_generate_challenge_layers`
+    writes official-scale networks (16384/65536 neurons) with only a
+    single layer's nnz ever resident.
+
+    ``neurons``, ``num_layers``, and ``threshold`` describe the stream
+    (the TSV layout needs them in file names and metadata before the
+    layers exist); the iterator must yield exactly ``num_layers`` pairs
+    of ``(neurons x neurons)`` weights with constant biases (the official
+    meta format stores a single bias value per network), and a
+    :class:`SerializationError` is raised -- and the partial sidecar
+    discarded -- on any mismatch.  Returns the directory.
+    """
+    from repro.utils.validation import check_positive_int
+
+    n = check_positive_int(neurons, "neurons")
+    expected_layers = check_positive_int(num_layers, "num_layers")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    # The meta file is the commit record: remove any previous one *before*
+    # touching layer files, and (re)write it only after every layer landed.
+    # A save that fails or is interrupted midway over an existing network
+    # therefore leaves a directory that loads with a loud "metadata file
+    # not found" instead of silently serving a mix of new and old layers.
+    _meta_path(directory, n).unlink(missing_ok=True)
+    sidecar = _SidecarWriter(directory, n, expected_layers) if write_sidecar else None
+    bias_value: float | None = None
+    try:
+        count = 0
+        for weight, bias in layers:
+            count += 1
+            if count > expected_layers:
+                raise SerializationError(
+                    f"layer iterator produced more than the declared "
+                    f"{expected_layers} layers"
+                )
+            if weight.shape != (n, n):
+                raise SerializationError(
+                    f"layer {count} has shape {weight.shape}, expected ({n}, {n})"
+                )
+            bias_arr = np.asarray(bias, dtype=np.float64).ravel()
+            value = float(bias_arr[0]) if bias_arr.size else 0.0
+            if bias_arr.size != n or not np.all(bias_arr == value):
+                raise SerializationError(
+                    f"layer {count}: bias must be a constant length-{n} vector "
+                    "(the challenge meta format stores one bias value)"
+                )
+            if bias_value is not None and value != bias_value:
+                raise SerializationError(
+                    f"layer {count}: bias value {value} differs from earlier "
+                    f"layers' {bias_value} (the challenge meta format stores one "
+                    "bias value for the whole network)"
+                )
+            bias_value = value
+            _write_layer_tsv(_layer_path(directory, n, count), weight)
+            if sidecar is not None:
+                sidecar.add_layer(count, weight)
+        if count != expected_layers:
+            raise SerializationError(
+                f"layer iterator produced {count} layers, expected {expected_layers}"
+            )
+        # meta before the sidecar commit: the sidecar must end up at
+        # least as new as every source TSV or the next load reparses
+        _meta_path(directory, n).write_text(
+            f"{n}\t{expected_layers}\t{float(threshold):.17g}\t{bias_value:.17g}\n",
+            encoding="utf-8",
+        )
+        if sidecar is not None:
+            sidecar.close()
+    except BaseException:
+        # abort() after a failed close() is safe: the temp unlink
+        # tolerates a missing file and re-closing the archive is a no-op
+        if sidecar is not None:
+            sidecar.abort()
+        raise
+    return directory
+
+
 def save_challenge_network(
     network: ChallengeNetwork,
     directory: str | os.PathLike,
@@ -321,34 +493,19 @@ def save_challenge_network(
 ) -> Path:
     """Write a challenge network to a directory of TSV files; returns the directory.
 
-    The TSV write is vectorized (``np.savetxt`` over the stacked COO
-    triples -- no per-nnz Python loop).  Unless ``write_sidecar`` is
+    Delegates to the streaming :func:`save_challenge_layers` (the two
+    paths produce byte-identical files).  Unless ``write_sidecar`` is
     false, the binary ``.npz`` cache is written alongside, so the first
     :func:`load_challenge_network` already skips TSV parsing.
     """
-    directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
-    n = network.neurons
-    for i, weight in enumerate(network.weights, start=1):
-        coo = weight.to_coo().coalesce()
-        triples = np.column_stack(
-            [coo.rows + 1.0, coo.cols + 1.0, coo.values]
-        )
-        np.savetxt(
-            _layer_path(directory, n, i),
-            triples,
-            fmt=("%d", "%d", "%.17g"),
-            delimiter="\t",
-        )
-    meta = _meta_path(directory, n)
-    meta.write_text(
-        f"{n}\t{network.num_layers}\t{network.threshold:.17g}\t"
-        f"{float(network.biases[0][0]):.17g}\n",
-        encoding="utf-8",
+    return save_challenge_layers(
+        directory,
+        zip(network.weights, network.biases),
+        neurons=network.neurons,
+        num_layers=network.num_layers,
+        threshold=network.threshold,
+        write_sidecar=write_sidecar,
     )
-    if write_sidecar:
-        write_cache(network, directory)
-    return directory
 
 
 def iter_challenge_layers(

@@ -9,6 +9,7 @@ generated, inspected, verified, and exported without writing Python::
     python -m repro.cli density --systems "3,3;9" --widths 1,1,1,1
     python -m repro.cli challenge --neurons 128 --layers 12 --connections 8
     python -m repro.cli challenge --neurons 128 --layers 12 --save-dir nets/
+    python -m repro.cli challenge generate --neurons 16384 --layers 120 --connections 32 --out nets/
     python -m repro.cli challenge verify --dir nets/ --neurons 128
     python -m repro.cli design --layer-widths 32,64,64,16
     python -m repro.cli backends
@@ -22,8 +23,11 @@ batched inference, and ``--activations {auto,dense,sparse}`` /
 ``--sparse-crossover`` to pick the activation storage policy (CSR
 activation batches via SpGEMM vs. dense buffers via SpMM; see
 :class:`repro.challenge.inference.ActivationPolicy`).  ``challenge
-verify`` cross-checks a network saved on disk (``--save-dir`` /
-:func:`repro.challenge.io.save_challenge_network`) against the naive
+generate`` streams a network straight to disk one layer at a time
+(never holding more than a single layer resident), which is how the
+*official* Graph Challenge sizes (16384/65536 neurons) are produced;
+``challenge verify`` cross-checks a network saved on disk (``--save-dir``
+/ :func:`repro.challenge.io.save_challenge_network`) against the naive
 dense reference recurrence.
 
 Every subcommand prints a plain-text report and exits 0 on success, 2 on
@@ -106,6 +110,28 @@ def build_parser() -> argparse.ArgumentParser:
     challenge.add_argument("--save-dir", default=None, metavar="DIR",
                            help="also save the generated network (TSV + binary sidecar cache) to DIR")
     challenge_sub = challenge.add_subparsers(dest="challenge_command")
+    challenge_generate = challenge_sub.add_parser(
+        "generate",
+        help="stream a challenge network to disk, one layer at a time "
+        "(official 16384/65536-neuron sizes included)",
+    )
+    challenge_generate.add_argument("--out", required=True, metavar="DIR",
+                                    help="output directory (TSV layers + meta + binary sidecar cache)")
+    challenge_generate.add_argument("--threshold", type=float, default=32.0,
+                                    help="activation clamp recorded in the metadata (default 32)")
+    challenge_generate.add_argument("--no-shuffle", action="store_true",
+                                    help="skip the per-layer neuron permutation (deterministic circulant layers)")
+    challenge_generate.add_argument("--no-sidecar", action="store_true",
+                                    help="write only the TSVs (skip the binary .npz cache)")
+    # SUPPRESS defaults: shared with the parent `challenge` parser -- a
+    # subparser default would silently clobber a value given before the
+    # `generate` token (see the `verify` subparser below)
+    challenge_generate.add_argument("--neurons", type=int, default=argparse.SUPPRESS)
+    challenge_generate.add_argument("--layers", type=int, default=argparse.SUPPRESS)
+    challenge_generate.add_argument("--connections", type=int, default=argparse.SUPPRESS)
+    challenge_generate.add_argument("--seed", type=int, default=argparse.SUPPRESS)
+    challenge_generate.add_argument("--backend", default=argparse.SUPPRESS,
+                                    help="sparse backend for the per-layer column permutation")
     challenge_verify = challenge_sub.add_parser(
         "verify", help="cross-check a saved network directory against the dense reference"
     )
@@ -184,6 +210,8 @@ def _cmd_density(args: argparse.Namespace) -> int:
 def _cmd_challenge(args: argparse.Namespace) -> int:
     if getattr(args, "challenge_command", None) == "verify":
         return _cmd_challenge_verify(args)
+    if getattr(args, "challenge_command", None) == "generate":
+        return _cmd_challenge_generate(args)
     from repro.challenge.generator import challenge_input_batch, generate_challenge_network
     from repro.challenge.inference import ActivationPolicy, engine_for
     from repro.challenge.io import save_challenge_network
@@ -220,6 +248,48 @@ def _cmd_challenge(args: argparse.Namespace) -> int:
     verified = verify_categories(network, batch, backend=args.backend, activations=policy)
     print(f"verified against dense reference: {verified}")
     return 0 if verified else 1
+
+
+def _cmd_challenge_generate(args: argparse.Namespace) -> int:
+    import math
+    import time
+
+    from repro.challenge.generator import iter_generate_challenge_layers
+    from repro.challenge.io import save_challenge_layers
+    from repro.utils.timing import peak_rss_mb
+
+    neurons, layers = args.neurons, args.layers
+    connections = args.connections
+    start = time.perf_counter()
+    directory = save_challenge_layers(
+        args.out,
+        iter_generate_challenge_layers(
+            neurons,
+            layers,
+            connections=connections,
+            threshold=args.threshold,
+            seed=args.seed,
+            shuffle_neurons=not args.no_shuffle,
+            backend=args.backend,
+        ),
+        neurons=neurons,
+        num_layers=layers,
+        threshold=args.threshold,
+        write_sidecar=not args.no_sidecar,
+    )
+    seconds = time.perf_counter() - start
+    edges = neurons * connections * layers
+    print(f"network: {neurons} neurons x {layers} layers, "
+          f"{connections} connections/neuron ({edges:,} edges)")
+    print(f"generation+write: {seconds:.4f}s, {edges / seconds:,.0f} edges/s "
+          f"(streaming: peak weight memory is one layer's nnz)")
+    sidecar_note = "TSV only" if args.no_sidecar else "TSV + sidecar cache"
+    print(f"saved to {directory} ({sidecar_note})")
+    peak_rss = peak_rss_mb()
+    if not math.isnan(peak_rss):
+        print(f"peak RSS: {peak_rss:.1f} MB "
+              f"(dense per-layer buffer would be {neurons * neurons * 8 / 2**20:,.1f} MB)")
+    return 0
 
 
 def _cmd_challenge_verify(args: argparse.Namespace) -> int:

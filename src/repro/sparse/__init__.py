@@ -19,6 +19,7 @@ from repro.sparse.ops import (
     spmm,
     spmv,
     kron,
+    permute_columns,
     sparse_transpose,
     sparse_add,
     matrix_power,
@@ -40,6 +41,7 @@ __all__ = [
     "spmm",
     "spmv",
     "kron",
+    "permute_columns",
     "sparse_transpose",
     "sparse_add",
     "matrix_power",

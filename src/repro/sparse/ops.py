@@ -2,8 +2,10 @@
 
 These are the operations the RadiX-Net construction (Kronecker products
 of adjacency submatrices), its verification (chain products of
-submatrices for Theorem 1), and the Graph Challenge recurrence (the
-fused :func:`sparse_layer_step` on sparse activation batches) require.
+submatrices for Theorem 1), the Graph Challenge recurrence (the fused
+:func:`sparse_layer_step` on sparse activation batches), and the
+challenge generator's per-layer neuron shuffling
+(:func:`permute_columns`) require.
 
 This module is a thin *dispatch layer*: it validates operand shapes and
 forwards to the active :mod:`repro.backends` implementation (``scipy``
@@ -106,6 +108,47 @@ def sparse_add(
     if a.shape != b.shape:
         raise ShapeError(f"cannot add shapes {a.shape} and {b.shape}")
     return _resolve(backend).add(a, b)
+
+
+def permute_columns(
+    a: CSRMatrix,
+    permutation: np.ndarray,
+    *,
+    backend: str | SparseBackend | None = None,
+) -> CSRMatrix:
+    """Sparse column selection ``a[:, permutation]`` (O(nnz), never dense).
+
+    The result's column ``j`` is ``a``'s column ``permutation[j]`` --
+    exactly ``CSRMatrix.from_dense(a.to_dense()[:, permutation])`` but
+    without the ``rows x cols`` dense buffer (explicitly stored zeros
+    are retained, as in ``transpose``).  This is the kernel that unlocks
+    challenge-network generation at official Graph Challenge sizes
+    (16384/65536 neurons), where the dense round-trip would allocate an
+    N^2 buffer per layer.
+
+    ``permutation`` must be a permutation of ``0..cols-1``; it is
+    validated here once so backends can assume it.  Backends without a
+    ``permute_columns`` kernel (e.g. custom registrations predating it)
+    fall back to the shared pure-NumPy primitive
+    :func:`repro.core.permutation.permute_csr_columns`.
+    """
+    perm = np.asarray(permutation, dtype=np.int64).ravel()
+    if perm.size != a.shape[1]:
+        raise ShapeError(
+            f"permutation must have length {a.shape[1]} (one entry per column), "
+            f"got {perm.size}"
+        )
+    if perm.size and (perm.min() < 0 or perm.max() >= perm.size):
+        raise ValidationError("permutation entries must be in [0, cols)")
+    if np.bincount(perm, minlength=perm.size).max(initial=1) > 1:
+        raise ValidationError("permutation must not contain duplicate entries")
+    impl = _resolve(backend)
+    kernel = getattr(impl, "permute_columns", None)
+    if kernel is not None:
+        return kernel(a, perm)
+    from repro.core.permutation import permute_csr_columns
+
+    return permute_csr_columns(a, perm)
 
 
 def kron(

@@ -1,14 +1,32 @@
-"""Lightweight timing helpers used by benchmarks and the parallel layer."""
+"""Lightweight timing and resource helpers used by benchmarks and the CLI."""
 
 from __future__ import annotations
 
 import functools
+import sys
 import time
 from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import Any, TypeVar
 
 T = TypeVar("T")
+
+
+def peak_rss_mb() -> float:
+    """Peak resident set size of this process in MB (``nan`` if unavailable).
+
+    ``ru_maxrss`` is reported in kilobytes on Linux but in *bytes* on
+    macOS; both are normalized here.  Returns ``nan`` on platforms
+    without the ``resource`` module (e.g. Windows).
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return float("nan")
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - exercised on macOS only
+        return peak / 2**20
+    return peak / 1024.0
 
 
 @dataclass

@@ -118,6 +118,61 @@ class TestCommands:
         assert "checksum" in out
         assert "verified against dense reference: True" in out
 
+    def test_challenge_generate_streams_to_disk(self, tmp_path, capsys):
+        directory = tmp_path / "net"
+        code = main(
+            ["challenge", "generate", "--neurons", "32", "--layers", "3",
+             "--connections", "4", "--out", str(directory)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "edges/s" in out and "streaming" in out
+        for i in (1, 2, 3):
+            assert (directory / f"neuron32-l{i}.tsv").exists()
+        assert (directory / "neuron32-meta.tsv").exists()
+        assert (directory / "neuron32-cache.npz").exists()
+
+        code = main(
+            ["challenge", "verify", "--dir", str(directory), "--neurons", "32",
+             "--batch", "6"]
+        )
+        assert code == 0
+        assert "verified against dense reference: True" in capsys.readouterr().out
+
+    def test_challenge_generate_no_sidecar_no_shuffle(self, tmp_path, capsys):
+        directory = tmp_path / "net"
+        code = main(
+            ["challenge", "generate", "--neurons", "16", "--layers", "2",
+             "--connections", "4", "--no-shuffle", "--no-sidecar",
+             "--out", str(directory)]
+        )
+        assert code == 0
+        assert "TSV only" in capsys.readouterr().out
+        assert not (directory / "neuron16-cache.npz").exists()
+        from repro.challenge.io import load_challenge_network
+
+        loaded = load_challenge_network(directory, 16, use_cache=False)
+        # unshuffled layers are the deterministic circulant: all identical
+        assert loaded.weights[0].same_pattern(loaded.weights[1])
+
+    def test_challenge_generate_flags_before_subcommand_survive(self, tmp_path, capsys):
+        directory = tmp_path / "net"
+        code = main(
+            ["challenge", "--neurons", "16", "--layers", "2", "--connections", "4",
+             "generate", "--out", str(directory)]
+        )
+        assert code == 0
+        assert (directory / "neuron16-l2.tsv").exists()
+        capsys.readouterr()
+
+    def test_challenge_generate_invalid_size_returns_one(self, tmp_path, capsys):
+        code = main(
+            ["challenge", "generate", "--neurons", "10", "--layers", "2",
+             "--connections", "4", "--out", str(tmp_path / "net")]
+        )
+        assert code == 1
+        assert "divisible" in capsys.readouterr().err
+
     def test_challenge_verify_flags_before_subcommand_survive(self, tmp_path, capsys):
         # options given before the `verify` token must not be clobbered
         # by the subparser's defaults

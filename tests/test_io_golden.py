@@ -1,0 +1,119 @@
+"""Golden-file regression tests for the Graph Challenge interchange format.
+
+``tests/data/golden-challenge-8x3/`` holds a canonical saved network
+(8 neurons x 3 layers, 2 connections/neuron, unshuffled -- fully
+deterministic, no RNG involved) checked in byte for byte.  These tests
+pin the on-disk format in both directions:
+
+* **write**: saving the same network today must reproduce the golden
+  bytes exactly (both the materialized and the streaming save paths) --
+  any drift in index base, field order, separators, or float formatting
+  breaks compatibility with the official Graph Challenge files;
+* **read**: loading the golden directory must recover the exact
+  structure (the known circulant layers, threshold, bias).
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.challenge.generator import (
+    generate_challenge_network,
+    iter_generate_challenge_layers,
+)
+from repro.challenge.io import (
+    load_challenge_network,
+    save_challenge_layers,
+    save_challenge_network,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "data" / "golden-challenge-8x3"
+GOLDEN_FILES = (
+    "neuron8-l1.tsv",
+    "neuron8-l2.tsv",
+    "neuron8-l3.tsv",
+    "neuron8-meta.tsv",
+)
+
+
+def golden_network():
+    """The network the fixtures were generated from (no RNG anywhere)."""
+    return generate_challenge_network(8, 3, connections=2, shuffle_neurons=False)
+
+
+class TestGoldenWrite:
+    def test_fixture_files_exist(self):
+        for name in GOLDEN_FILES:
+            assert (GOLDEN_DIR / name).is_file(), name
+
+    def test_materialized_save_is_byte_stable(self, tmp_path):
+        save_challenge_network(golden_network(), tmp_path, write_sidecar=False)
+        for name in GOLDEN_FILES:
+            assert (tmp_path / name).read_bytes() == (GOLDEN_DIR / name).read_bytes(), (
+                f"{name}: save output drifted from the golden fixture -- the "
+                "on-disk challenge format must stay byte-stable"
+            )
+
+    def test_streaming_save_is_byte_stable(self, tmp_path):
+        save_challenge_layers(
+            tmp_path,
+            iter_generate_challenge_layers(8, 3, connections=2, shuffle_neurons=False),
+            neurons=8,
+            num_layers=3,
+            threshold=32.0,
+            write_sidecar=False,
+        )
+        for name in GOLDEN_FILES:
+            assert (tmp_path / name).read_bytes() == (GOLDEN_DIR / name).read_bytes(), name
+
+    def test_no_extra_files_written(self, tmp_path):
+        save_challenge_network(golden_network(), tmp_path, write_sidecar=False)
+        assert sorted(p.name for p in tmp_path.iterdir()) == sorted(GOLDEN_FILES)
+
+
+class TestGoldenRead:
+    def test_load_recovers_exact_structure(self):
+        # use_cache=False: never write a sidecar into the checked-in tree
+        network = load_challenge_network(GOLDEN_DIR, 8, use_cache=False)
+        assert network.neurons == 8
+        assert network.num_layers == 3
+        assert network.threshold == 32.0
+        # the unshuffled challenge layer is the mixed-radix circulant:
+        # row j connects to columns j and (j + 1) mod 8
+        expected_cols = np.sort(
+            np.stack([np.arange(8), (np.arange(8) + 1) % 8], axis=1), axis=1
+        ).ravel()
+        for weight in network.weights:
+            assert weight.nnz == 16
+            np.testing.assert_array_equal(weight.indices, expected_cols)
+            np.testing.assert_allclose(np.asarray(weight.data), 1.0)
+        for bias in network.biases:
+            np.testing.assert_allclose(bias, -0.3)
+
+    def test_load_matches_regenerated_network(self):
+        network = load_challenge_network(GOLDEN_DIR, 8, use_cache=False)
+        regenerated = golden_network()
+        assert network.topology.same_topology(regenerated.topology)
+        for a, b in zip(network.weights, regenerated.weights):
+            assert a.allclose(b)
+
+    def test_golden_tsv_is_one_based_and_tab_separated(self):
+        lines = (GOLDEN_DIR / "neuron8-l1.tsv").read_text().strip().split("\n")
+        assert len(lines) == 16
+        for line in lines:
+            row, col, value = line.split("\t")
+            assert 1 <= int(row) <= 8
+            assert 1 <= int(col) <= 8
+            assert float(value) == 1.0
+
+    def test_golden_meta_fields(self):
+        fields = (GOLDEN_DIR / "neuron8-meta.tsv").read_text().strip().split("\t")
+        assert [int(fields[0]), int(fields[1])] == [8, 3]
+        assert float(fields[2]) == 32.0
+        assert float(fields[3]) == pytest.approx(-0.3)
+
+    def test_golden_dir_untouched_by_loads(self):
+        before = sorted(p.name for p in GOLDEN_DIR.iterdir())
+        load_challenge_network(GOLDEN_DIR, 8, use_cache=False)
+        assert sorted(p.name for p in GOLDEN_DIR.iterdir()) == before

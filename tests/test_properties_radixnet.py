@@ -1,0 +1,364 @@
+"""Property-based tests (hypothesis) for the paper's structural invariants.
+
+Randomized mixed-radix systems, dense-width lists, permutations, and
+challenge-network parameters drive the generators, the sparse column
+permutation kernel, and the challenge IO layer through their invariants:
+
+* **generation** -- RadiX-Nets match the closed-form layer sizes
+  (``expanded_layer_sizes``), the closed-form edge count
+  (``radixnet_edge_count``), are degree-regular per layer, and satisfy
+  Theorem 1's path-count symmetry; challenge networks keep exact
+  connections/neuron under per-layer shuffling.
+* **permutation** -- ``permute_columns`` agrees with the dense
+  ``to_dense()[:, p]`` oracle on every backend, inverts exactly,
+  composes, fixes the identity, preserves per-row degrees and the
+  column-degree multiset (nnz "row-stochasticity"), and equals an
+  actual SpGEMM with the permutation matrix.
+* **IO** -- save/load round-trips arbitrary generated networks exactly
+  (cached and TSV paths), the TSV parser coalesces shuffled/duplicated
+  COO lines, and the streaming save path is byte-identical to the
+  materialized one.
+
+Sizes are kept tiny so hypothesis can explore many cases; the scale
+story is covered by the ``slow``-marked smoke tests elsewhere.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+import repro.backends as backends
+from repro.challenge.generator import (
+    generate_challenge_network,
+    iter_generate_challenge_layers,
+)
+from repro.challenge.io import (
+    _parse_layer_tsv,
+    load_challenge_network,
+    save_challenge_layers,
+    save_challenge_network,
+)
+from repro.core.kronecker import expanded_layer_sizes
+from repro.core.permutation import (
+    column_permutation_matrix,
+    invert_permutation,
+    permute_csr_columns,
+)
+from repro.core.radixnet import RadixNetSpec, generate_from_spec, radixnet_edge_count
+from repro.core.theory import predicted_radixnet_path_count
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import permute_columns, spgemm
+from repro.testing import random_csr
+
+ALL_BACKENDS = backends.available_backends()
+
+settings.register_profile(
+    "repro-properties",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro-properties")
+
+
+# --------------------------------------------------------------------------- #
+# strategies
+# --------------------------------------------------------------------------- #
+@st.composite
+def radixnet_specs(draw):
+    """Admissible (systems, widths) pairs with small N'.
+
+    All systems but the last must share the product N' (paper constraint
+    1) -- generated as permutations of one radix list -- and the last
+    system's product must divide N' (constraint 2).
+    """
+    base = draw(st.lists(st.integers(2, 4), min_size=1, max_size=3))
+    systems = [tuple(base)]
+    if draw(st.booleans()):
+        systems.append(tuple(draw(st.permutations(base))))
+    if draw(st.booleans()):
+        n_prime = math.prod(base)
+        divisors = [d for d in range(2, n_prime + 1) if n_prime % d == 0]
+        systems.append((draw(st.sampled_from(divisors)),))
+    total = sum(len(s) for s in systems)
+    widths = draw(
+        st.lists(st.integers(1, 3), min_size=total + 1, max_size=total + 1)
+    )
+    return systems, widths
+
+
+@st.composite
+def csr_with_permutation(draw):
+    """A random nonzero-valued CSR matrix and a permutation of its columns."""
+    rows = draw(st.integers(1, 10))
+    cols = draw(st.integers(1, 10))
+    density = draw(st.floats(0.0, 1.0))
+    seed = draw(st.integers(0, 2**31 - 1))
+    matrix, _ = random_csr((rows, cols), density, seed)
+    permutation = np.array(draw(st.permutations(range(cols))), dtype=np.int64)
+    return matrix, permutation
+
+
+@st.composite
+def challenge_params(draw):
+    """Valid (neurons, layers, connections, seed) for the challenge generator."""
+    connections = draw(st.integers(2, 4))
+    neurons = connections * draw(st.integers(1, 6))
+    if neurons < 2:
+        neurons = connections
+    layers = draw(st.integers(1, 4))
+    seed = draw(st.integers(0, 2**31 - 1))
+    return neurons, layers, connections, seed
+
+
+# --------------------------------------------------------------------------- #
+# generation invariants
+# --------------------------------------------------------------------------- #
+class TestGenerationProperties:
+    @given(spec_args=radixnet_specs())
+    def test_layer_sizes_match_expanded_layer_sizes(self, spec_args):
+        systems, widths = spec_args
+        spec = RadixNetSpec(systems, widths)
+        net = generate_from_spec(spec)
+        assert net.layer_sizes == expanded_layer_sizes(widths, spec.n_prime)
+        assert net.layer_sizes == spec.layer_sizes
+
+    @given(spec_args=radixnet_specs())
+    def test_edge_count_matches_closed_form(self, spec_args):
+        systems, widths = spec_args
+        spec = RadixNetSpec(systems, widths)
+        net = generate_from_spec(spec)
+        assert net.num_edges == radixnet_edge_count(spec)
+
+    @given(spec_args=radixnet_specs())
+    def test_per_layer_degrees_are_constant(self, spec_args):
+        # layer i's submatrix is (all-ones D_i x D_{i+1}) (x) (mixed-radix
+        # W with per-row and per-column nnz = radix), so every node of a
+        # layer shares one out-degree and every node of the next one
+        # in-degree
+        systems, widths = spec_args
+        spec = RadixNetSpec(systems, widths)
+        net = generate_from_spec(spec)
+        radices = spec.flattened_radices
+        for i, submatrix in enumerate(net.submatrices):
+            assert np.all(submatrix.row_degrees() == widths[i + 1] * radices[i])
+            assert np.all(submatrix.col_degrees() == widths[i] * radices[i])
+
+    @given(spec_args=radixnet_specs())
+    def test_theorem_1_symmetry(self, spec_args):
+        systems, widths = spec_args
+        spec = RadixNetSpec(systems, widths)
+        counts = generate_from_spec(spec).path_count_matrix().to_dense()
+        predicted = predicted_radixnet_path_count(spec)
+        assert counts.min() == counts.max() == predicted
+
+    @given(params=challenge_params())
+    def test_challenge_network_edge_accounting_exact(self, params):
+        neurons, layers, connections, seed = params
+        network = generate_challenge_network(
+            neurons, layers, connections=connections, seed=seed
+        )
+        assert network.topology.num_edges == neurons * connections * layers
+        assert network.connections_per_neuron == float(connections)
+
+    @given(params=challenge_params())
+    def test_challenge_layers_degree_regular_after_shuffle(self, params):
+        # column permutations preserve row degrees exactly and permute
+        # column degrees, so every shuffled layer stays bi-regular
+        neurons, layers, connections, seed = params
+        network = generate_challenge_network(
+            neurons, layers, connections=connections, seed=seed
+        )
+        for weight in network.weights:
+            assert np.all(weight.row_degrees() == connections)
+            assert np.all(weight.col_degrees() == connections)
+
+    @given(params=challenge_params())
+    def test_streaming_generator_matches_materialized(self, params):
+        neurons, layers, connections, seed = params
+        network = generate_challenge_network(
+            neurons, layers, connections=connections, seed=seed
+        )
+        streamed = list(
+            iter_generate_challenge_layers(
+                neurons, layers, connections=connections, seed=seed
+            )
+        )
+        assert len(streamed) == network.num_layers
+        for (weight, bias), expected_w, expected_b in zip(
+            streamed, network.weights, network.biases
+        ):
+            assert weight.same_pattern(expected_w)
+            assert np.array_equal(weight.data, expected_w.data)
+            assert np.array_equal(bias, expected_b)
+
+
+# --------------------------------------------------------------------------- #
+# sparse column permutation invariants (all backends)
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+class TestPermutationProperties:
+    @given(case=csr_with_permutation())
+    def test_matches_dense_oracle(self, backend, case):
+        # the exact old generation path: to_dense()[:, p] re-sparsified
+        matrix, permutation = case
+        expected = CSRMatrix.from_dense(matrix.to_dense()[:, permutation])
+        got = permute_columns(matrix, permutation, backend=backend)
+        assert got.same_pattern(expected)
+        assert np.array_equal(got.data, expected.data)
+
+    @given(case=csr_with_permutation())
+    def test_inverse_round_trips_exactly(self, backend, case):
+        matrix, permutation = case
+        forward = permute_columns(matrix, permutation, backend=backend)
+        back = permute_columns(forward, invert_permutation(permutation), backend=backend)
+        assert back.same_pattern(matrix)
+        assert np.array_equal(back.data, matrix.data)
+
+    @given(case=csr_with_permutation(), data=st.data())
+    def test_composition_law(self, backend, case, data):
+        matrix, p = case
+        q = np.array(
+            data.draw(st.permutations(range(matrix.shape[1]))), dtype=np.int64
+        )
+        two_step = permute_columns(
+            permute_columns(matrix, p, backend=backend), q, backend=backend
+        )
+        one_step = permute_columns(matrix, p[q], backend=backend)
+        assert two_step.same_pattern(one_step)
+        assert np.array_equal(two_step.data, one_step.data)
+
+    @given(case=csr_with_permutation())
+    def test_identity_is_noop(self, backend, case):
+        matrix, _ = case
+        identity = np.arange(matrix.shape[1], dtype=np.int64)
+        got = permute_columns(matrix, identity, backend=backend)
+        assert got.same_pattern(matrix)
+        assert np.array_equal(got.data, matrix.data)
+
+    @given(case=csr_with_permutation())
+    def test_degrees_preserved(self, backend, case):
+        # "row-stochastic in nnz": per-row degrees invariant, column
+        # degrees carried along the permutation
+        matrix, permutation = case
+        got = permute_columns(matrix, permutation, backend=backend)
+        np.testing.assert_array_equal(got.row_degrees(), matrix.row_degrees())
+        np.testing.assert_array_equal(
+            got.col_degrees(), matrix.col_degrees()[permutation]
+        )
+        assert got.nnz == matrix.nnz
+
+    @given(case=csr_with_permutation())
+    def test_result_is_canonical_csr(self, backend, case):
+        matrix, permutation = case
+        got = permute_columns(matrix, permutation, backend=backend)
+        for i in range(got.shape[0]):
+            cols, _ = got.row(i)
+            assert np.all(np.diff(cols) > 0)
+
+    @given(case=csr_with_permutation())
+    def test_equals_spgemm_with_permutation_matrix(self, backend, case):
+        matrix, permutation = case
+        via_matmul = spgemm(
+            matrix, column_permutation_matrix(permutation), backend=backend
+        )
+        got = permute_columns(matrix, permutation, backend=backend)
+        np.testing.assert_allclose(got.to_dense(), via_matmul.to_dense(), atol=1e-12)
+
+
+class TestPermutationHelpers:
+    @given(permutation=st.permutations(range(12)))
+    def test_invert_permutation_is_involutive(self, permutation):
+        perm = np.array(permutation, dtype=np.int64)
+        inverse = invert_permutation(perm)
+        np.testing.assert_array_equal(perm[inverse], np.arange(perm.size))
+        np.testing.assert_array_equal(inverse[perm], np.arange(perm.size))
+        np.testing.assert_array_equal(invert_permutation(inverse), perm)
+
+    @given(case=csr_with_permutation())
+    def test_pure_numpy_primitive_matches_dispatch(self, case):
+        matrix, permutation = case
+        via_dispatch = permute_columns(matrix, permutation)
+        direct = permute_csr_columns(matrix, permutation)
+        assert direct.same_pattern(via_dispatch)
+        assert np.array_equal(direct.data, via_dispatch.data)
+
+
+# --------------------------------------------------------------------------- #
+# IO invariants
+# --------------------------------------------------------------------------- #
+class TestIOProperties:
+    @given(params=challenge_params(), use_cache=st.booleans())
+    def test_save_load_round_trip_exact(self, tmp_path_factory, params, use_cache):
+        neurons, layers, connections, seed = params
+        directory = tmp_path_factory.mktemp("roundtrip")
+        network = generate_challenge_network(
+            neurons, layers, connections=connections, seed=seed
+        )
+        save_challenge_network(network, directory)
+        loaded = load_challenge_network(directory, neurons, use_cache=use_cache)
+        assert loaded.num_layers == network.num_layers
+        assert loaded.threshold == network.threshold
+        assert loaded.topology.same_topology(network.topology)
+        for a, b in zip(loaded.weights, network.weights):
+            assert a.same_pattern(b)
+            np.testing.assert_array_equal(np.asarray(a.data), np.asarray(b.data))
+        for a, b in zip(loaded.biases, network.biases):
+            np.testing.assert_array_equal(a, b)
+
+    @given(params=challenge_params())
+    def test_streaming_save_byte_identical_to_materialized(
+        self, tmp_path_factory, params
+    ):
+        neurons, layers, connections, seed = params
+        network = generate_challenge_network(
+            neurons, layers, connections=connections, seed=seed
+        )
+        materialized = tmp_path_factory.mktemp("materialized")
+        streamed = tmp_path_factory.mktemp("streamed")
+        save_challenge_network(network, materialized, write_sidecar=False)
+        save_challenge_layers(
+            streamed,
+            iter_generate_challenge_layers(
+                neurons, layers, connections=connections, seed=seed
+            ),
+            neurons=neurons,
+            num_layers=layers,
+            threshold=network.threshold,
+            write_sidecar=False,
+        )
+        for path in sorted(materialized.glob("*.tsv")):
+            assert (streamed / path.name).read_bytes() == path.read_bytes()
+
+    @given(
+        rows=st.integers(1, 8),
+        density=st.floats(0.1, 1.0),
+        seed=st.integers(0, 2**31 - 1),
+        data=st.data(),
+    )
+    def test_tsv_parser_coalesces_any_line_order(
+        self, tmp_path_factory, rows, density, seed, data
+    ):
+        # the official COO convention: lines in any order, duplicate
+        # (row, col) pairs summed
+        matrix, dense = random_csr((rows, rows), density, seed)
+        coo = matrix.to_coo()
+        lines = [
+            f"{r + 1}\t{c + 1}\t{v:.17g}"
+            for r, c, v in zip(coo.rows, coo.cols, coo.values)
+        ]
+        # duplicate a prefix of entries: the parse must sum them
+        duplicates = data.draw(st.integers(0, len(lines)))
+        expected = dense.copy()
+        for line in lines[:duplicates]:
+            r, c, v = line.split("\t")
+            expected[int(r) - 1, int(c) - 1] += float(v)
+        shuffled = data.draw(st.permutations(lines + lines[:duplicates]))
+        path = tmp_path_factory.mktemp("tsv") / f"neuron{rows}-l1.tsv"
+        path.write_text("\n".join(shuffled) + ("\n" if shuffled else ""), encoding="utf-8")
+        parsed = _parse_layer_tsv(path, rows)
+        np.testing.assert_allclose(parsed.to_dense(), expected, atol=1e-12)
