@@ -22,6 +22,15 @@ challenge size (1024 neurons x 120 layers, ``E2_SCALE_*``-tunable) under
 the sparse policy, asserting its peak activation storage stays below the
 dense ``batch * neurons`` buffer.
 
+``test_e2_pipeline_overlap_profile`` profiles the staged streaming
+pipeline (:mod:`repro.challenge.pipeline`): wall-clock and peak RSS with
+the background layer prefetch off vs on (thread and sidecar-process
+transports), plus ``test_e2_pipeline_checkpoint_resume_overhead`` for
+the cost of periodic atomic checkpoints and a staged
+interrupt-and-resume run, and the ``slow``-marked
+``test_e2_official_scale_streaming_overlap`` for the same comparison at
+the 1024x120 official entry size.
+
 ``test_e2_generation_throughput`` reports the *generation* side of the
 pipeline -- edges/second written through the fully sparse streaming
 path (``iter_generate_challenge_layers`` -> ``save_challenge_layers``)
@@ -49,9 +58,13 @@ from repro.challenge.io import (
     save_challenge_layers,
     save_challenge_network,
 )
+from repro.challenge.pipeline import (
+    resume_challenge_pipeline,
+    run_challenge_pipeline,
+)
 from repro.experiments.scaling import graph_challenge_scaling
 from repro.parallel.pipeline import parallel_inference
-from repro.utils.timing import peak_rss_mb
+from repro.utils.timing import format_rss_mb, peak_rss_mb
 
 E2_NEURONS = int(os.environ.get("E2_NEURONS", "256"))
 E2_LAYERS = int(os.environ.get("E2_LAYERS", "24"))
@@ -302,6 +315,165 @@ def test_e2_generation_official_scale_smoke(tmp_path, report_table):
         ["neurons", "layers", "edges", "seconds", "edges/s", "gen peak (MB, traced)", "dense layer (MB)"],
         [[neurons, layers, edges, round(seconds, 4), int(edges / seconds),
           round(traced_mb, 1), int(dense_layer_mb)]],
+    )
+
+
+def _timed_best(fn, rounds=3):
+    """Best-of-N wall-clock of ``fn`` plus its last result."""
+    best, result = float("inf"), None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_e2_pipeline_overlap_profile(benchmark, tmp_path, report_table):
+    """Staged-pipeline profile: prefetch overlap on/off, wall-clock + peak RSS.
+
+    Streams a saved network from its TSVs (``use_cache=False``, so the
+    load stage does real parsing work) three ways: no prefetch, a
+    background prefetch thread, and the sidecar-process transport (which
+    overlaps even the GIL-holding parse with the compute kernels).
+    Categories must be identical in all three.  On single-core runners
+    no overlap is physically possible, so the timing assertions pin
+    *bounded overhead*, not a strict speedup -- the reported table and
+    the ``extra_info`` in the benchmark JSON are the profile artifact
+    (``cpu_count`` is recorded so a reader can interpret the ratios).
+    """
+    neurons, layers, batch_rows = 512, 24, 128
+    network = generate_challenge_network(neurons, layers, connections=8, seed=9)
+    net_dir = tmp_path / "net"
+    save_challenge_network(network, net_dir)
+    batch = challenge_input_batch(neurons, batch_rows, seed=10)
+
+    def run(prefetch, transport="thread"):
+        return run_challenge_pipeline(
+            net_dir, neurons, batch, prefetch=prefetch, transport=transport,
+            use_cache=False, record_timing=False,
+        )
+
+    off_seconds, off = _timed_best(lambda: run(0))
+    thread_seconds, via_thread = _timed_best(lambda: run(4))
+    process_seconds, via_process = _timed_best(lambda: run(4, "process"))
+    via_benchmark = benchmark.pedantic(run, args=(4,), rounds=3, iterations=1)
+
+    for outcome in (via_thread, via_process, via_benchmark):
+        assert outcome.completed
+        assert list(outcome.result.categories) == list(off.result.categories)
+    # overlap must never cost much even where it cannot win (1-core boxes);
+    # the process transport additionally pays spawn + array shipping
+    assert thread_seconds < off_seconds * 1.5
+    assert process_seconds < off_seconds * 2.0
+
+    cpus = os.cpu_count() or 1
+    rss = peak_rss_mb()
+    benchmark.extra_info["cpu_count"] = cpus
+    benchmark.extra_info["overlap_off_seconds"] = off_seconds
+    benchmark.extra_info["overlap_thread_seconds"] = thread_seconds
+    benchmark.extra_info["overlap_process_seconds"] = process_seconds
+    benchmark.extra_info["thread_speedup"] = off_seconds / thread_seconds
+    benchmark.extra_info["process_speedup"] = off_seconds / process_seconds
+    benchmark.extra_info["peak_rss_mb"] = rss  # None (JSON null) when unavailable
+
+    report_table(
+        f"E2: pipeline prefetch overlap profile ({cpus} CPUs, "
+        f"peak RSS {format_rss_mb(rss)})",
+        ["configuration", "seconds", "speedup vs off"],
+        [
+            ["prefetch off", round(off_seconds, 4), "1.00x"],
+            ["prefetch 4 (thread)", round(thread_seconds, 4),
+             f"{off_seconds / thread_seconds:.2f}x"],
+            ["prefetch 4 (process)", round(process_seconds, 4),
+             f"{off_seconds / process_seconds:.2f}x"],
+        ],
+    )
+
+
+def test_e2_pipeline_checkpoint_resume_overhead(tmp_path, report_table):
+    """Checkpointed + interrupted + resumed run: bit-identical categories,
+    and periodic checkpointing stays a small fraction of the run."""
+    neurons, layers = 256, 24
+    network = generate_challenge_network(neurons, layers, connections=8, seed=11)
+    net_dir = tmp_path / "net"
+    save_challenge_network(network, net_dir)
+    batch = challenge_input_batch(neurons, 64, seed=12)
+
+    plain_seconds, plain = _timed_best(
+        lambda: run_challenge_pipeline(net_dir, neurons, batch, prefetch=0,
+                                       record_timing=False))
+    ck_seconds, checkpointed = _timed_best(
+        lambda: run_challenge_pipeline(net_dir, neurons, batch, prefetch=0,
+                                       checkpoint_dir=tmp_path / "ck",
+                                       checkpoint_every=4, record_timing=False))
+    staged = run_challenge_pipeline(net_dir, neurons, batch, prefetch=0,
+                                    checkpoint_dir=tmp_path / "ck2",
+                                    checkpoint_every=4, stop_after=layers // 2,
+                                    record_timing=False)
+    assert not staged.completed
+    resumed = resume_challenge_pipeline(tmp_path / "ck2")
+    assert resumed.completed and resumed.resumed_from == layers // 2
+    assert list(plain.result.categories) == list(checkpointed.result.categories)
+    assert list(plain.result.categories) == list(resumed.result.categories)
+    assert (plain.result.activations == resumed.result.activations).all()
+
+    report_table(
+        "E2: pipeline checkpoint/resume (identical categories)",
+        ["configuration", "seconds"],
+        [
+            ["no checkpointing", round(plain_seconds, 4)],
+            [f"checkpoint every 4 of {layers}", round(ck_seconds, 4)],
+        ],
+    )
+
+
+@pytest.mark.slow
+def test_e2_official_scale_streaming_overlap(tmp_path, report_table):
+    """The 1024x120 official entry size through the staged streaming pipeline.
+
+    Generates the network to disk, then runs checkpointed streaming
+    inference with the prefetch overlap off / thread / process, straight
+    from the TSVs.  ``E2_SCALE_*`` tunes the size.  Assertions pin
+    identical categories and bounded overhead; the wall-clock comparison
+    is the report (overlap can only win where cores are available).
+    """
+    neurons, layers = E2_SCALE_NEURONS, E2_SCALE_LAYERS
+    connections = 32 if neurons % 32 == 0 else 8
+    net_dir = tmp_path / "net"
+    save_challenge_layers(
+        net_dir,
+        iter_generate_challenge_layers(neurons, layers, connections=connections, seed=42),
+        neurons=neurons, num_layers=layers, threshold=32.0,
+    )
+    batch = challenge_input_batch(neurons, E2_SCALE_BATCH, active_fraction=0.28, seed=43)
+
+    results = {}
+    timings = {}
+    for label, kwargs in (
+        ("prefetch off", {"prefetch": 0}),
+        ("prefetch 4 (thread)", {"prefetch": 4}),
+        ("prefetch 4 (process)", {"prefetch": 4, "transport": "process"}),
+    ):
+        start = time.perf_counter()
+        results[label] = run_challenge_pipeline(
+            net_dir, neurons, batch, use_cache=False, record_timing=False, **kwargs
+        )
+        timings[label] = time.perf_counter() - start
+    baseline = results["prefetch off"]
+    for label, outcome in results.items():
+        assert outcome.completed, label
+        assert list(outcome.result.categories) == list(baseline.result.categories), label
+    assert timings["prefetch 4 (thread)"] < timings["prefetch off"] * 1.5
+    assert timings["prefetch 4 (process)"] < timings["prefetch off"] * 2.0
+
+    rss = peak_rss_mb()
+    report_table(
+        f"E2: official-scale streaming overlap ({neurons}x{layers}, "
+        f"{os.cpu_count() or 1} CPUs, peak RSS {format_rss_mb(rss)})",
+        ["configuration", "seconds", "edges/s"],
+        [[label, round(seconds, 3),
+          int(baseline.result.edges_traversed / seconds)]
+         for label, seconds in timings.items()],
     )
 
 

@@ -1,47 +1,62 @@
 #!/usr/bin/env python3
-"""Generate a Graph Challenge style sparse DNN with RadiX-Net and run the inference engine.
+"""Graph Challenge at scale: generate -> checkpointed streaming inference -> verify.
 
 The MIT/IEEE/Amazon Sparse DNN Graph Challenge distributes networks
-generated with RadiX-Net.  This example regenerates challenge-style
-instances at laptop scale, builds an :class:`InferenceEngine` (which
-precomputes each layer's transposed weights once and runs the recurrence
-``Y <- min(max(Y W + b, 0), 32)`` on a pluggable sparse backend),
-verifies the surviving categories against a dense reference
-implementation, compares backends and activation storage policies
-(dense SpMM buffers vs CSR SpGEMM batches), demonstrates chunked
-mini-batch streaming, round-trips the challenge TSV format (with its
-binary sidecar cache) and streams it back layer by layer, runs the
-fully streaming generate->infer and generate->disk->infer pipelines
-(one CSR layer resident at a time -- the path that scales to the
-official 16384/65536-neuron sizes), and reports edges/second across a
-x4 neuron scaling series.
+generated with RadiX-Net and asks for the ReLU-threshold recurrence
+``Y <- min(max(Y W + b, 0), 32)`` over all layers.  This example walks
+the *official-scale* workflow end to end, at laptop size -- the same
+staged pipeline (:mod:`repro.challenge.pipeline`) that runs the
+16384/65536-neuron instances, as one command sequence:
+
+    repro challenge generate --neurons N --layers L --out DIR
+    repro challenge run --dir DIR --neurons N --checkpoint-every K --prefetch P
+    repro challenge run --resume DIR/checkpoint        # after any interrupt
+    repro challenge verify --dir DIR --neurons N
+
+Each step here is the library call behind the CLI line:
+
+1. **generate** -- stream the network to disk one CSR layer at a time
+   (TSV + binary sidecar; a single layer's nnz resident, never N^2);
+2. **run** -- staged streaming inference: a LoadStage reads layer l+1
+   from the sidecar on a background prefetch thread while layer l
+   computes, a ComputeStage advances the activation batch through the
+   backend's fused sparse kernels, and a CheckpointStage atomically
+   persists the full pipeline state every K layers;
+3. **interrupt + resume** -- a deliberately staged run stops mid-network
+   (``stop_after``), then resumes from its checkpoint and finishes
+   bit-identically to the uninterrupted run;
+4. **verify** -- cross-check the surviving categories against the naive
+   dense reference recurrence.
 
 Backend selection: ``--backend {reference,scipy,vectorized}`` here, the
-``REPRO_BACKEND`` environment variable, or ``repro.backends.use(...)``
-in code.  Activation policy: ``--activations {auto,dense,sparse}``.
+``REPRO_BACKEND`` environment variable, or ``repro.backends.use(...)``.
+Activation policy: ``--activations {auto,dense,sparse}``.
 
-Run with:  python examples/graph_challenge_inference.py [--neurons 256] [--layers 24] [--backend scipy]
+Run with:  python examples/graph_challenge_inference.py [--neurons 256] [--layers 24]
 """
 
 import argparse
 import tempfile
+import time
+from pathlib import Path
 
 import repro.backends as backends
 from repro.challenge.generator import (
     challenge_input_batch,
-    generate_challenge_network,
     iter_generate_challenge_layers,
 )
-from repro.challenge.inference import InferenceEngine, engine_for, streaming_inference
+from repro.challenge.inference import InferenceEngine, streaming_inference
 from repro.challenge.io import (
-    iter_challenge_layers,
     load_challenge_network,
+    read_challenge_meta,
     save_challenge_layers,
-    save_challenge_network,
+)
+from repro.challenge.pipeline import (
+    resume_challenge_pipeline,
+    run_challenge_pipeline,
 )
 from repro.challenge.verify import category_checksum, verify_categories
-from repro.experiments.scaling import graph_challenge_scaling
-from repro.viz.report import format_table
+from repro.utils.timing import format_rss_mb, peak_rss_mb
 
 
 def main() -> None:
@@ -52,138 +67,136 @@ def main() -> None:
     parser.add_argument("--batch", type=int, default=64)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--backend", default=None, choices=backends.available_backends())
-    parser.add_argument("--chunk-size", type=int, default=None,
-                        help="mini-batch rows per chunk (bounds peak memory)")
-    parser.add_argument("--activations", choices=["auto", "dense", "sparse"], default="auto",
-                        help="activation storage policy (dense SpMM vs CSR SpGEMM)")
+    parser.add_argument("--activations", choices=["auto", "dense", "sparse"], default="auto")
+    parser.add_argument("--prefetch", type=int, default=2,
+                        help="layers read ahead on a background thread (0 = no overlap)")
+    parser.add_argument("--checkpoint-every", type=int, default=6,
+                        help="atomically checkpoint the pipeline state every K layers")
     args = parser.parse_args()
 
-    print(f"generating challenge network: {args.neurons} neurons x {args.layers} layers, "
-          f"{args.connections} connections/neuron")
-    network = generate_challenge_network(
-        args.neurons, args.layers, connections=args.connections, seed=args.seed
-    )
     batch = challenge_input_batch(args.neurons, args.batch, seed=args.seed + 1)
 
-    # The engine transposes each layer's weights once, at construction;
-    # every run after that is transpose-free.
-    engine = engine_for(network, args.backend)
-    result = engine.run(batch, chunk_size=args.chunk_size, activations=args.activations)
-    print(f"edges/layer: {network.topology.num_edges // args.layers}")
-    print(f"backend:     {result.backend}")
-    print(f"inference:   {result.total_seconds:.4f}s, {result.edges_per_second:,.0f} edges/s")
-    print(f"activations: policy {result.activation_policy}, peak nnz "
-          f"{result.peak_activation_nnz:,} (dense buffer: {batch.size:,} elements)")
-    print(f"categories:  {result.categories.size} of {args.batch} "
-          f"(checksum {category_checksum(result.categories)})")
-    print(f"verified against dense reference: {verify_categories(network, batch)}")
+    with tempfile.TemporaryDirectory() as tmp:
+        net_dir = Path(tmp) / "net"
 
-    # Dense vs sparse activation storage: identical categories, different
-    # peak activation memory (CSR batches shine once thresholding thins
-    # the activations out).
-    dense_run = engine.run(batch, activations="dense")
-    sparse_run = engine.run(batch, activations="sparse")
-    assert list(dense_run.categories) == list(sparse_run.categories)
-    print("activation policy comparison (identical categories):")
-    for run in (dense_run, sparse_run):
-        print(f"  {run.activation_policy:<7} {run.total_seconds:.4f}s  "
-              f"peak nnz {run.peak_activation_nnz:>10,}")
-
-    profile = engine.layer_profile(batch)
-    print(f"activation fraction after first/last layer: {profile[0]:.3f} / {profile[-1]:.3f}")
-    print()
-
-    # Compare every registered backend on the same instance: identical
-    # categories, different edges/second.
-    print("backend comparison (identical categories, per-backend throughput):")
-    for name in backends.available_backends():
-        per_backend = InferenceEngine(network, backend=name).run(batch)
-        assert list(per_backend.categories) == list(result.categories)
-        print(f"  {name:<11} {per_backend.total_seconds:.4f}s  "
-              f"{per_backend.edges_per_second:>14,.0f} edges/s")
-    print()
-
-    # Chunked streaming: bounded peak memory for arbitrarily large batches.
-    streamed = sum(r.categories.size for _, r in engine.stream(batch, chunk_size=max(1, args.batch // 8)))
-    print(f"chunked streaming ({max(1, args.batch // 8)} rows/chunk): {streamed} categories (matches: "
-          f"{streamed == result.categories.size})")
-    print()
-
-    # Round-trip the challenge TSV interchange format (the second load
-    # hits the binary sidecar cache and memory-maps the weights), then
-    # stream the saved network back layer by layer -- the engine starts
-    # before later layers are even read.
-    with tempfile.TemporaryDirectory() as directory:
-        save_challenge_network(network, directory)
-        reloaded = load_challenge_network(directory, args.neurons)
-        assert reloaded.topology.same_topology(network.topology)
-        print(f"TSV round-trip OK ({reloaded.num_layers} layer files + sidecar cache)")
-        streamed_result = streaming_inference(
-            iter_challenge_layers(directory, args.neurons),
-            batch,
-            threshold=network.threshold,
-            backend=args.backend,
-            activations=args.activations,
-        )
-        assert list(streamed_result.categories) == list(result.categories)
-        print(f"layer-streamed inference from disk OK "
-              f"({streamed_result.categories.size} categories, identical)")
-    print()
-
-    # Fully streaming pipeline: generate -> infer with the network NEVER
-    # materialized.  iter_generate_challenge_layers builds one CSR layer
-    # at a time (the shuffle is a sparse O(nnz) column permutation, not a
-    # dense N^2 round-trip) and streaming_inference consumes it layer by
-    # layer -- this is the path that scales to the official
-    # 16384/65536-neuron challenge sizes.
-    fully_streamed = streaming_inference(
-        iter_generate_challenge_layers(
-            args.neurons, args.layers, connections=args.connections, seed=args.seed
-        ),
-        batch,
-        threshold=network.threshold,
-        backend=args.backend,
-        activations=args.activations,
-    )
-    assert list(fully_streamed.categories) == list(result.categories)
-    print(f"generate->infer streaming pipeline OK (no resident network, "
-          f"{fully_streamed.categories.size} categories, identical)")
-
-    # The same stream writes straight to disk, one layer resident at a
-    # time (TSV + incrementally built sidecar cache) -- `repro challenge
-    # generate --neurons 16384 --layers 120 --out DIR` is this call.
-    with tempfile.TemporaryDirectory() as directory:
+        # ------------------------------------------------------------------
+        # 1. generate: stream the network to disk, one CSR layer resident
+        #    (`repro challenge generate --neurons N --layers L --out DIR`)
+        # ------------------------------------------------------------------
+        start = time.perf_counter()
         save_challenge_layers(
-            directory,
+            net_dir,
             iter_generate_challenge_layers(
                 args.neurons, args.layers, connections=args.connections, seed=args.seed
             ),
             neurons=args.neurons,
             num_layers=args.layers,
-            threshold=network.threshold,
+            threshold=32.0,
         )
-        replayed = streaming_inference(
-            iter_challenge_layers(directory, args.neurons),
-            batch,
-            threshold=network.threshold,
-        )
-        assert list(replayed.categories) == list(result.categories)
-        print("generate->disk->infer streaming pipeline OK (one layer resident)")
-    print()
+        meta = read_challenge_meta(net_dir, args.neurons)
+        print(f"[generate] {meta.neurons} neurons x {meta.num_layers} layers "
+              f"streamed to disk in {time.perf_counter() - start:.3f}s "
+              f"(TSV + sidecar, one layer resident)")
 
-    # Scaling series (x4 neurons per step), as in the challenge's scaling study.
-    rows = graph_challenge_scaling(
-        base_neurons=max(16, args.neurons // 16),
-        sizes=3,
-        num_layers=min(args.layers, 16),
-        batch_size=32,
-        connections=args.connections,
-        seed=args.seed,
-    )
-    print(format_table(
-        ["neurons/layer", "edges", "seconds", "edges/s", "verified"],
-        [[int(r["neurons"]), int(r["edges"]), f"{r['seconds']:.4f}", f"{r['edges_per_second']:,.0f}", bool(r["verified"])] for r in rows],
-    ))
+        # ------------------------------------------------------------------
+        # 2. run: checkpointed streaming inference with prefetch overlap
+        #    (`repro challenge run --dir DIR --neurons N
+        #      --checkpoint-every K --prefetch P`)
+        # ------------------------------------------------------------------
+        outcome = run_challenge_pipeline(
+            net_dir, args.neurons, batch,
+            backend=args.backend, activations=args.activations,
+            prefetch=args.prefetch,
+            checkpoint_dir=net_dir / "checkpoint",
+            checkpoint_every=args.checkpoint_every,
+        )
+        result = outcome.result
+        print(f"[run]      backend {result.backend}, policy {result.activation_policy}: "
+              f"{result.total_seconds:.4f}s, {result.edges_per_second:,.0f} edges/s, "
+              f"peak activation nnz {result.peak_activation_nnz:,}")
+        print(f"[run]      categories {result.categories.size} of {args.batch} "
+              f"(checksum {category_checksum(result.categories)}); "
+              f"checkpoint at {outcome.checkpoint}")
+
+        # ------------------------------------------------------------------
+        # 3. interrupt + resume: stop deliberately mid-network, resume from
+        #    the checkpoint, finish bit-identically
+        #    (`--stop-after L` ... `repro challenge run --resume DIR/checkpoint`)
+        # ------------------------------------------------------------------
+        staged_dir = net_dir / "staged-checkpoint"
+        half = max(1, args.layers // 2)
+        staged = run_challenge_pipeline(
+            net_dir, args.neurons, batch,
+            backend=args.backend, activations=args.activations,
+            prefetch=args.prefetch,
+            checkpoint_dir=staged_dir, checkpoint_every=args.checkpoint_every,
+            stop_after=half,
+        )
+        assert not staged.completed and staged.layers_done == half
+        resumed = resume_challenge_pipeline(staged_dir)
+        assert resumed.completed and resumed.resumed_from == half
+        assert list(resumed.result.categories) == list(result.categories)
+        assert (resumed.result.activations == result.activations).all()
+        print(f"[resume]   stopped after layer {half}, resumed from checkpoint, "
+              f"finished layers {half + 1}..{args.layers}: bit-identical result")
+
+        # overlap on/off, same categories -- at official scale the prefetch
+        # thread hides the sidecar/TSV read latency behind the kernels
+        # (single-core machines cannot overlap; the comparison still runs)
+        start = time.perf_counter()
+        no_overlap = run_challenge_pipeline(
+            net_dir, args.neurons, batch, backend=args.backend,
+            activations=args.activations, prefetch=0, use_cache=False,
+            record_timing=False,
+        )
+        off_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        overlapped = run_challenge_pipeline(
+            net_dir, args.neurons, batch, backend=args.backend,
+            activations=args.activations, prefetch=args.prefetch, use_cache=False,
+            record_timing=False,
+        )
+        on_seconds = time.perf_counter() - start
+        assert list(overlapped.result.categories) == list(no_overlap.result.categories)
+        print(f"[overlap]  TSV-parsing run: prefetch off {off_seconds:.3f}s, "
+              f"prefetch {args.prefetch} {on_seconds:.3f}s "
+              f"(peak RSS {format_rss_mb(peak_rss_mb())})")
+
+        # ------------------------------------------------------------------
+        # 4. verify: cross-check against the naive dense reference
+        #    (`repro challenge verify --dir DIR --neurons N`)
+        # ------------------------------------------------------------------
+        network = load_challenge_network(net_dir, args.neurons)
+        verified = verify_categories(network, batch, backend=args.backend,
+                                     activations=args.activations)
+        print(f"[verify]   categories match the dense reference: {verified}")
+
+        # The in-memory engine and the disk pipeline are the same recurrence
+        # (one implementation, repro.challenge.pipeline.run_pipeline), so the
+        # engine -- and the fully streaming generate->infer path that never
+        # touches disk at all -- agree bit for bit.
+        engine = InferenceEngine(network, backend=args.backend,
+                                 activations=args.activations)
+        in_memory = engine.run(batch)
+        assert list(in_memory.categories) == list(result.categories)
+        no_disk = streaming_inference(
+            iter_generate_challenge_layers(
+                args.neurons, args.layers, connections=args.connections, seed=args.seed
+            ),
+            batch, threshold=network.threshold, backend=args.backend,
+            activations=args.activations, prefetch=args.prefetch,
+        )
+        assert list(no_disk.categories) == list(result.categories)
+        print("[parity]   in-memory engine and generate->infer streaming agree "
+              "(single pipeline implementation)")
+
+        print()
+        print("backend comparison (identical categories, per-backend throughput):")
+        for name in backends.available_backends():
+            per_backend = InferenceEngine(network, backend=name).run(batch)
+            assert list(per_backend.categories) == list(result.categories)
+            print(f"  {name:<11} {per_backend.total_seconds:.4f}s  "
+                  f"{per_backend.edges_per_second:>14,.0f} edges/s")
 
 
 if __name__ == "__main__":

@@ -41,10 +41,25 @@ from repro.challenge.inference import (
     streaming_inference,
 )
 from repro.challenge.io import (
+    ChallengeMeta,
     iter_challenge_layers,
     load_challenge_network,
+    read_challenge_meta,
+    read_layer,
     save_challenge_layers,
     save_challenge_network,
+)
+from repro.challenge.pipeline import (
+    CheckpointStage,
+    ComputeStage,
+    LoadStage,
+    PipelineOutcome,
+    PipelineState,
+    load_checkpoint,
+    resume_challenge_pipeline,
+    run_challenge_pipeline,
+    run_pipeline,
+    save_checkpoint,
 )
 from repro.challenge.verify import verify_categories, category_checksum
 
@@ -67,6 +82,19 @@ __all__ = [
     "save_challenge_layers",
     "load_challenge_network",
     "iter_challenge_layers",
+    "read_challenge_meta",
+    "read_layer",
+    "ChallengeMeta",
+    "LoadStage",
+    "ComputeStage",
+    "CheckpointStage",
+    "PipelineState",
+    "PipelineOutcome",
+    "run_pipeline",
+    "run_challenge_pipeline",
+    "resume_challenge_pipeline",
+    "save_checkpoint",
+    "load_checkpoint",
     "verify_categories",
     "category_checksum",
 ]

@@ -46,6 +46,12 @@ produced* sequence of ``(weight, bias)`` layers (see
 larger than memory never needs all layers resident before the first
 chunk runs.
 
+Both are thin drivers over the **staged pipeline**
+(:func:`repro.challenge.pipeline.run_pipeline` -- load -> compute ->
+checkpoint): there is exactly one recurrence implementation, and the
+checkpoint/resume + background-prefetch machinery of ``repro challenge
+run`` lives in :mod:`repro.challenge.pipeline`.
+
 :func:`sparse_dnn_inference` keeps the original functional API on top of
 the engine; engines are cached per ``(network, backend)`` so repeated
 calls (and :func:`layer_activation_profile`) reuse the transposed
@@ -54,7 +60,6 @@ weights.
 
 from __future__ import annotations
 
-import time
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 
@@ -305,84 +310,6 @@ def _dense_layer_step(
 _layer_step = _dense_layer_step
 
 
-@dataclass
-class _RecurrenceStats:
-    """Everything :func:`_run_recurrence` observes along the way."""
-
-    final: ActivationBatch
-    layer_seconds: list[float]
-    layer_modes: list[str]
-    layer_density: list[float]
-    peak_nnz: int
-    edges_per_sample: int
-
-
-def _run_recurrence(
-    layers: Iterable[tuple[CSRMatrix | None, CSRMatrix | None, np.ndarray]],
-    y: np.ndarray,
-    *,
-    threshold: float,
-    backend: SparseBackend,
-    policy: ActivationPolicy,
-    record_timing: bool,
-) -> _RecurrenceStats:
-    """Advance ``y`` through ``layers`` under the activation policy.
-
-    ``layers`` yields ``(weight, weight_t, bias)`` per layer and is
-    consumed lazily -- one layer at a time, so a generator source (e.g.
-    streaming TSV ingestion) never has the whole network resident.
-    Either of ``weight`` / ``weight_t`` may be ``None``: the dense path
-    transposes on demand when only ``weight`` is present, and the sparse
-    path (which needs the untransposed ``weight``) falls back to dense
-    when only ``weight_t`` is.
-    """
-    batch: ActivationBatch = DenseActivations(y)
-    rows = batch.rows
-    layer_seconds: list[float] = []
-    layer_modes: list[str] = []
-    layer_density: list[float] = []
-    peak_nnz = batch.nnz()
-    edges_per_sample = 0
-    for weight, weight_t, bias in layers:
-        ref = weight if weight is not None else weight_t
-        if ref is None:
-            raise ValidationError("each layer needs a weight or transposed weight")
-        in_size = ref.shape[0] if weight is not None else ref.shape[1]
-        if in_size != batch.neurons:
-            raise ShapeError(
-                f"layer expects {in_size} input neurons, activations have {batch.neurons}"
-            )
-        edges_per_sample += ref.nnz
-        target = policy.pick(density=batch.density(), elements=batch.elements)
-        if target == SPARSE and (
-            rows == 0 or weight is None or np.any(bias > 0.0)
-        ):
-            if policy.mode == SPARSE and rows > 0 and weight is not None:
-                raise ValidationError(
-                    "sparse activation policy requires non-positive biases "
-                    "(a positive bias activates entries outside the sparse "
-                    "product's pattern); use activations='dense' or 'auto'"
-                )
-            target = DENSE
-        start = time.perf_counter() if record_timing else 0.0
-        batch = batch.to_sparse() if target == SPARSE else batch.to_dense()
-        batch = batch.step(weight, weight_t, bias, threshold, backend)
-        if record_timing:
-            layer_seconds.append(time.perf_counter() - start)
-        nnz = batch.nnz()
-        peak_nnz = max(peak_nnz, nnz)
-        layer_modes.append(target)
-        layer_density.append(nnz / batch.elements if batch.elements else 0.0)
-    return _RecurrenceStats(
-        final=batch,
-        layer_seconds=layer_seconds,
-        layer_modes=layer_modes,
-        layer_density=layer_density,
-        peak_nnz=peak_nnz,
-        edges_per_sample=edges_per_sample,
-    )
-
-
 class InferenceEngine:
     """A network bound to a backend, ready for repeated batched inference.
 
@@ -552,26 +479,18 @@ class InferenceEngine:
     def _run_block(
         self, y: np.ndarray, *, record_timing: bool, policy: ActivationPolicy
     ) -> InferenceResult:
-        batch = y.shape[0]
-        stats = _run_recurrence(
+        # lazy: repro.challenge.pipeline imports this module at its top level
+        from repro.challenge.pipeline import PipelineState, run_pipeline
+
+        state = run_pipeline(
             self._layers(),
-            y,
+            PipelineState.initial(y),
             threshold=self.network.threshold,
             backend=self.backend,
             policy=policy,
             record_timing=record_timing,
         )
-        return InferenceResult(
-            activations=stats.final.to_array(),
-            categories=stats.final.categories(),
-            layer_seconds=stats.layer_seconds,
-            edges_traversed=self.edges_per_sample * batch,
-            backend=self.backend.name,
-            activation_policy=policy.mode,
-            layer_modes=stats.layer_modes,
-            layer_density=stats.layer_density,
-            peak_activation_nnz=stats.peak_nnz,
-        )
+        return state.result(backend=self.backend.name, policy=policy)
 
     def _run_parallel(
         self, y: np.ndarray, chunk_size: int, workers: int, policy: ActivationPolicy
@@ -653,6 +572,8 @@ def _engine_chunk_worker(task) -> tuple[np.ndarray, np.ndarray, int]:
     backends, and policies pickle cleanly) so the worker is independent
     of process start method and of module-level state.
     """
+    from repro.challenge.pipeline import PipelineState, run_pipeline
+
     (weights, weights_t, biases, threshold, backend, policy), y = task
     n = len(biases)
     layers = zip(
@@ -660,15 +581,15 @@ def _engine_chunk_worker(task) -> tuple[np.ndarray, np.ndarray, int]:
         weights_t if weights_t is not None else (None,) * n,
         biases,
     )
-    stats = _run_recurrence(
+    state = run_pipeline(
         layers,
-        y,
+        PipelineState.initial(y),
         threshold=threshold,
         backend=backend,
         policy=policy,
         record_timing=False,
     )
-    return stats.final.to_array(), stats.final.categories(), stats.peak_nnz
+    return state.batch.to_array(), state.batch.categories(), state.peak_nnz
 
 
 def streaming_inference(
@@ -679,6 +600,7 @@ def streaming_inference(
     backend: str | SparseBackend | None = None,
     activations: str | ActivationPolicy | None = None,
     record_timing: bool = True,
+    prefetch: int = 0,
 ) -> InferenceResult:
     """Run the recurrence over a lazily produced sequence of layers.
 
@@ -693,33 +615,31 @@ def streaming_inference(
     each layer's transpose is computed on the fly (and released with the
     layer); the sparse path needs no transposes at all.
 
+    ``prefetch > 0`` pulls that many layers ahead on a background thread
+    (bounded queue), overlapping the source's I/O with the compute
+    kernels -- see :class:`repro.challenge.pipeline.LoadStage`.  This is
+    a thin driver over :func:`repro.challenge.pipeline.run_pipeline`
+    (the single recurrence implementation); for checkpoint/resume over a
+    saved network use
+    :func:`repro.challenge.pipeline.run_challenge_pipeline`.
+
     ``edges_traversed`` is accumulated from the weights actually seen, so
     the result is directly comparable with :meth:`InferenceEngine.run`.
     """
-    y = np.asarray(inputs, dtype=np.float64)
-    if y.ndim != 2:
-        raise ShapeError(f"inputs must be 2-D (batch, neurons), got shape {y.shape}")
+    from repro.challenge.pipeline import PipelineState, run_pipeline
+
     policy = ActivationPolicy.resolve(activations)
     impl = resolve_backend(backend)
-    stats = _run_recurrence(
-        ((weight, None, np.asarray(bias, dtype=np.float64)) for weight, bias in layers),
-        y,
+    state = run_pipeline(
+        layers,
+        PipelineState.initial(inputs),
         threshold=float(threshold),
         backend=impl,
         policy=policy,
         record_timing=record_timing,
+        prefetch=prefetch,
     )
-    return InferenceResult(
-        activations=stats.final.to_array(),
-        categories=stats.final.categories(),
-        layer_seconds=stats.layer_seconds,
-        edges_traversed=stats.edges_per_sample * y.shape[0],
-        backend=impl.name,
-        activation_policy=policy.mode,
-        layer_modes=stats.layer_modes,
-        layer_density=stats.layer_density,
-        peak_activation_nnz=stats.peak_nnz,
-    )
+    return state.result(backend=impl.name, policy=policy)
 
 
 def engine_for(

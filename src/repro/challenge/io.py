@@ -45,6 +45,7 @@ import warnings
 import zipfile
 from collections.abc import Iterable, Iterator
 from pathlib import Path
+from typing import NamedTuple
 
 import numpy as np
 
@@ -76,6 +77,25 @@ def cache_path(directory: str | os.PathLike, neurons: int) -> Path:
 # --------------------------------------------------------------------------- #
 # metadata
 # --------------------------------------------------------------------------- #
+class ChallengeMeta(NamedTuple):
+    """The contents of a saved network's ``neuron<N>-meta.tsv`` file."""
+
+    neurons: int
+    num_layers: int
+    threshold: float
+    bias_value: float
+
+
+def read_challenge_meta(directory: str | os.PathLike, neurons: int) -> ChallengeMeta:
+    """Read a saved network's metadata (neurons, layers, threshold, bias).
+
+    The public face of the meta file: pipeline drivers need the layer
+    count and threshold before deciding how (or whether) to stream the
+    weights themselves.
+    """
+    return ChallengeMeta(*_read_meta(Path(directory), neurons))
+
+
 def _read_meta(directory: Path, neurons: int) -> tuple[int, int, float, float]:
     meta_path = _meta_path(directory, neurons)
     if not meta_path.exists():
@@ -508,18 +528,57 @@ def save_challenge_network(
     )
 
 
+def read_layer(
+    directory: str | os.PathLike,
+    neurons: int,
+    index: int,
+    *,
+    use_cache: bool = True,
+    mmap: bool = True,
+) -> CSRMatrix:
+    """Random-access read of one layer's weight matrix (1-based ``index``).
+
+    The seek primitive of the resumable pipeline: a run restarting from
+    a checkpoint at layer ``k`` reads layer ``k+1`` directly -- from the
+    fresh sidecar (memory-mapped where possible) or that single layer's
+    TSV -- without parsing any of the layers already applied.
+    """
+    directory = Path(directory)
+    n, num_layers, _, _ = _read_meta(directory, neurons)
+    if not 1 <= int(index) <= num_layers:
+        raise SerializationError(
+            f"layer index {index} out of range 1..{num_layers} for {directory}"
+        )
+    reader = (
+        _open_fresh_cache(directory, n, num_layers, mmap=mmap) if use_cache else None
+    )
+    try:
+        if reader is not None:
+            return reader.layer(int(index), n)
+        return _parse_layer_tsv(_layer_path(directory, n, int(index)), n)
+    finally:
+        if reader is not None:
+            # safe to close before the arrays are consumed: the memmaps
+            # handed out by the reader hold their own file handles
+            reader.close()
+
+
 def iter_challenge_layers(
     directory: str | os.PathLike,
     neurons: int,
     *,
+    start: int = 0,
     use_cache: bool = True,
     mmap: bool = True,
 ) -> Iterator[tuple[CSRMatrix, np.ndarray]]:
     """Yield ``(weight, bias)`` one layer at a time, never all resident.
 
     Layers come from the binary sidecar when it is fresh (memory-mapped
-    where possible) and from chunked TSV parsing otherwise.  Feed this
-    directly to :func:`repro.challenge.inference.streaming_inference`::
+    where possible) and from chunked TSV parsing otherwise.  ``start``
+    skips that many leading layers *without reading them* (layer files
+    are independent, so the seek is free) -- this is how a checkpointed
+    run resumes from layer ``start + 1``.  Feed this directly to
+    :func:`repro.challenge.inference.streaming_inference`::
 
         result = streaming_inference(
             iter_challenge_layers(directory, 1024), batch, threshold=32.0
@@ -527,11 +586,15 @@ def iter_challenge_layers(
     """
     directory = Path(directory)
     n, num_layers, _, bias_value = _read_meta(directory, neurons)
+    if not 0 <= int(start) <= num_layers:
+        raise SerializationError(
+            f"start={start} out of range 0..{num_layers} for {directory}"
+        )
     reader = (
         _open_fresh_cache(directory, n, num_layers, mmap=mmap) if use_cache else None
     )
     try:
-        for i in range(1, num_layers + 1):
+        for i in range(int(start) + 1, num_layers + 1):
             if reader is not None:
                 weight = reader.layer(i, n)
             else:

@@ -10,6 +10,8 @@ generated, inspected, verified, and exported without writing Python::
     python -m repro.cli challenge --neurons 128 --layers 12 --connections 8
     python -m repro.cli challenge --neurons 128 --layers 12 --save-dir nets/
     python -m repro.cli challenge generate --neurons 16384 --layers 120 --connections 32 --out nets/
+    python -m repro.cli challenge run --dir nets/ --neurons 16384 --checkpoint-every 10 --prefetch 4
+    python -m repro.cli challenge run --resume nets/checkpoint
     python -m repro.cli challenge verify --dir nets/ --neurons 128
     python -m repro.cli design --layer-widths 32,64,64,16
     python -m repro.cli backends
@@ -26,6 +28,12 @@ activation batches via SpGEMM vs. dense buffers via SpMM; see
 generate`` streams a network straight to disk one layer at a time
 (never holding more than a single layer resident), which is how the
 *official* Graph Challenge sizes (16384/65536 neurons) are produced;
+``challenge run`` drives the staged streaming pipeline over a saved
+network -- layers prefetched from disk on a background thread
+(``--prefetch``), pipeline state atomically checkpointed every K layers
+(``--checkpoint-every``), interrupted or deliberately staged
+(``--stop-after``) runs continued bit-identically with ``--resume`` --
+the workflow for official-scale, thousands-of-layers-deep runs;
 ``challenge verify`` cross-checks a network saved on disk (``--save-dir``
 / :func:`repro.challenge.io.save_challenge_network`) against the naive
 dense reference recurrence.
@@ -132,6 +140,50 @@ def build_parser() -> argparse.ArgumentParser:
     challenge_generate.add_argument("--seed", type=int, default=argparse.SUPPRESS)
     challenge_generate.add_argument("--backend", default=argparse.SUPPRESS,
                                     help="sparse backend for the per-layer column permutation")
+    challenge_run = challenge_sub.add_parser(
+        "run",
+        help="checkpointed streaming inference over a saved network directory "
+        "(resumable, with background layer prefetch)",
+    )
+    challenge_run.add_argument("--dir", default=None, metavar="DIR",
+                               help="network directory written by `challenge generate` / `--save-dir`")
+    challenge_run.add_argument("--neurons", type=int, default=None,
+                               help="neurons per layer of the saved network (required with --dir; "
+                               "pass it after the `run` token)")
+    challenge_run.add_argument("--resume", default=None, metavar="CKPT_DIR",
+                               help="resume an interrupted run from its checkpoint directory "
+                               "(all other parameters come from the checkpoint)")
+    challenge_run.add_argument("--checkpoint", default=None, metavar="CKPT_DIR",
+                               help="checkpoint directory (default: <network dir>/checkpoint "
+                               "when checkpointing is on)")
+    challenge_run.add_argument("--checkpoint-every", type=int, default=0, metavar="K",
+                               help="atomically checkpoint the pipeline state every K layers (0 = off)")
+    # SUPPRESS so a resume can tell "not given" (checkpoint's value) from
+    # an explicit depth; fresh runs default to 2
+    challenge_run.add_argument("--prefetch", type=int, default=argparse.SUPPRESS,
+                               metavar="DEPTH",
+                               help="layers read ahead on a background thread; 0 disables "
+                               "load/compute overlap (default 2)")
+    challenge_run.add_argument("--prefetch-transport", choices=["thread", "process"],
+                               default=argparse.SUPPRESS,
+                               help="how prefetch overlaps: in-process thread (default) or a "
+                               "sidecar process (overlaps even GIL-bound TSV parsing; "
+                               "falls back to thread where unavailable)")
+    challenge_run.add_argument("--stop-after", type=int, default=None, metavar="L",
+                               help="checkpoint and exit cleanly after layer L (staged runs; "
+                               "continue with --resume)")
+    challenge_run.add_argument("--no-cache", action="store_true",
+                               help="force TSV parsing (ignore the binary sidecar cache)")
+    # SUPPRESS defaults: shared with the parent `challenge` parser (see
+    # the `verify` subparser below)
+    challenge_run.add_argument("--batch", type=int, default=argparse.SUPPRESS)
+    challenge_run.add_argument("--seed", type=int, default=argparse.SUPPRESS)
+    challenge_run.add_argument("--backend", default=argparse.SUPPRESS,
+                               help="sparse backend for the inference kernels")
+    challenge_run.add_argument("--activations", choices=["auto", "dense", "sparse"],
+                               default=argparse.SUPPRESS)
+    challenge_run.add_argument("--sparse-crossover", type=float, default=argparse.SUPPRESS,
+                               metavar="DENSITY")
     challenge_verify = challenge_sub.add_parser(
         "verify", help="cross-check a saved network directory against the dense reference"
     )
@@ -212,6 +264,8 @@ def _cmd_challenge(args: argparse.Namespace) -> int:
         return _cmd_challenge_verify(args)
     if getattr(args, "challenge_command", None) == "generate":
         return _cmd_challenge_generate(args)
+    if getattr(args, "challenge_command", None) == "run":
+        return _cmd_challenge_run(args)
     from repro.challenge.generator import challenge_input_batch, generate_challenge_network
     from repro.challenge.inference import ActivationPolicy, engine_for
     from repro.challenge.io import save_challenge_network
@@ -250,13 +304,104 @@ def _cmd_challenge(args: argparse.Namespace) -> int:
     return 0 if verified else 1
 
 
+def _report_pipeline_outcome(outcome, *, resumed: bool) -> None:
+    """Shared report body of `challenge run` (fresh and resumed paths)."""
+    from repro.challenge.verify import category_checksum
+    from repro.utils.timing import format_rss_mb, peak_rss_mb
+
+    result = outcome.result
+    print(f"backend: {result.backend}, activations: {result.activation_policy}")
+    if resumed:
+        print(f"resumed from checkpoint at layer {outcome.resumed_from}")
+    print(f"layers: {outcome.layers_done} of {outcome.num_layers} applied")
+    if result.layer_seconds:
+        print(f"inference: {result.total_seconds:.4f}s, "
+              f"{result.edges_per_second:,.0f} edges/s")
+    print(f"activations: peak nnz {result.peak_activation_nnz:,}")
+    if outcome.completed:
+        print(f"categories: {result.categories.size} "
+              f"(checksum {category_checksum(result.categories)})")
+    else:
+        print(f"stopped after layer {outcome.layers_done} (staged run; categories "
+              "are not final)")
+    if outcome.checkpoint is not None:
+        print(f"checkpoint: {outcome.checkpoint}")
+        if not outcome.completed:
+            print(f"resume with: repro challenge run --resume {outcome.checkpoint.parent}")
+    print(f"peak RSS: {format_rss_mb(peak_rss_mb())}")
+
+
+def _cmd_challenge_run(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.challenge.generator import challenge_input_batch
+    from repro.challenge.inference import ActivationPolicy
+    from repro.challenge.pipeline import (
+        resume_challenge_pipeline,
+        run_challenge_pipeline,
+    )
+    from repro.errors import ValidationError
+
+    prefetch = getattr(args, "prefetch", None)
+    transport = getattr(args, "prefetch_transport", None)
+    if args.resume is not None:
+        if args.dir is not None:
+            raise ValidationError("--resume and --dir are mutually exclusive; the "
+                                  "checkpoint records its network directory")
+        outcome = resume_challenge_pipeline(
+            args.resume,
+            backend=args.backend,
+            prefetch=prefetch,
+            transport=transport,
+            stop_after=args.stop_after,
+            use_cache=False if args.no_cache else None,
+        )
+        print(f"network: resumed run over {outcome.num_layers} layers")
+        _report_pipeline_outcome(outcome, resumed=True)
+        return 0
+    if args.dir is None:
+        raise ValidationError("challenge run needs --dir (fresh run) or --resume")
+    if args.neurons is None:
+        raise ValidationError("--neurons is required with --dir (pass it after the "
+                              "`run` token)")
+    if args.sparse_crossover is not None:
+        policy = ActivationPolicy(mode=args.activations,
+                                  crossover_density=args.sparse_crossover)
+    else:
+        policy = ActivationPolicy(mode=args.activations)
+    checkpointing = (
+        args.checkpoint is not None or args.checkpoint_every > 0
+        or args.stop_after is not None
+    )
+    checkpoint_dir = None
+    if checkpointing:
+        checkpoint_dir = args.checkpoint or str(Path(args.dir) / "checkpoint")
+    batch = challenge_input_batch(args.neurons, args.batch, seed=args.seed)
+    outcome = run_challenge_pipeline(
+        args.dir,
+        args.neurons,
+        batch,
+        backend=args.backend,
+        activations=policy,
+        prefetch=2 if prefetch is None else prefetch,
+        transport=transport or "thread",
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        stop_after=args.stop_after,
+        use_cache=not args.no_cache,
+        context={"batch_size": args.batch, "seed": args.seed},
+    )
+    print(f"network: {args.dir} ({args.neurons} neurons x {outcome.num_layers} layers)")
+    _report_pipeline_outcome(outcome, resumed=False)
+    return 0
+
+
 def _cmd_challenge_generate(args: argparse.Namespace) -> int:
-    import math
     import time
 
     from repro.challenge.generator import iter_generate_challenge_layers
     from repro.challenge.io import save_challenge_layers
-    from repro.utils.timing import peak_rss_mb
+    from repro.utils.timing import format_rss_mb, peak_rss_mb
 
     neurons, layers = args.neurons, args.layers
     connections = args.connections
@@ -285,10 +430,8 @@ def _cmd_challenge_generate(args: argparse.Namespace) -> int:
           f"(streaming: peak weight memory is one layer's nnz)")
     sidecar_note = "TSV only" if args.no_sidecar else "TSV + sidecar cache"
     print(f"saved to {directory} ({sidecar_note})")
-    peak_rss = peak_rss_mb()
-    if not math.isnan(peak_rss):
-        print(f"peak RSS: {peak_rss:.1f} MB "
-              f"(dense per-layer buffer would be {neurons * neurons * 8 / 2**20:,.1f} MB)")
+    print(f"peak RSS: {format_rss_mb(peak_rss_mb())} "
+          f"(dense per-layer buffer would be {neurons * neurons * 8 / 2**20:,.1f} MB)")
     return 0
 
 

@@ -10,12 +10,20 @@ dimension (sweeps).  This subpackage provides:
 * :func:`parallel_map` -- process-pool map with a serial fallback,
   safe to call from tests and benchmarks (falls back automatically when a
   pool cannot be created, e.g. in restricted sandboxes);
-* :func:`parallel_inference` -- batch-parallel Graph Challenge inference.
+* :func:`parallel_inference` -- batch-parallel Graph Challenge inference;
+* :class:`Prefetcher` / :func:`prefetched` -- bounded background-thread
+  producer/consumer, the overlap primitive of the staged streaming
+  pipelines (:mod:`repro.challenge.pipeline`).
 """
 
 from repro.parallel.executor import parallel_map, serial_map, effective_worker_count
 from repro.parallel.partition import chunked, partition_batch, balanced_chunk_sizes
-from repro.parallel.pipeline import parallel_inference, sweep_specs
+from repro.parallel.pipeline import (
+    Prefetcher,
+    parallel_inference,
+    prefetched,
+    sweep_specs,
+)
 
 __all__ = [
     "parallel_map",
@@ -26,4 +34,6 @@ __all__ = [
     "balanced_chunk_sizes",
     "parallel_inference",
     "sweep_specs",
+    "Prefetcher",
+    "prefetched",
 ]

@@ -8,7 +8,7 @@ from repro.utils.validation import (
     check_same_length,
 )
 from repro.utils.rng import ensure_rng, spawn_rngs
-from repro.utils.timing import Timer, timed
+from repro.utils.timing import Timer, format_rss_mb, peak_rss_mb, timed
 
 __all__ = [
     "check_positive_int",
@@ -20,4 +20,6 @@ __all__ = [
     "spawn_rngs",
     "Timer",
     "timed",
+    "peak_rss_mb",
+    "format_rss_mb",
 ]

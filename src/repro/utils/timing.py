@@ -12,21 +12,42 @@ from typing import Any, TypeVar
 T = TypeVar("T")
 
 
-def peak_rss_mb() -> float:
-    """Peak resident set size of this process in MB (``nan`` if unavailable).
+def peak_rss_mb() -> float | None:
+    """Peak resident set size of this process in MB (``None`` if unavailable).
 
     ``ru_maxrss`` is reported in kilobytes on Linux but in *bytes* on
-    macOS; both are normalized here.  Returns ``nan`` on platforms
-    without the ``resource`` module (e.g. Windows).
+    macOS; both are normalized here.  On platforms without the
+    ``resource`` module (e.g. Windows), falls back to ``psutil`` when
+    installed; otherwise returns ``None`` -- never a fake ``0.0`` or
+    ``nan`` that would be recorded in benchmark JSON as a real
+    measurement.  Callers should render ``None`` as ``"n/a"`` (see
+    :func:`format_rss_mb`).
     """
     try:
         import resource
     except ImportError:  # pragma: no cover - non-POSIX platforms
-        return float("nan")
-    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    if sys.platform == "darwin":  # pragma: no cover - exercised on macOS only
-        return peak / 2**20
-    return peak / 1024.0
+        pass
+    else:
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        if sys.platform == "darwin":  # pragma: no cover - exercised on macOS only
+            return peak / 2**20
+        return peak / 1024.0
+    try:  # pragma: no cover - only reachable without `resource`
+        import psutil
+    except ImportError:  # pragma: no cover
+        return None
+    try:  # pragma: no cover
+        # no ru_maxrss analogue: current RSS is the best available proxy
+        return psutil.Process().memory_info().rss / 2**20
+    except Exception:  # pragma: no cover - defensive: psutil platform quirks
+        return None
+
+
+def format_rss_mb(value: float | None, *, precision: int = 1) -> str:
+    """Render a :func:`peak_rss_mb` reading for reports (``"n/a"`` when None)."""
+    if value is None:
+        return "n/a"
+    return f"{value:.{precision}f} MB"
 
 
 @dataclass
