@@ -31,6 +31,14 @@ interrupt-and-resume run, and the ``slow``-marked
 ``test_e2_official_scale_streaming_overlap`` for the same comparison at
 the 1024x120 official entry size.
 
+``test_e2_serve_throughput`` benchmarks the serving subsystem
+(:mod:`repro.serve`): a live in-process server (network resident,
+requests coalesced into micro-batches) under the bundled load generator,
+reporting requests/second and latency percentiles per backend (and per
+``E2_ACTIVATIONS`` policy) in the benchmark JSON;
+``test_e2_serve_batching_amortization`` compares ``max_wait_ms=0``
+(no coalescing) against a real batching window under the same load.
+
 ``test_e2_generation_throughput`` reports the *generation* side of the
 pipeline -- edges/second written through the fully sparse streaming
 path (``iter_generate_challenge_layers`` -> ``save_challenge_layers``)
@@ -315,6 +323,103 @@ def test_e2_generation_official_scale_smoke(tmp_path, report_table):
         ["neurons", "layers", "edges", "seconds", "edges/s", "gen peak (MB, traced)", "dense layer (MB)"],
         [[neurons, layers, edges, round(seconds, 4), int(edges / seconds),
           round(traced_mb, 1), int(dense_layer_mb)]],
+    )
+
+
+E2_SERVE_REQUESTS = int(os.environ.get("E2_SERVE_REQUESTS", "80"))
+E2_SERVE_CLIENTS = int(os.environ.get("E2_SERVE_CLIENTS", "4"))
+E2_SERVE_ROWS = int(os.environ.get("E2_SERVE_ROWS", "2"))
+
+
+@pytest.mark.parametrize("backend", available_backends())
+def test_e2_serve_throughput(benchmark, backend, report_table):
+    """Requests/second + tail latency of a live serve instance per backend.
+
+    Spins an in-process server (:func:`repro.serve.serve_in_background`,
+    the same app behind ``repro challenge serve``) with the network
+    resident, then drives it with the bundled load generator
+    (:func:`repro.serve.bench_serve`, the ``bench-serve`` CLI body).
+    Every number lands in ``extra_info``, so the ``--benchmark-json``
+    artifact is a per-backend (and, via ``E2_ACTIVATIONS``, per-policy)
+    serving comparison.  ``auto`` is mapped to ``dense``: serving mixes
+    batch sizes, and the forced policies are the reproducible ones.
+    """
+    from repro.serve import ServingEngine, bench_serve, serve_in_background
+
+    policy = E2_ACTIVATIONS if E2_ACTIVATIONS in ("dense", "sparse") else "dense"
+    network = generate_challenge_network(E2_NEURONS, E2_LAYERS, connections=8, seed=1)
+    engine = ServingEngine.from_network(network, backend=backend, activations=policy)
+
+    def load():
+        with serve_in_background(engine, max_batch=32, max_wait_ms=2.0) as handle:
+            host, port = handle.address
+            return bench_serve(
+                host, port,
+                requests=E2_SERVE_REQUESTS,
+                clients=E2_SERVE_CLIENTS,
+                rows_per_request=E2_SERVE_ROWS,
+                seed=3,
+            )
+
+    report = benchmark.pedantic(load, rounds=1, iterations=1)
+    assert report["errors"] == 0
+    assert report["completed"] == E2_SERVE_REQUESTS
+    benchmark.extra_info["backend"] = backend
+    benchmark.extra_info["activation_policy"] = policy
+    benchmark.extra_info["requests_per_second"] = report["requests_per_second"]
+    benchmark.extra_info["rows_per_second"] = report["rows_per_second"]
+    benchmark.extra_info["latency_p50_ms"] = report["latency_p50_ms"]
+    benchmark.extra_info["latency_p99_ms"] = report["latency_p99_ms"]
+    benchmark.extra_info["mean_batch_rows"] = report["server_stats"]["mean_batch_rows"]
+
+    report_table(
+        f"E2: serve throughput ({backend}, {policy} activations, "
+        f"{E2_SERVE_CLIENTS} clients)",
+        ["requests", "req/s", "rows/s", "p50 (ms)", "p99 (ms)", "mean batch rows"],
+        [[
+            report["completed"],
+            int(report["requests_per_second"]),
+            int(report["rows_per_second"]),
+            round(report["latency_p50_ms"], 2),
+            round(report["latency_p99_ms"], 2),
+            round(report["server_stats"]["mean_batch_rows"], 1),
+        ]],
+    )
+
+
+def test_e2_serve_batching_amortization(report_table):
+    """Micro-batching under concurrent load: coalescing must actually
+    coalesce (mean batch > 1 row) while staying answer-identical; the
+    no-wait configuration is the baseline."""
+    from repro.serve import ServingEngine, bench_serve, serve_in_background
+
+    network = generate_challenge_network(E2_NEURONS, E2_LAYERS, connections=8, seed=1)
+    engine = ServingEngine.from_network(network, activations="dense")
+    rows_by_config = {}
+    reports = {}
+    for label, max_wait_ms in (("no coalescing (0ms)", 0.0), ("2ms window", 2.0)):
+        with serve_in_background(engine, max_batch=32, max_wait_ms=max_wait_ms) as handle:
+            host, port = handle.address
+            reports[label] = bench_serve(
+                host, port,
+                requests=E2_SERVE_REQUESTS,
+                clients=E2_SERVE_CLIENTS,
+                rows_per_request=1,
+                seed=4,
+            )
+        assert reports[label]["errors"] == 0
+        rows_by_config[label] = reports[label]["server_stats"]["mean_batch_rows"]
+
+    report_table(
+        "E2: serve micro-batch amortization (1-row requests)",
+        ["configuration", "req/s", "p99 (ms)", "mean batch rows", "engine steps"],
+        [[
+            label,
+            int(r["requests_per_second"]),
+            round(r["latency_p99_ms"], 2),
+            round(r["server_stats"]["mean_batch_rows"], 1),
+            r["server_stats"]["batches"],
+        ] for label, r in reports.items()],
     )
 
 

@@ -32,6 +32,9 @@ It provides:
 * :mod:`repro.datasets` -- synthetic datasets (procedural MNIST-like
   digits, Gaussian mixtures, spirals, teacher-student).
 * :mod:`repro.challenge` -- Graph Challenge style sparse DNN inference.
+* :mod:`repro.serve` -- long-lived serving: a resident challenge network
+  behind request micro-batching (asyncio TCP front end, JSON-lines
+  protocol, bundled load generator).
 * :mod:`repro.brain` -- brain-scale sizing of RadiX-Nets.
 * :mod:`repro.parallel` -- chunked/multiprocess execution helpers.
 * :mod:`repro.analysis` -- topology comparison, diversity and spectra.

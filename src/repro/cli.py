@@ -12,6 +12,8 @@ generated, inspected, verified, and exported without writing Python::
     python -m repro.cli challenge generate --neurons 16384 --layers 120 --connections 32 --out nets/
     python -m repro.cli challenge run --dir nets/ --neurons 16384 --checkpoint-every 10 --prefetch 4
     python -m repro.cli challenge run --resume nets/checkpoint
+    python -m repro.cli challenge serve --dir nets/ --neurons 16384 --port 7744
+    python -m repro.cli challenge bench-serve --port 7744 --requests 500 --clients 8
     python -m repro.cli challenge verify --dir nets/ --neurons 128
     python -m repro.cli design --layer-widths 32,64,64,16
     python -m repro.cli backends
@@ -34,6 +36,13 @@ network -- layers prefetched from disk on a background thread
 (``--checkpoint-every``), interrupted or deliberately staged
 (``--stop-after``) runs continued bit-identically with ``--resume`` --
 the workflow for official-scale, thousands-of-layers-deep runs;
+``challenge serve`` starts a long-lived serving instance (the network
+resident in memory, concurrent client requests coalesced into
+micro-batches -- see :mod:`repro.serve`) speaking a newline-delimited
+JSON protocol over TCP, with ``--warm-start CKPT_DIR`` recovering the
+full configuration from a pipeline checkpoint; ``challenge bench-serve``
+is the bundled load generator (requests/second + latency percentiles,
+``--json`` artifact);
 ``challenge verify`` cross-checks a network saved on disk (``--save-dir``
 / :func:`repro.challenge.io.save_challenge_network`) against the naive
 dense reference recurrence.
@@ -184,6 +193,60 @@ def build_parser() -> argparse.ArgumentParser:
                                default=argparse.SUPPRESS)
     challenge_run.add_argument("--sparse-crossover", type=float, default=argparse.SUPPRESS,
                                metavar="DENSITY")
+    challenge_serve = challenge_sub.add_parser(
+        "serve",
+        help="long-lived serving instance: network resident, concurrent requests "
+        "coalesced into micro-batches (newline-JSON protocol over TCP)",
+    )
+    challenge_serve.add_argument("--dir", default=None, metavar="DIR",
+                                 help="network directory written by `challenge generate` / `--save-dir`")
+    challenge_serve.add_argument("--neurons", type=int, default=None,
+                                 help="neurons per layer of the saved network (required with --dir)")
+    challenge_serve.add_argument("--warm-start", default=None, metavar="CKPT_DIR",
+                                 help="warm restart: recover network directory, neurons, backend, "
+                                 "and activation policy from a pipeline checkpoint directory")
+    challenge_serve.add_argument("--host", default="127.0.0.1")
+    challenge_serve.add_argument("--port", type=int, default=0,
+                                 help="listening port (0 = pick an ephemeral port and report it)")
+    challenge_serve.add_argument("--port-file", default=None, metavar="PATH",
+                                 help="write 'host port' to PATH once listening (for scripted clients)")
+    challenge_serve.add_argument("--max-batch", type=int, default=64, metavar="B",
+                                 help="row budget per coalesced engine step (default 64)")
+    challenge_serve.add_argument("--max-wait-ms", type=float, default=2.0, metavar="T",
+                                 help="how long an open micro-batch waits for more rows (default 2ms)")
+    challenge_serve.add_argument("--prefetch", type=int, default=2, metavar="DEPTH",
+                                 help="background read-ahead while loading the network resident")
+    challenge_serve.add_argument("--no-cache", action="store_true",
+                                 help="force TSV parsing for the one-time load (ignore the sidecar)")
+    # SUPPRESS defaults: shared with the parent `challenge` parser (see
+    # the `verify` subparser below)
+    challenge_serve.add_argument("--backend", default=argparse.SUPPRESS,
+                                 help="sparse backend for the serving kernels")
+    challenge_serve.add_argument("--activations", choices=["auto", "dense", "sparse"],
+                                 default=argparse.SUPPRESS)
+    challenge_serve.add_argument("--sparse-crossover", type=float, default=argparse.SUPPRESS,
+                                 metavar="DENSITY")
+    challenge_bench_serve = challenge_sub.add_parser(
+        "bench-serve",
+        help="load-generate against a live serve instance and report "
+        "requests/second + latency percentiles",
+    )
+    challenge_bench_serve.add_argument("--host", default="127.0.0.1")
+    challenge_bench_serve.add_argument("--port", type=int, required=True)
+    challenge_bench_serve.add_argument("--requests", type=int, default=100,
+                                       help="total inference requests to fire (default 100)")
+    challenge_bench_serve.add_argument("--clients", type=int, default=4,
+                                       help="concurrent client connections (default 4)")
+    challenge_bench_serve.add_argument("--rows", type=int, default=1, metavar="K",
+                                       help="activation rows per request (default 1)")
+    challenge_bench_serve.add_argument("--encoding", choices=["dense", "sparse"],
+                                       default="dense",
+                                       help="wire encoding for request rows")
+    challenge_bench_serve.add_argument("--json", default=None, metavar="PATH",
+                                       help="also write the full report as JSON to PATH")
+    challenge_bench_serve.add_argument("--shutdown", action="store_true",
+                                       help="send a graceful shutdown op after the load completes")
+    challenge_bench_serve.add_argument("--seed", type=int, default=argparse.SUPPRESS)
     challenge_verify = challenge_sub.add_parser(
         "verify", help="cross-check a saved network directory against the dense reference"
     )
@@ -266,6 +329,10 @@ def _cmd_challenge(args: argparse.Namespace) -> int:
         return _cmd_challenge_generate(args)
     if getattr(args, "challenge_command", None) == "run":
         return _cmd_challenge_run(args)
+    if getattr(args, "challenge_command", None) == "serve":
+        return _cmd_challenge_serve(args)
+    if getattr(args, "challenge_command", None) == "bench-serve":
+        return _cmd_challenge_bench_serve(args)
     from repro.challenge.generator import challenge_input_batch, generate_challenge_network
     from repro.challenge.inference import ActivationPolicy, engine_for
     from repro.challenge.io import save_challenge_network
@@ -394,6 +461,123 @@ def _cmd_challenge_run(args: argparse.Namespace) -> int:
     print(f"network: {args.dir} ({args.neurons} neurons x {outcome.num_layers} layers)")
     _report_pipeline_outcome(outcome, resumed=False)
     return 0
+
+
+def _cmd_challenge_serve(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.challenge.inference import ActivationPolicy
+    from repro.errors import ValidationError
+    from repro.serve import ServeApp, ServingEngine
+
+    # the parent `challenge` parser defaults --activations to "auto"; treat
+    # that as "not given" so a warm start keeps the checkpoint's policy
+    # unless the user picked an explicit mode or crossover
+    if args.sparse_crossover is not None:
+        policy = ActivationPolicy(mode=args.activations,
+                                  crossover_density=args.sparse_crossover)
+    elif args.activations != "auto":
+        policy = args.activations
+    else:
+        policy = None
+    if args.warm_start is not None:
+        if args.dir is not None:
+            raise ValidationError("--warm-start and --dir are mutually exclusive; the "
+                                  "checkpoint records its network directory")
+        engine = ServingEngine.from_checkpoint(
+            args.warm_start,
+            backend=args.backend,
+            activations=policy,
+            use_cache=not args.no_cache,
+            prefetch=args.prefetch,
+        )
+    else:
+        if args.dir is None:
+            raise ValidationError("challenge serve needs --dir (a saved network) or "
+                                  "--warm-start (a checkpoint directory)")
+        if args.neurons is None:
+            raise ValidationError("--neurons is required with --dir (pass it after "
+                                  "the `serve` token)")
+        engine = ServingEngine.from_directory(
+            args.dir,
+            args.neurons,
+            backend=args.backend,
+            activations=policy,
+            use_cache=not args.no_cache,
+            prefetch=args.prefetch,
+        )
+    app = ServeApp(
+        engine,
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+    )
+    print(f"engine: {engine!r}")
+
+    def on_ready(address: tuple[str, int]) -> None:
+        import os
+
+        host, port = address
+        print(f"serving on {host}:{port} "
+              f"(max_batch {args.max_batch}, max_wait {args.max_wait_ms}ms)", flush=True)
+        if args.port_file:
+            # write-then-rename: a polling client never reads a
+            # created-but-not-yet-written file
+            target = Path(args.port_file)
+            temp = target.with_name(target.name + ".tmp")
+            temp.write_text(f"{host} {port}\n")
+            os.replace(temp, target)
+
+    app.run(on_ready)
+    stats = app.stats()
+    print(f"served {stats['requests']} requests ({stats['rows']} rows) in "
+          f"{stats['batches']} batches "
+          f"(mean batch {stats['mean_batch_rows']:.1f} rows, "
+          f"max {stats['max_batch_rows']})")
+    return 0
+
+
+def _cmd_challenge_bench_serve(args: argparse.Namespace) -> int:
+    import json as json_mod
+    from pathlib import Path
+
+    from repro.serve import bench_serve
+
+    report = bench_serve(
+        args.host,
+        args.port,
+        requests=args.requests,
+        clients=args.clients,
+        rows_per_request=args.rows,
+        seed=args.seed,
+        encoding=args.encoding,
+        shutdown=args.shutdown,
+    )
+    server = report["server"]
+    print(f"server: {server['neurons']} neurons x {server['layers']} layers, "
+          f"backend {server['backend']}, activations {server['activations']}")
+    print(f"load: {report['requests']} requests x {report['rows_per_request']} rows "
+          f"from {report['clients']} clients ({report['encoding']} encoding)")
+    print(f"completed: {report['completed']} of {report['requests']} "
+          f"({report['errors']} errors) in {report['wall_seconds']:.3f}s")
+    print(f"throughput: {report['requests_per_second']:,.1f} requests/s, "
+          f"{report['rows_per_second']:,.1f} rows/s")
+    print(f"latency: p50 {report['latency_p50_ms']:.2f}ms, "
+          f"p95 {report['latency_p95_ms']:.2f}ms, "
+          f"p99 {report['latency_p99_ms']:.2f}ms, "
+          f"max {report['latency_max_ms']:.2f}ms")
+    batches = report["server_stats"].get("batches")
+    if batches:
+        print(f"server batching: {batches} engine steps, "
+              f"mean batch {report['server_stats']['mean_batch_rows']:.1f} rows, "
+              f"max {report['server_stats']['max_batch_rows']}")
+    if args.shutdown:
+        print(f"shutdown: {'acknowledged' if report['shutdown_ok'] else 'FAILED'}")
+    if args.json:
+        Path(args.json).write_text(json_mod.dumps(report, indent=2) + "\n")
+        print(f"report written to {args.json}")
+    return 0 if report["errors"] == 0 and report["completed"] == report["requests"] else 1
 
 
 def _cmd_challenge_generate(args: argparse.Namespace) -> int:

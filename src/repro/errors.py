@@ -39,3 +39,8 @@ class ConvergenceError(ReproError):
 
 class SerializationError(ReproError):
     """A topology or model file could not be read or written."""
+
+
+class ServeError(ReproError):
+    """A serving-subsystem failure (closed batcher, protocol violation,
+    unreachable server, ...) -- see :mod:`repro.serve`."""

@@ -55,11 +55,22 @@ class Prefetcher(Iterator[T]):
     the producer checks for shutdown between bounded-timeout puts.
     Items already buffered when the source fails are still delivered
     before the error surfaces, exactly as serial iteration would.
+
+    ``poll_interval`` is how often the blocked side re-checks for
+    shutdown (producer) or a dead producer (consumer).  It exists for
+    tests: timing-sensitive suites inject a small interval so shutdown
+    paths resolve in milliseconds instead of racing the default, and
+    event-driven tests never need ``time.sleep`` calibration.
     """
 
-    def __init__(self, source: Iterable[T], *, depth: int = 2) -> None:
+    def __init__(
+        self, source: Iterable[T], *, depth: int = 2, poll_interval: float = 0.05
+    ) -> None:
         if depth < 1:
             raise ValidationError(f"prefetch depth must be >= 1, got {depth}")
+        if poll_interval <= 0:
+            raise ValidationError(f"poll_interval must be > 0, got {poll_interval}")
+        self._poll_interval = float(poll_interval)
         self._queue: queue.Queue = queue.Queue(maxsize=depth)
         self._stop = threading.Event()
         self._finished = False
@@ -74,7 +85,7 @@ class Prefetcher(Iterator[T]):
         # so an unconditional put() could block the producer forever
         while not self._stop.is_set():
             try:
-                self._queue.put(message, timeout=0.05)
+                self._queue.put(message, timeout=self._poll_interval)
                 return
             except queue.Full:
                 continue
@@ -98,7 +109,7 @@ class Prefetcher(Iterator[T]):
             raise StopIteration
         while True:
             try:
-                kind, payload = self._queue.get(timeout=0.05)
+                kind, payload = self._queue.get(timeout=self._poll_interval)
             except queue.Empty:
                 if not self._thread.is_alive() and self._queue.empty():
                     # producer died without posting (should not happen;

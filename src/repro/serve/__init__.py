@@ -1,0 +1,45 @@
+"""Serve-style inference: a long-lived engine behind request batching.
+
+The serving subsystem keeps one challenge network resident
+(:class:`~repro.serve.engine.ServingEngine`: weights + precomputed
+transposes loaded once) and answers many concurrent clients by
+coalescing their requests into micro-batches
+(:class:`~repro.serve.batcher.MicroBatcher`) -- one
+:func:`repro.challenge.pipeline.run_pipeline` step per batch, rows
+scattered back per request bit-identically to single-shot runs.  The
+asyncio front end (:class:`~repro.serve.app.ServeApp`) speaks a
+newline-delimited JSON protocol (:mod:`repro.serve.protocol`);
+:class:`~repro.serve.client.ServeClient` /
+:func:`~repro.serve.client.bench_serve` are the bundled client and load
+generator.  CLI: ``repro challenge serve`` / ``repro challenge
+bench-serve``.
+"""
+
+from repro.serve.app import ServeApp, ServerHandle, serve_in_background
+from repro.serve.batcher import (
+    BatcherStats,
+    EngineStep,
+    MicroBatcher,
+    PendingRequest,
+    RequestQueue,
+    RequestStats,
+    ServeResult,
+)
+from repro.serve.client import ServeClient, bench_serve
+from repro.serve.engine import ServingEngine
+
+__all__ = [
+    "BatcherStats",
+    "EngineStep",
+    "MicroBatcher",
+    "PendingRequest",
+    "RequestQueue",
+    "RequestStats",
+    "ServeApp",
+    "ServeClient",
+    "ServeResult",
+    "ServerHandle",
+    "ServingEngine",
+    "bench_serve",
+    "serve_in_background",
+]

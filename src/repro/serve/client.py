@@ -1,0 +1,262 @@
+"""Client side: a blocking protocol client and the bundled load generator.
+
+:class:`ServeClient` is a deliberately boring synchronous socket client
+-- one JSON line out, one JSON line back -- so stress tests can run one
+per thread and the CLI can script it.  :func:`bench_serve` is the load
+generator behind ``repro challenge bench-serve``: ``clients`` threads
+fire ``requests`` total inference requests (challenge-style input rows)
+at a live server and the aggregate reports the serving figures of merit
+-- requests/second, rows/second, and latency percentiles (p50/p95/p99)
+-- plus the server's own batching counters.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ServeError, ValidationError
+from repro.serve import protocol
+
+
+class ServeClient:
+    """A blocking newline-JSON client for one server connection."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout_s: float = 60.0,
+        connect_timeout_s: float = 10.0,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        try:
+            self._sock = socket.create_connection(
+                (host, self.port), timeout=connect_timeout_s
+            )
+        except OSError as exc:
+            raise ServeError(
+                f"cannot connect to serve instance at {host}:{port}: {exc}"
+            ) from None
+        self._sock.settimeout(timeout_s)
+        self._file = self._sock.makefile("rwb")
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    def request(self, message: dict) -> dict:
+        """Send one request line; block for (and return) its response."""
+        payload = protocol.encode(message)
+        with self._lock:
+            try:
+                self._file.write(payload)
+                self._file.flush()
+                line = self._file.readline(protocol.MAX_LINE_BYTES + 2)
+            except OSError as exc:
+                raise ServeError(f"serve connection failed: {exc}") from None
+        if not line:
+            raise ServeError("server closed the connection")
+        return protocol.decode(line)
+
+    def checked(self, message: dict) -> dict:
+        """Like :meth:`request`, raising :class:`ServeError` on ``ok: false``."""
+        response = self.request(message)
+        if not response.get("ok"):
+            raise ServeError(
+                f"server rejected {message.get('op')!r}: {response.get('error')}"
+            )
+        return response
+
+    def infer(
+        self,
+        rows: np.ndarray,
+        *,
+        request_id: str | None = None,
+        want_activations: bool = False,
+        encoding: str = "dense",
+    ) -> dict:
+        """Run the recurrence over ``(k, neurons)`` rows; checked response."""
+        rows = np.asarray(rows, dtype=np.float64)
+        message: dict[str, Any] = {
+            "op": protocol.OP_INFER,
+            "rows": protocol.rows_to_wire(rows, encoding=encoding),
+        }
+        if request_id is not None:
+            message["id"] = request_id
+        if want_activations:
+            message["want"] = "activations"
+        return self.checked(message)
+
+    def ping(self) -> dict:
+        return self.checked({"op": protocol.OP_PING})
+
+    def meta(self) -> dict:
+        return self.checked({"op": protocol.OP_META})
+
+    def stats(self) -> dict:
+        return self.checked({"op": protocol.OP_STATS})
+
+    def shutdown(self) -> dict:
+        return self.checked({"op": protocol.OP_SHUTDOWN})
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        except OSError:  # pragma: no cover - best-effort teardown
+            pass
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------------------- #
+# the load generator (`repro challenge bench-serve`)
+# --------------------------------------------------------------------------- #
+@dataclass
+class _ClientOutcome:
+    latencies: list[float]
+    errors: list[str]
+
+
+def _percentile(latencies: np.ndarray, q: float) -> float:
+    return float(np.percentile(latencies, q)) if latencies.size else 0.0
+
+
+def bench_serve(
+    host: str,
+    port: int,
+    *,
+    requests: int = 100,
+    clients: int = 4,
+    rows_per_request: int = 1,
+    seed: int = 0,
+    encoding: str = "dense",
+    shutdown: bool = False,
+    timeout_s: float = 120.0,
+) -> dict:
+    """Fire ``requests`` inference requests from ``clients`` threads.
+
+    Input rows are challenge-style batches
+    (:func:`repro.challenge.generator.challenge_input_batch`, one
+    distinct seed per request) against whatever network the server
+    reports in its ``meta``.  Returns a JSON-serializable report:
+    request/row throughput, latency percentiles, error count, and the
+    server-side ``stats`` snapshot (batch shapes, queue waits) taken
+    after the run.  ``shutdown=True`` sends a graceful ``shutdown`` op
+    once the load completes -- the CI smoke uses that to tear the
+    background server down deterministically.
+    """
+    from repro.challenge.generator import challenge_input_batch
+
+    if requests < 1:
+        raise ValidationError(f"requests must be >= 1, got {requests}")
+    if clients < 1:
+        raise ValidationError(f"clients must be >= 1, got {clients}")
+    if rows_per_request < 1:
+        raise ValidationError(f"rows_per_request must be >= 1, got {rows_per_request}")
+    clients = min(clients, requests)
+
+    with ServeClient(host, port, timeout_s=timeout_s) as probe:
+        meta = probe.meta()
+    neurons = int(meta["neurons"])
+
+    # pre-generate every request's rows so the measured window is pure
+    # serve traffic, not client-side RNG work
+    batches = [
+        challenge_input_batch(neurons, rows_per_request, seed=seed + i)
+        for i in range(requests)
+    ]
+    shares = [batches[i::clients] for i in range(clients)]
+    outcomes = [_ClientOutcome([], []) for _ in range(clients)]
+    start_barrier = threading.Barrier(clients + 1)
+
+    def _client(index: int) -> None:
+        outcome = outcomes[index]
+        try:
+            with ServeClient(host, port, timeout_s=timeout_s) as client:
+                start_barrier.wait()
+                for i, rows in enumerate(shares[index]):
+                    begin = time.perf_counter()
+                    client.infer(
+                        rows,
+                        request_id=f"bench-{index}-{i}",
+                        encoding=encoding,
+                    )
+                    outcome.latencies.append(time.perf_counter() - begin)
+        except Exception as exc:  # noqa: BLE001 - reported in the aggregate
+            outcome.errors.append(str(exc))
+            try:
+                start_barrier.abort()
+            except threading.BrokenBarrierError:  # pragma: no cover
+                pass
+
+    threads = [
+        threading.Thread(target=_client, args=(i,), daemon=True, name=f"bench-client-{i}")
+        for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    try:
+        start_barrier.wait(timeout=timeout_s)
+    except threading.BrokenBarrierError:
+        pass  # a client failed to connect; its error is in the aggregate
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.join(timeout=timeout_s)
+    wall_seconds = time.perf_counter() - wall_start
+
+    latencies = np.asarray(
+        [value for outcome in outcomes for value in outcome.latencies], dtype=np.float64
+    )
+    errors = [message for outcome in outcomes for message in outcome.errors]
+    completed = int(latencies.size)
+
+    server_stats: dict = {}
+    shutdown_ok = None
+    try:
+        with ServeClient(host, port, timeout_s=timeout_s) as tail:
+            server_stats = {
+                k: v for k, v in tail.stats().items() if k not in ("id", "ok")
+            }
+            if shutdown:
+                shutdown_ok = bool(tail.shutdown().get("ok"))
+    except ServeError as exc:
+        errors.append(f"post-run stats/shutdown failed: {exc}")
+
+    return {
+        "requests": requests,
+        "completed": completed,
+        "errors": len(errors),
+        "error_messages": errors[:10],
+        "clients": clients,
+        "rows_per_request": rows_per_request,
+        "encoding": encoding,
+        "wall_seconds": wall_seconds,
+        "requests_per_second": completed / wall_seconds if wall_seconds > 0 else 0.0,
+        "rows_per_second": (
+            completed * rows_per_request / wall_seconds if wall_seconds > 0 else 0.0
+        ),
+        "latency_p50_ms": _percentile(latencies, 50) * 1000.0,
+        "latency_p95_ms": _percentile(latencies, 95) * 1000.0,
+        "latency_p99_ms": _percentile(latencies, 99) * 1000.0,
+        "latency_max_ms": float(latencies.max() * 1000.0) if completed else 0.0,
+        "server": {"neurons": neurons, "layers": meta.get("layers"),
+                   "backend": meta.get("backend"), "activations": meta.get("activations"),
+                   "max_batch": meta.get("max_batch"), "max_wait_ms": meta.get("max_wait_ms")},
+        "server_stats": server_stats,
+        "shutdown_sent": bool(shutdown),
+        "shutdown_ok": shutdown_ok,
+    }

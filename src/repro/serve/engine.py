@@ -1,0 +1,205 @@
+"""A resident challenge network ready for repeated serve-side batch steps.
+
+The streaming pipeline (:mod:`repro.challenge.pipeline`) re-reads layers
+per run because one official-scale pass dwarfs the load cost.  A server
+inverts that trade-off: it answers thousands of small requests against
+one network, so :class:`ServingEngine` pays the load exactly once --
+weights streamed in via :class:`repro.challenge.pipeline.LoadStage` /
+:func:`repro.challenge.io.iter_challenge_layers`, per-layer transposes
+precomputed with the bound backend -- and every request batch then runs
+:func:`repro.challenge.pipeline.run_pipeline` over the resident triples
+with zero I/O.
+
+Construction paths:
+
+* :meth:`ServingEngine.from_directory` -- a saved network directory (the
+  ``repro challenge serve --dir`` path; prefetch overlaps the one-time
+  load);
+* :meth:`ServingEngine.from_network` -- an in-memory
+  :class:`~repro.challenge.generator.ChallengeNetwork` (tests, examples,
+  benchmarks);
+* :meth:`ServingEngine.from_checkpoint` -- a *warm restart*: a
+  :class:`repro.challenge.pipeline.CheckpointStage` checkpoint records
+  the network directory, neurons, threshold, backend, and activation
+  policy in its context, so a restarted server process recovers its full
+  configuration from the checkpoint directory alone
+  (``repro challenge serve --warm-start CKPT_DIR``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.backends import resolve_backend
+from repro.backends.base import SparseBackend
+from repro.challenge.generator import ChallengeNetwork
+from repro.challenge.inference import ActivationPolicy
+from repro.errors import ShapeError
+from repro.serve.batcher import EngineStep
+from repro.sparse.csr import CSRMatrix
+
+
+class ServingEngine:
+    """Resident ``(weight, weight_t, bias)`` triples + one-step recurrence.
+
+    ``step`` is the :class:`repro.serve.batcher.MicroBatcher` hook: one
+    full-recurrence pass over a stacked ``(rows, neurons)`` batch.  The
+    recurrence is row-independent, so results scatter back per request
+    bit-identically to single-shot runs (the serve test layer's core
+    invariant).
+    """
+
+    def __init__(
+        self,
+        layers: list[tuple[CSRMatrix, np.ndarray]],
+        *,
+        neurons: int,
+        threshold: float,
+        backend: str | SparseBackend | None = None,
+        activations: str | ActivationPolicy | None = None,
+        source: str = "in-memory",
+    ) -> None:
+        self.backend = resolve_backend(backend)
+        self.policy = ActivationPolicy.resolve(activations)
+        self.neurons = int(neurons)
+        self.threshold = float(threshold)
+        self.source = source
+        # pay the transposes once; the request hot loop never transposes
+        self.layers = tuple(
+            (weight, self.backend.transpose(weight), np.asarray(bias, dtype=np.float64))
+            for weight, bias in layers
+        )
+        self.edges_per_sample = int(sum(w.nnz for w, _, _ in self.layers))
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_directory(
+        cls,
+        directory: str | os.PathLike,
+        neurons: int,
+        *,
+        backend: str | SparseBackend | None = None,
+        activations: str | ActivationPolicy | None = None,
+        use_cache: bool = True,
+        prefetch: int = 2,
+    ) -> "ServingEngine":
+        """Load a saved network directory resident, once, with prefetch overlap."""
+        from repro.challenge.io import read_challenge_meta
+        from repro.challenge.pipeline import LoadStage
+
+        meta = read_challenge_meta(directory, neurons)
+        with LoadStage.from_directory(
+            directory, meta.neurons, prefetch=prefetch, use_cache=use_cache
+        ) as load:
+            layers = [(weight, bias) for weight, _, bias in load]
+        return cls(
+            layers,
+            neurons=meta.neurons,
+            threshold=meta.threshold,
+            backend=backend,
+            activations=activations,
+            source=str(directory),
+        )
+
+    @classmethod
+    def from_network(
+        cls,
+        network: ChallengeNetwork,
+        *,
+        backend: str | SparseBackend | None = None,
+        activations: str | ActivationPolicy | None = None,
+    ) -> "ServingEngine":
+        return cls(
+            list(zip(network.weights, network.biases)),
+            neurons=network.neurons,
+            threshold=network.threshold,
+            backend=backend,
+            activations=activations,
+        )
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        checkpoint_dir: str | os.PathLike,
+        *,
+        backend: str | SparseBackend | None = None,
+        activations: str | ActivationPolicy | None = None,
+        use_cache: bool = True,
+        prefetch: int = 2,
+    ) -> "ServingEngine":
+        """Warm restart: recover the full serve configuration from a checkpoint.
+
+        The checkpoint's context names the network directory and neurons;
+        its recorded backend and activation policy become the engine's
+        defaults unless explicitly overridden.
+        """
+        from repro.challenge.pipeline import load_checkpoint
+        from repro.errors import SerializationError
+
+        ckpt = load_checkpoint(checkpoint_dir)
+        directory = ckpt.context.get("directory")
+        neurons = ckpt.context.get("neurons")
+        if directory is None or neurons is None:
+            raise SerializationError(
+                f"{ckpt.path}: checkpoint context lacks the network "
+                "directory/neurons needed for a warm restart"
+            )
+        return cls.from_directory(
+            directory,
+            int(neurons),
+            backend=backend if backend is not None else ckpt.backend,
+            activations=activations if activations is not None else ckpt.policy,
+            use_cache=use_cache,
+            prefetch=prefetch,
+        )
+
+    # ------------------------------------------------------------------ #
+    # the batch step
+    # ------------------------------------------------------------------ #
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    def step(self, rows: np.ndarray) -> EngineStep:
+        """Run the full recurrence over one stacked ``(rows, neurons)`` batch."""
+        from repro.challenge.pipeline import PipelineState, run_pipeline
+
+        y = np.asarray(rows, dtype=np.float64)
+        if y.ndim != 2 or y.shape[1] != self.neurons:
+            raise ShapeError(
+                f"request rows must have shape (k, {self.neurons}), got {y.shape}"
+            )
+        state = run_pipeline(
+            self.layers,
+            PipelineState.initial(y),
+            threshold=self.threshold,
+            backend=self.backend,
+            policy=self.policy,
+            record_timing=False,
+        )
+        return EngineStep(
+            activations=state.batch.to_array(),
+            layer_modes=list(state.layer_modes),
+        )
+
+    def describe(self) -> dict:
+        """The server-side metadata handed to clients by the ``meta`` op."""
+        return {
+            "neurons": self.neurons,
+            "layers": self.num_layers,
+            "threshold": self.threshold,
+            "backend": self.backend.name,
+            "activations": self.policy.mode,
+            "edges_per_sample": self.edges_per_sample,
+            "source": self.source,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"ServingEngine({self.neurons} neurons x {self.num_layers} layers, "
+            f"backend={self.backend.name!r}, activations={self.policy.mode!r})"
+        )

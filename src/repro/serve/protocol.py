@@ -1,0 +1,139 @@
+"""The serve wire protocol: newline-delimited JSON over a byte stream.
+
+One request per line, one response line per request, always in order --
+trivially debuggable with ``nc`` and implementable from any language
+with a JSON library.  Python's JSON float round-trip is exact for
+float64 (``repr`` emits the shortest digits that parse back to the same
+bits), so activation values survive the wire bit-identically -- the
+property the serve parity tests rely on.
+
+Requests are objects with an ``op``:
+
+``{"op": "infer", "id": ..., "rows": [[...], ...]}``
+    Run the recurrence over the given activation rows.  ``rows`` is
+    either a dense list of ``neurons``-length rows or the sparse form
+    ``{"neurons": N, "cols": [[...], ...], "vals": [[...], ...]}`` (one
+    ``cols``/``vals`` pair per row -- the natural encoding for challenge
+    inputs, which are mostly zero).  Optional ``"want": "activations"``
+    adds the dense activation rows to the response (the default response
+    carries only the categories).
+``{"op": "ping"}`` / ``{"op": "meta"}`` / ``{"op": "stats"}``
+    Liveness, immutable server description, and live serving counters.
+``{"op": "shutdown"}``
+    Graceful stop: the server drains every queued request, answers this
+    one, and exits.
+
+Responses echo ``id`` and carry ``"ok": true`` plus op-specific fields,
+or ``"ok": false`` with an ``"error"`` message.  Malformed lines get an
+error response (the connection stays usable); an oversized line is a
+protocol violation that closes the connection.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ServeError
+
+# one framed line must fit a dense official-scale batch comfortably
+MAX_LINE_BYTES = 64 * 2**20
+
+OP_INFER = "infer"
+OP_PING = "ping"
+OP_META = "meta"
+OP_STATS = "stats"
+OP_SHUTDOWN = "shutdown"
+OPS = (OP_INFER, OP_PING, OP_META, OP_STATS, OP_SHUTDOWN)
+
+
+def encode(message: dict) -> bytes:
+    """One protocol line: compact JSON + newline."""
+    return json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode(line: bytes) -> dict:
+    """Parse one protocol line into a message object."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ServeError(f"protocol line exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServeError(f"malformed protocol line: {exc}") from None
+    if not isinstance(message, dict):
+        raise ServeError("protocol messages must be JSON objects")
+    return message
+
+
+def rows_to_wire(rows: np.ndarray, *, encoding: str = "dense") -> Any:
+    """Encode a ``(k, neurons)`` row block for the ``infer`` request."""
+    if encoding == "dense":
+        return rows.tolist()
+    if encoding == "sparse":
+        cols = []
+        vals = []
+        for row in rows:
+            nz = np.flatnonzero(row)
+            cols.append(nz.tolist())
+            vals.append(row[nz].tolist())
+        return {"neurons": int(rows.shape[1]), "cols": cols, "vals": vals}
+    raise ServeError(f"unknown row encoding {encoding!r} (use 'dense' or 'sparse')")
+
+
+def rows_from_wire(payload: Any, *, neurons: int) -> np.ndarray:
+    """Decode an ``infer`` request's ``rows`` into a ``(k, neurons)`` matrix.
+
+    Accepts both wire forms of :func:`rows_to_wire` and validates shape
+    eagerly so a bad request fails in the protocol layer, with a clear
+    message, before it ever reaches the batcher.
+    """
+    if isinstance(payload, dict):
+        cols = payload.get("cols")
+        vals = payload.get("vals")
+        wire_neurons = payload.get("neurons", neurons)
+        if not isinstance(cols, list) or not isinstance(vals, list) or len(cols) != len(vals):
+            raise ServeError(
+                "sparse rows need parallel 'cols' and 'vals' lists of equal length"
+            )
+        try:
+            wire_neurons = int(wire_neurons)
+        except (TypeError, ValueError):
+            raise ServeError(
+                f"sparse rows 'neurons' must be an integer, got {wire_neurons!r}"
+            ) from None
+        if int(wire_neurons) != neurons:
+            raise ServeError(
+                f"request rows have {wire_neurons} neurons, server expects {neurons}"
+            )
+        if not cols:
+            raise ServeError("an infer request needs at least one row")
+        rows = np.zeros((len(cols), neurons), dtype=np.float64)
+        for i, (row_cols, row_vals) in enumerate(zip(cols, vals)):
+            try:
+                idx = np.asarray(row_cols, dtype=np.int64)
+                values = np.asarray(row_vals, dtype=np.float64)
+            except (TypeError, ValueError) as exc:
+                raise ServeError(f"malformed sparse row {i}: {exc}") from None
+            if idx.ndim != 1 or values.ndim != 1 or idx.shape != values.shape:
+                raise ServeError(f"sparse row {i}: cols/vals must be equal-length 1-D lists")
+            if idx.size and (idx.min() < 0 or idx.max() >= neurons):
+                raise ServeError(f"sparse row {i}: column index out of range 0..{neurons - 1}")
+            rows[i, idx] = values
+        return rows
+    if not isinstance(payload, list) or not payload:
+        raise ServeError("an infer request needs a non-empty 'rows' list")
+    try:
+        rows = np.asarray(payload, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise ServeError(f"malformed dense rows: {exc}") from None
+    if rows.ndim != 2 or rows.shape[1] != neurons:
+        raise ServeError(
+            f"request rows must have shape (k, {neurons}), got {tuple(rows.shape)}"
+        )
+    return rows
+
+
+def error_response(request_id: Any, message: str) -> dict:
+    return {"id": request_id, "ok": False, "error": str(message)}

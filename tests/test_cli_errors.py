@@ -1,0 +1,211 @@
+"""CLI error-path coverage: exit codes and stderr messages, not tracebacks.
+
+The CLI contract (see :mod:`repro.cli`): argument errors exit 2 (the
+argparse convention), library errors exit 1 with a single ``error: ...``
+line on stderr -- never a traceback.  These tests pin that contract for
+the failure modes an operator actually hits with ``repro challenge
+run`` / ``serve`` / ``bench-serve``: missing directories, wrong
+``--neurons``, corrupt checkpoints, unreachable servers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.challenge.generator import (
+    challenge_input_batch,
+    generate_challenge_network,
+)
+from repro.challenge.io import save_challenge_network
+from repro.challenge.pipeline import checkpoint_path, run_challenge_pipeline
+from repro.cli import main
+
+NEURONS = 32
+LAYERS = 4
+
+
+@pytest.fixture(scope="module")
+def net_dir(tmp_path_factory):
+    network = generate_challenge_network(NEURONS, LAYERS, connections=8, seed=5)
+    directory = tmp_path_factory.mktemp("cli-errors") / "net"
+    save_challenge_network(network, directory)
+    return directory
+
+
+def _run(argv, capsys):
+    """Invoke the CLI; return (exit_code, stdout, stderr)."""
+    code = main(argv)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def _assert_clean_error(err: str, *needles: str) -> None:
+    """One `error:` line, the expected message, and no traceback."""
+    assert "error:" in err
+    assert "Traceback" not in err
+    for needle in needles:
+        assert needle in err, f"{needle!r} not in stderr: {err!r}"
+
+
+# --------------------------------------------------------------------------- #
+# repro challenge run
+# --------------------------------------------------------------------------- #
+class TestChallengeRunErrors:
+    def test_missing_network_directory(self, tmp_path, capsys):
+        code, _, err = _run(
+            ["challenge", "run", "--dir", str(tmp_path / "nope"),
+             "--neurons", str(NEURONS)],
+            capsys,
+        )
+        assert code == 1
+        _assert_clean_error(err, "metadata file not found")
+
+    def test_wrong_neurons_for_saved_network(self, net_dir, capsys):
+        code, _, err = _run(
+            ["challenge", "run", "--dir", str(net_dir), "--neurons", "999"],
+            capsys,
+        )
+        assert code == 1
+        _assert_clean_error(err, "neuron999")
+
+    def test_non_integer_neurons_is_an_argparse_error(self, net_dir, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["challenge", "run", "--dir", str(net_dir), "--neurons", "many"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid int value" in err
+        assert "Traceback" not in err
+
+    def test_resume_missing_checkpoint(self, tmp_path, capsys):
+        code, _, err = _run(
+            ["challenge", "run", "--resume", str(tmp_path / "no-ckpt")], capsys
+        )
+        assert code == 1
+        _assert_clean_error(err, "no pipeline checkpoint")
+
+    def test_resume_corrupt_checkpoint(self, tmp_path, net_dir, capsys):
+        batch = challenge_input_batch(NEURONS, 4, seed=1)
+        run_challenge_pipeline(
+            net_dir, NEURONS, batch,
+            checkpoint_dir=tmp_path / "ck", checkpoint_every=2, stop_after=2,
+        )
+        checkpoint_path(tmp_path / "ck").write_bytes(b"scrambled")
+        code, _, err = _run(
+            ["challenge", "run", "--resume", str(tmp_path / "ck")], capsys
+        )
+        assert code == 1
+        _assert_clean_error(err, "malformed checkpoint")
+
+    def test_resume_checkpoint_with_gutted_context(self, tmp_path, net_dir, capsys):
+        """A checkpoint whose recorded network directory vanished."""
+        batch = challenge_input_batch(NEURONS, 4, seed=1)
+        moved = tmp_path / "moved-net"
+        save_challenge_network(
+            generate_challenge_network(NEURONS, LAYERS, connections=8, seed=5), moved
+        )
+        run_challenge_pipeline(
+            moved, NEURONS, batch,
+            checkpoint_dir=tmp_path / "ck2", checkpoint_every=2, stop_after=2,
+        )
+        import shutil
+
+        shutil.rmtree(moved)
+        code, _, err = _run(
+            ["challenge", "run", "--resume", str(tmp_path / "ck2")], capsys
+        )
+        assert code == 1
+        _assert_clean_error(err)
+
+    def test_stop_after_out_of_range(self, net_dir, tmp_path, capsys):
+        code, _, err = _run(
+            ["challenge", "run", "--dir", str(net_dir), "--neurons", str(NEURONS),
+             "--checkpoint", str(tmp_path / "ck"), "--stop-after", "99"],
+            capsys,
+        )
+        assert code == 1
+        _assert_clean_error(err, "stop_after")
+
+
+# --------------------------------------------------------------------------- #
+# repro challenge serve
+# --------------------------------------------------------------------------- #
+class TestChallengeServeErrors:
+    def test_serve_needs_dir_or_warm_start(self, capsys):
+        code, _, err = _run(["challenge", "serve"], capsys)
+        assert code == 1
+        _assert_clean_error(err, "needs --dir")
+
+    def test_serve_dir_requires_neurons(self, net_dir, capsys):
+        code, _, err = _run(["challenge", "serve", "--dir", str(net_dir)], capsys)
+        assert code == 1
+        _assert_clean_error(err, "--neurons is required")
+
+    def test_serve_missing_network_directory(self, tmp_path, capsys):
+        code, _, err = _run(
+            ["challenge", "serve", "--dir", str(tmp_path / "ghost"),
+             "--neurons", str(NEURONS)],
+            capsys,
+        )
+        assert code == 1
+        _assert_clean_error(err, "metadata file not found")
+
+    def test_serve_warm_start_and_dir_conflict(self, net_dir, tmp_path, capsys):
+        code, _, err = _run(
+            ["challenge", "serve", "--dir", str(net_dir),
+             "--warm-start", str(tmp_path / "ck")],
+            capsys,
+        )
+        assert code == 1
+        _assert_clean_error(err, "mutually exclusive")
+
+    def test_serve_warm_start_missing_checkpoint(self, tmp_path, capsys):
+        code, _, err = _run(
+            ["challenge", "serve", "--warm-start", str(tmp_path / "no-ckpt")],
+            capsys,
+        )
+        assert code == 1
+        _assert_clean_error(err, "no pipeline checkpoint")
+
+    def test_serve_corrupt_warm_start_checkpoint(self, tmp_path, capsys):
+        directory = tmp_path / "ck"
+        directory.mkdir()
+        checkpoint_path(directory).write_bytes(b"\x00\x01 definitely not a checkpoint")
+        code, _, err = _run(
+            ["challenge", "serve", "--warm-start", str(directory)], capsys
+        )
+        assert code == 1
+        _assert_clean_error(err, "malformed checkpoint")
+
+    def test_serve_invalid_batch_limits(self, net_dir, capsys):
+        code, _, err = _run(
+            ["challenge", "serve", "--dir", str(net_dir),
+             "--neurons", str(NEURONS), "--max-batch", "0"],
+            capsys,
+        )
+        assert code == 1
+        _assert_clean_error(err, "max_batch")
+
+
+# --------------------------------------------------------------------------- #
+# repro challenge bench-serve
+# --------------------------------------------------------------------------- #
+class TestBenchServeErrors:
+    def test_unreachable_server(self, capsys):
+        # port 1 is privileged and unbound in every test environment
+        code, _, err = _run(
+            ["challenge", "bench-serve", "--port", "1", "--requests", "1"], capsys
+        )
+        assert code == 1
+        _assert_clean_error(err, "cannot connect")
+
+    def test_port_is_required(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["challenge", "bench-serve"])
+        assert excinfo.value.code == 2
+        assert "--port" in capsys.readouterr().err
+
+    def test_invalid_request_count(self, capsys):
+        code, _, err = _run(
+            ["challenge", "bench-serve", "--port", "1", "--requests", "0"], capsys
+        )
+        assert code == 1
+        _assert_clean_error(err, "requests must be >= 1")

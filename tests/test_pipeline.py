@@ -10,6 +10,8 @@ the engine and ``streaming_inference`` route through the single pipeline
 implementation.
 """
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -110,7 +112,9 @@ class TestPrefetcher:
                 yield i
                 i += 1
 
-        source = Prefetcher(endless(), depth=2)
+        # a tight injected poll interval bounds how long the parked
+        # producer takes to observe the stop -- no sleep calibration
+        source = Prefetcher(endless(), depth=2, poll_interval=0.005)
         assert next(source) == 0
         source.close()
         assert not source._thread.is_alive()
@@ -118,6 +122,47 @@ class TestPrefetcher:
         assert len(produced) <= 8
         with pytest.raises(StopIteration):
             next(source)
+
+    def test_poll_interval_validation(self):
+        with pytest.raises(ValidationError):
+            Prefetcher([1], depth=1, poll_interval=0.0)
+        with pytest.raises(ValidationError):
+            Prefetcher([1], depth=1, poll_interval=-0.1)
+
+    def test_error_delivery_is_event_driven(self):
+        # the producer parks on an Event the consumer releases -- the
+        # whole interleaving is explicit, with zero time.sleep calls
+        release = threading.Event()
+
+        def source():
+            yield 1
+            assert release.wait(10.0), "consumer never released the producer"
+            raise RuntimeError("released failure")
+
+        with Prefetcher(source(), depth=2, poll_interval=0.005) as prefetcher:
+            assert next(prefetcher) == 1
+            release.set()
+            with pytest.raises(RuntimeError, match="released failure"):
+                next(prefetcher)
+
+    def test_consumer_blocks_until_producer_posts(self):
+        # consumer-side wait is driven by the producer's put, not by
+        # polling some shared flag: release the item mid-next() and the
+        # value arrives
+        release = threading.Event()
+
+        def source():
+            assert release.wait(10.0)
+            yield 42
+
+        with Prefetcher(source(), depth=1, poll_interval=0.005) as prefetcher:
+            got: list[int] = []
+            consumer = threading.Thread(target=lambda: got.append(next(prefetcher)))
+            consumer.start()
+            release.set()
+            consumer.join(timeout=10.0)
+            assert not consumer.is_alive()
+            assert got == [42]
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,138 @@
+"""Property-based tests for the micro-batcher's coalescing invariants.
+
+The headline serve guarantee, pinned here with hypothesis over arbitrary
+request interleavings: however arrivals coalesce into micro-batches,
+
+* every request completes exactly once (no drops, no duplicates),
+* its rows come back in order (row identity survives the scatter), and
+* the per-request results are **bit-identical** to running that request
+  single-shot through :meth:`InferenceEngine.run` -- on every registered
+  backend, under both forced activation policies.
+
+Everything runs deterministically: a :class:`FakeClock` replaces timed
+waits and the tests drive :meth:`MicroBatcher.run_once` directly, so an
+"interleaving" is an explicit schedule of submit/step actions, not a
+thread race.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backends import available_backends
+from repro.challenge.generator import (
+    challenge_input_batch,
+    generate_challenge_network,
+)
+from repro.challenge.inference import InferenceEngine
+from repro.serve import EngineStep, MicroBatcher, ServingEngine
+from repro.utils.clock import FakeClock
+
+NEURONS = 32
+LAYERS = 4
+
+
+@pytest.fixture(scope="module")
+def network():
+    return generate_challenge_network(NEURONS, LAYERS, connections=8, seed=11)
+
+
+@pytest.fixture(scope="module")
+def engines(network):
+    """Per-(backend, policy) serving engines + single-shot reference engines."""
+    pairs = {}
+    for backend in available_backends():
+        for policy in ("dense", "sparse"):
+            pairs[(backend, policy)] = (
+                ServingEngine.from_network(network, backend=backend, activations=policy),
+                InferenceEngine(network, backend=backend, activations=policy),
+            )
+    return pairs
+
+
+def _request_rows(sizes: list[int]) -> list[np.ndarray]:
+    """Deterministic challenge-style row blocks, one per requested size."""
+    return [
+        challenge_input_batch(NEURONS, size, seed=100 + i)
+        for i, size in enumerate(sizes)
+    ]
+
+
+# schedule: per request, how many batcher steps to run *before* submitting
+# it (0 = arrives while the previous requests still queue) -- this is the
+# arrival interleaving, made explicit and deterministic
+schedules = st.lists(
+    st.tuples(st.integers(min_value=1, max_value=5),   # rows in this request
+              st.integers(min_value=0, max_value=2)),  # run_once calls first
+    min_size=1,
+    max_size=12,
+)
+
+
+@pytest.mark.parametrize("backend", available_backends())
+@pytest.mark.parametrize("policy", ["dense", "sparse"])
+class TestBatcherCoalescingProperties:
+    @given(schedule=schedules, max_batch=st.integers(min_value=1, max_value=10))
+    @settings(max_examples=15, deadline=None)
+    def test_any_interleaving_is_bit_identical_to_single_shot(
+        self, engines, backend, policy, schedule, max_batch
+    ):
+        serving, reference = engines[(backend, policy)]
+        batcher = MicroBatcher(
+            serving.step, max_batch=max_batch, max_wait_ms=1.0, clock=FakeClock()
+        )
+        requests = _request_rows([rows for rows, _ in schedule])
+        pendings = []
+        for rows, steps_first in zip(requests, (s for _, s in schedule)):
+            for _ in range(steps_first):
+                batcher.run_once(wait=False)
+            pendings.append(batcher.submit(rows))
+        while batcher.run_once(wait=False):
+            pass
+
+        # exactly-once completion: every request done, none duplicated
+        assert all(pending.done() for pending in pendings)
+        assert batcher.stats.requests == len(requests)
+        assert batcher.stats.rows == sum(r.shape[0] for r in requests)
+
+        for rows, pending in zip(requests, pendings):
+            result = pending.result(timeout=0)
+            single = reference.run(rows, record_timing=False)
+            # row identity + bit-identity with the single-shot engine
+            assert result.activations.shape == (rows.shape[0], NEURONS)
+            assert (result.activations == single.activations).all()
+            assert list(result.categories) == list(single.categories)
+            # the batch either respected the row budget or was a lone
+            # oversized request
+            assert (
+                result.stats.batch_rows <= max_batch
+                or result.stats.batch_requests == 1
+            )
+
+    @given(sizes=st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=8))
+    @settings(max_examples=10, deadline=None)
+    def test_burst_then_drain_conserves_rows(
+        self, engines, backend, policy, sizes
+    ):
+        """All-at-once arrival: coalesced batches partition the request
+        sequence in order, and close() drains everything."""
+        serving, reference = engines[(backend, policy)]
+        observed_batches: list[int] = []
+
+        def counting_step(rows: np.ndarray) -> EngineStep:
+            observed_batches.append(rows.shape[0])
+            return serving.step(rows)
+
+        batcher = MicroBatcher(
+            counting_step, max_batch=6, max_wait_ms=0.0, clock=FakeClock()
+        )
+        requests = _request_rows(sizes)
+        pendings = [batcher.submit(rows) for rows in requests]
+        batcher.close()  # no worker: drains inline
+
+        assert sum(observed_batches) == sum(sizes)
+        assert batcher.stats.batches == len(observed_batches)
+        for rows, pending in zip(requests, pendings):
+            single = reference.run(rows, record_timing=False)
+            assert (pending.result(timeout=0).activations == single.activations).all()
