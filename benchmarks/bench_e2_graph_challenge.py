@@ -156,6 +156,126 @@ def test_e2_backend_throughput(benchmark, backend):
     benchmark.extra_info["peak_activation_nnz"] = result.peak_activation_nnz
 
 
+E2_KERNEL_DENSITIES = (0.01, 0.05, 0.2)
+
+
+def test_e2_kernel_throughput(benchmark, report_table):
+    """Per-backend kernel microbenchmark: spgemm/spmm/fused edges/second.
+
+    Isolates the three hot kernels from the end-to-end engine numbers at
+    three weight densities, so a backend-level regression (or a JIT tier
+    losing its edge at one density) is visible on its own row instead of
+    being averaged into a full inference run.  Backends marked as
+    performance tiers only -- ``reference`` is an audit oracle and would
+    dominate the table's wall-clock for no signal.  Edges/second uses
+    the challenge convention: ``nnz(W) x batch rows`` multiply-adds.
+    """
+    import numpy as np
+
+    from repro.testing import random_csr
+
+    perf_backends = [
+        name for name in ("numba", "scipy", "vectorized")
+        if name in available_backends()
+    ]
+    rows = []
+    checked = {}
+    for density in E2_KERNEL_DENSITIES:
+        w, w_dense = random_csr((E2_NEURONS, E2_NEURONS), density, seed=7)
+        y, _ = random_csr((E2_BATCH, E2_NEURONS), density, seed=8)
+        y = type(y)(y.shape, y.indptr, y.indices, np.abs(y.data))
+        dense = np.ascontiguousarray(w_dense.T[:, :E2_BATCH])
+        bias = np.full(E2_NEURONS, -0.1)
+        edges = w.nnz * E2_BATCH
+        for name in perf_backends:
+            from repro.backends import get_backend
+
+            backend = get_backend(name)
+            warmup = getattr(backend, "warmup", None)
+            if warmup is not None:
+                warmup()
+            spgemm_s, _ = _timed_best(lambda: backend.spgemm(y, w))
+            spmm_s, _ = _timed_best(lambda: backend.spmm(w, dense))
+            fused_s, fused = _timed_best(
+                lambda: backend.sparse_layer_step(y, w, bias, 32.0)
+            )
+            # cheap cross-backend sanity on the measured operands: every
+            # backend's fused result must match the first one measured
+            if density not in checked:
+                checked[density] = fused.to_dense()
+            else:
+                np.testing.assert_allclose(
+                    fused.to_dense(), checked[density], atol=1e-12
+                )
+            rows.append([
+                name, density, w.nnz,
+                int(edges / spgemm_s), int(edges / spmm_s), int(edges / fused_s),
+            ])
+            benchmark.extra_info[f"{name}.d{density}.spgemm_edges_per_s"] = edges / spgemm_s
+            benchmark.extra_info[f"{name}.d{density}.spmm_edges_per_s"] = edges / spmm_s
+            benchmark.extra_info[f"{name}.d{density}.fused_edges_per_s"] = edges / fused_s
+
+    assert rows, "no performance-tier backends registered"
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    report_table(
+        "E2: kernel throughput per backend x density (edges/s)",
+        ["backend", "density", "weight nnz", "spgemm", "spmm", "fused"],
+        rows,
+    )
+
+
+@pytest.mark.skipif(
+    "numba" not in available_backends(),
+    reason="numba backend not registered (numba not installed)",
+)
+def test_e2_fused_numba_beats_scipy_official_scale(report_table):
+    """The headline claim: the prange-parallel fused numba layer step beats
+    the scipy backend at the 1024x120 official-scale smoke shape.
+
+    Runs one fused ``sparse_layer_step`` at ``E2_SCALE_NEURONS`` width
+    with challenge connectivity (32 connections/neuron) and asserts the
+    numba tier wins outright; the same numbers are recorded in the
+    committed ``BENCH_<PR>.json`` ledger when the measuring environment
+    has numba installed.
+    """
+    import numpy as np
+
+    from repro.backends import get_backend
+    from repro.sparse.csr import CSRMatrix
+
+    network = generate_challenge_network(
+        E2_SCALE_NEURONS, 2, connections=32, seed=42
+    )
+    weight = network.weights[0]
+    batch = challenge_input_batch(E2_SCALE_NEURONS, E2_SCALE_BATCH, seed=43)
+    y = CSRMatrix.from_dense(batch)
+    bias = np.asarray(network.biases[0], dtype=np.float64)
+    edges = weight.nnz * E2_SCALE_BATCH
+
+    timings = {}
+    for name in ("numba", "scipy"):
+        backend = get_backend(name)
+        warmup = getattr(backend, "warmup", None)
+        if warmup is not None:
+            warmup()
+        timings[name], _ = _timed_best(
+            lambda: backend.sparse_layer_step(y, weight, bias, network.threshold),
+            rounds=5,
+        )
+
+    report_table(
+        "E2: fused layer step at official-scale shape (numba vs scipy)",
+        ["backend", "seconds", "edges/s"],
+        [[name, round(seconds, 5), int(edges / seconds)]
+         for name, seconds in timings.items()],
+    )
+    assert timings["numba"] < timings["scipy"], (
+        f"fused numba layer step ({timings['numba']:.5f}s) should beat "
+        f"scipy ({timings['scipy']:.5f}s) at official-scale shape"
+    )
+
+
 def test_e2_activation_policy_memory(benchmark, report_table):
     """Dense vs sparse activation policy: identical categories, reported
     edges/second and peak activation nnz side by side."""

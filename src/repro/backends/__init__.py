@@ -4,10 +4,11 @@ Every sparse operation in the package -- construction (Kronecker
 expansion), verification (chain products), and the Graph Challenge
 inference recurrence -- dispatches through one *active* backend
 implementing the :class:`~repro.backends.base.SparseBackend` protocol.
-Three implementations are registered on import: ``reference`` (pure
+Four implementations register on import: ``reference`` (pure
 NumPy/Python oracle), ``scipy`` (compiled scipy.sparse kernels; the
-default when scipy is importable), and ``vectorized`` (pure NumPy,
-scatter-free).
+default when scipy is importable), ``vectorized`` (pure NumPy,
+scatter-free), and ``numba`` (JIT-compiled ``prange``-parallel kernels;
+present only when numba is installed).
 
 Selecting a backend
 -------------------
@@ -27,10 +28,19 @@ Selecting a backend
 * **Environment**: ``REPRO_BACKEND=vectorized`` sets the initial default
   before any explicit ``use(...)`` call.
 
+* **Auto**: the name ``auto`` (in any of the above) is not a backend but
+  a selection policy -- :func:`repro.backends.selection.auto_backend`
+  micro-probes the registered performance tiers once per process and
+  picks the fastest (numba when installed, otherwise scipy, otherwise
+  vectorized).  ``repro backends`` on the CLI prints the capability
+  report behind that decision.
+
 ``active_backend()`` returns the backend currently in effect;
-``available_backends()`` lists what is registered.  Registering a custom
-backend is a call to :func:`repro.backends.base.register` with any object
-implementing the protocol.
+``available_backends()`` lists what is registered;
+``capabilities()`` additionally reports known-but-missing optional tiers
+and their install hints.  Registering a custom backend is a call to
+:func:`repro.backends.base.register` with any object implementing the
+protocol.
 """
 
 from __future__ import annotations
@@ -42,18 +52,31 @@ from repro.backends.base import (
     available_backends,
     get_backend,
     register,
+    unavailable_backends,
 )
 from repro.backends import reference as _reference  # noqa: F401 - registers "reference"
 from repro.backends import vectorized as _vectorized  # noqa: F401 - registers "vectorized"
 from repro.backends import scipy_backend as _scipy  # noqa: F401 - registers "scipy" if available
+from repro.backends import numba_backend as _numba  # noqa: F401 - registers "numba" if available
+from repro.backends.selection import (
+    auto_backend,
+    capabilities,
+    format_capability_report,
+    probe_backends,
+)
 
 DEFAULT_BACKEND_ENV = "REPRO_BACKEND"
+
+#: Pseudo-name accepted wherever a backend name is: pick the fastest tier.
+AUTO = "auto"
 
 _active: SparseBackend | None = None
 
 
 def _initial_backend() -> SparseBackend:
     requested = os.environ.get(DEFAULT_BACKEND_ENV)
+    if requested == AUTO:
+        return auto_backend()
     if requested:
         return get_backend(requested)
     if "scipy" in available_backends():
@@ -101,6 +124,8 @@ def resolve_backend(backend: str | SparseBackend | None) -> SparseBackend:
     """
     if backend is None:
         return active_backend()
+    if backend == AUTO:
+        return auto_backend()
     if isinstance(backend, str):
         return get_backend(backend)
     return backend
@@ -119,7 +144,12 @@ def use(backend: str | SparseBackend) -> _BackendSelection:
     """
     global _active
     previous = _active
-    chosen = get_backend(backend) if isinstance(backend, str) else backend
+    if backend == AUTO:
+        chosen = auto_backend()
+    elif isinstance(backend, str):
+        chosen = get_backend(backend)
+    else:
+        chosen = backend
     _active = chosen
     return _BackendSelection(chosen, previous)
 
@@ -129,8 +159,14 @@ __all__ = [
     "register",
     "get_backend",
     "available_backends",
+    "unavailable_backends",
     "active_backend",
     "resolve_backend",
     "use",
+    "auto_backend",
+    "capabilities",
+    "format_capability_report",
+    "probe_backends",
+    "AUTO",
     "DEFAULT_BACKEND_ENV",
 ]

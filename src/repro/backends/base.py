@@ -40,7 +40,7 @@ from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 import numpy as np
 
-from repro.errors import ValidationError
+from repro.errors import UnknownBackendError, ValidationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.sparse.csr import CSRMatrix
@@ -130,6 +130,11 @@ class SparseBackend(Protocol):
 
 
 _REGISTRY: dict[str, SparseBackend] = {}
+# name -> human-readable reason a *known* optional tier is not registered
+# in this environment (scipy/numba not installed, ...).  Keeps error
+# messages and the capability report truthful without registering
+# non-functional backends.
+_UNAVAILABLE: dict[str, str] = {}
 
 
 def register(backend: SparseBackend) -> SparseBackend:
@@ -142,7 +147,25 @@ def register(backend: SparseBackend) -> SparseBackend:
     if not name or not isinstance(name, str):
         raise ValidationError("backend must expose a non-empty string `name`")
     _REGISTRY[name] = backend
+    _UNAVAILABLE.pop(name, None)
     return backend
+
+
+def register_unavailable(name: str, reason: str) -> None:
+    """Record why a known optional backend tier is absent from the registry.
+
+    Import-gated backend modules (scipy, numba) call this when their
+    dependency is missing, so ``get_backend`` can explain the absence
+    instead of reporting the name as simply unknown, and
+    :func:`repro.backends.selection.capabilities` can report the tier.
+    """
+    if name not in _REGISTRY:
+        _UNAVAILABLE[name] = reason
+
+
+def unavailable_backends() -> dict[str, str]:
+    """Known-but-unavailable backend tiers and why (name -> reason)."""
+    return dict(_UNAVAILABLE)
 
 
 def get_backend(name: str) -> SparseBackend:
@@ -151,8 +174,13 @@ def get_backend(name: str) -> SparseBackend:
         return _REGISTRY[name]
     except KeyError:
         known = ", ".join(sorted(_REGISTRY)) or "<none>"
-        raise ValidationError(
-            f"unknown sparse backend {name!r}; registered backends: {known}"
+        if name in _UNAVAILABLE:
+            raise UnknownBackendError(
+                f"sparse backend {name!r} is not available: {_UNAVAILABLE[name]}; "
+                f"available backends: {known}"
+            ) from None
+        raise UnknownBackendError(
+            f"unknown sparse backend {name!r}; available backends: {known}"
         ) from None
 
 

@@ -1,0 +1,463 @@
+"""The numba backend: JIT-compiled, parallel CSR kernels.
+
+This is the compiled CPU tier of the backend registry (ROADMAP item 2,
+CPU half).  The hot kernels -- SpGEMM, SpMM, SpMV, transpose, column
+permutation, and above all the fused Graph Challenge layer step
+``min(max(Y W + b, 0), threshold)`` -- are ``@njit(cache=True)``
+nopython functions; the row-independent ones additionally run
+``parallel=True`` with a ``prange`` over output rows, so the recurrence
+escapes the GIL and scales across cores (which compounds with the
+sidecar-process prefetch of the streaming pipeline: parse in one
+process, multi-threaded compute in another).
+
+Design notes
+------------
+
+* SpGEMM and the fused layer step share one structure: a *padded*
+  Gustavson gather.  A first parallel pass computes a per-row column
+  cap (sum of B-row degrees, clamped to ``ncols``), a prefix sum turns
+  the caps into a scratch layout, a second parallel pass gathers each
+  output row into a dense accumulator (generation-tagged marker, so the
+  accumulator is never cleared), sorts the touched columns, filters
+  (exact zeros for SpGEMM; the bias/ReLU/clamp for the fused step), and
+  a final parallel pass compacts the scratch into canonical CSR.  Every
+  accumulation happens in the same ``(k, q)`` order as the reference
+  row-merge kernel, so results are bit-identical to the oracle.
+* Like the other backends, kernels are *unchecked*: shapes and the
+  non-positive-bias precondition are validated at the dispatch layer.
+* ``kron`` and ``add`` are construction-path operations outside the
+  inference hot loop; ``kron`` delegates to the vectorized NumPy
+  backend, ``add`` is a compiled two-pass sorted-row merge.
+
+Import gating
+-------------
+
+The module imports whether or not numba is installed.  When numba is
+missing, ``@njit`` falls back to an identity decorator and ``prange``
+to ``range`` -- the kernels then run as ordinary (slow) Python, which is
+how the algorithm-parity tests exercise this module in minimal
+environments -- but the backend is **registered only when numba is
+importable**, so ``available_backends()`` stays truthful and ``auto``
+selection falls back to scipy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.base import register, register_unavailable
+from repro.sparse.csr import CSRMatrix
+
+try:  # pragma: no cover - exercised implicitly by whichever env runs this
+    from numba import njit, prange
+
+    NUMBA_AVAILABLE = True
+    UNAVAILABLE_REASON = ""
+except ImportError:
+    NUMBA_AVAILABLE = False
+    UNAVAILABLE_REASON = (
+        "numba is not installed (pip install 'radixnet-repro[numba]')"
+    )
+    prange = range
+
+    def njit(*args, **kwargs):  # type: ignore[misc]
+        """Identity decorator: kernels run as pure Python without numba."""
+        if args and callable(args[0]):
+            return args[0]
+
+        def decorate(func):
+            return func
+
+        return decorate
+
+
+def numba_available() -> bool:
+    """True when numba can be imported in this environment."""
+    return NUMBA_AVAILABLE
+
+
+# --------------------------------------------------------------------------- #
+# nopython kernels (CSR buffers in, CSR buffers out)
+# --------------------------------------------------------------------------- #
+@njit(cache=True, parallel=True)
+def _spgemm_kernel(a_indptr, a_indices, a_data, b_indptr, b_indices, b_data, n_rows, n_cols):
+    # pass 1: per-row scratch cap = sum of B-row degrees, clamped to n_cols
+    offsets = np.zeros(n_rows + 1, dtype=np.int64)
+    for i in prange(n_rows):
+        cap = 0
+        for p in range(a_indptr[i], a_indptr[i + 1]):
+            k = a_indices[p]
+            cap += b_indptr[k + 1] - b_indptr[k]
+        offsets[i + 1] = min(cap, n_cols)
+    for i in range(n_rows):
+        offsets[i + 1] += offsets[i]
+    scratch_cols = np.empty(offsets[n_rows], dtype=np.int64)
+    scratch_vals = np.empty(offsets[n_rows], dtype=np.float64)
+    counts = np.zeros(n_rows, dtype=np.int64)
+    # pass 2: gather each row (generation-tagged marker; (k, q) order
+    # matches the reference row-merge accumulator bit-for-bit), sort the
+    # touched columns, drop exact zeros
+    for i in prange(n_rows):
+        base = offsets[i]
+        marker = np.full(n_cols, -1, dtype=np.int64)
+        acc = np.empty(n_cols, dtype=np.float64)
+        touched = 0
+        for p in range(a_indptr[i], a_indptr[i + 1]):
+            k = a_indices[p]
+            av = a_data[p]
+            for q in range(b_indptr[k], b_indptr[k + 1]):
+                j = b_indices[q]
+                if marker[j] < 0:
+                    marker[j] = 1
+                    scratch_cols[base + touched] = j
+                    touched += 1
+                    acc[j] = av * b_data[q]
+                else:
+                    acc[j] += av * b_data[q]
+        cols = np.sort(scratch_cols[base:base + touched])
+        kept = 0
+        for t in range(touched):
+            j = cols[t]
+            v = acc[j]
+            if v != 0.0:
+                scratch_cols[base + kept] = j
+                scratch_vals[base + kept] = v
+                kept += 1
+        counts[i] = kept
+    # pass 3: compact the scratch layout into canonical CSR
+    indptr = np.zeros(n_rows + 1, dtype=np.int64)
+    for i in range(n_rows):
+        indptr[i + 1] = indptr[i] + counts[i]
+    out_indices = np.empty(indptr[n_rows], dtype=np.int64)
+    out_data = np.empty(indptr[n_rows], dtype=np.float64)
+    for i in prange(n_rows):
+        src = offsets[i]
+        dst = indptr[i]
+        for t in range(counts[i]):
+            out_indices[dst + t] = scratch_cols[src + t]
+            out_data[dst + t] = scratch_vals[src + t]
+    return indptr, out_indices, out_data
+
+
+@njit(cache=True, parallel=True)
+def _fused_layer_step_kernel(
+    y_indptr, y_indices, y_data, w_indptr, w_indices, w_data,
+    bias, threshold, n_rows, n_cols,
+):
+    # the headline kernel: SpGEMM + bias-on-active-rows + ReLU + threshold
+    # clamp fused into one padded-gather pass, row-parallel across cores
+    offsets = np.zeros(n_rows + 1, dtype=np.int64)
+    for i in prange(n_rows):
+        cap = 0
+        for p in range(y_indptr[i], y_indptr[i + 1]):
+            k = y_indices[p]
+            cap += w_indptr[k + 1] - w_indptr[k]
+        offsets[i + 1] = min(cap, n_cols)
+    for i in range(n_rows):
+        offsets[i + 1] += offsets[i]
+    scratch_cols = np.empty(offsets[n_rows], dtype=np.int64)
+    scratch_vals = np.empty(offsets[n_rows], dtype=np.float64)
+    counts = np.zeros(n_rows, dtype=np.int64)
+    for i in prange(n_rows):
+        base = offsets[i]
+        marker = np.full(n_cols, -1, dtype=np.int64)
+        acc = np.empty(n_cols, dtype=np.float64)
+        touched = 0
+        row_sum = 0.0
+        for p in range(y_indptr[i], y_indptr[i + 1]):
+            k = y_indices[p]
+            av = y_data[p]
+            row_sum += av
+            for q in range(w_indptr[k], w_indptr[k + 1]):
+                j = w_indices[q]
+                if marker[j] < 0:
+                    marker[j] = 1
+                    scratch_cols[base + touched] = j
+                    touched += 1
+                    acc[j] = av * w_data[q]
+                else:
+                    acc[j] += av * w_data[q]
+        active = row_sum > 0.0
+        cols = np.sort(scratch_cols[base:base + touched])
+        kept = 0
+        for t in range(touched):
+            j = cols[t]
+            v = acc[j]
+            if active:
+                v += bias[j]
+            if v > threshold:
+                v = threshold
+            if v > 0.0:
+                scratch_cols[base + kept] = j
+                scratch_vals[base + kept] = v
+                kept += 1
+        counts[i] = kept
+    indptr = np.zeros(n_rows + 1, dtype=np.int64)
+    for i in range(n_rows):
+        indptr[i + 1] = indptr[i] + counts[i]
+    out_indices = np.empty(indptr[n_rows], dtype=np.int64)
+    out_data = np.empty(indptr[n_rows], dtype=np.float64)
+    for i in prange(n_rows):
+        src = offsets[i]
+        dst = indptr[i]
+        for t in range(counts[i]):
+            out_indices[dst + t] = scratch_cols[src + t]
+            out_data[dst + t] = scratch_vals[src + t]
+    return indptr, out_indices, out_data
+
+
+@njit(cache=True, parallel=True)
+def _spmm_kernel(indptr, indices, data, dense, out):
+    # out[i, :] accumulated in storage order: bit-identical to the
+    # reference scatter-add
+    n_rows = out.shape[0]
+    width = out.shape[1]
+    for i in prange(n_rows):
+        for p in range(indptr[i], indptr[i + 1]):
+            v = data[p]
+            row = indices[p]
+            for j in range(width):
+                out[i, j] += v * dense[row, j]
+
+
+@njit(cache=True, parallel=True)
+def _spmv_kernel(indptr, indices, data, vector, out):
+    n_rows = out.shape[0]
+    for i in prange(n_rows):
+        total = 0.0
+        for p in range(indptr[i], indptr[i + 1]):
+            total += data[p] * vector[indices[p]]
+        out[i] = total
+
+
+@njit(cache=True)
+def _transpose_kernel(indptr, indices, data, n_rows, n_cols):
+    # counting sort by column; the row-major input order makes each
+    # output row's columns strictly increasing (canonical CSR) and
+    # retains explicitly stored zeros
+    nnz = indices.size
+    out_indptr = np.zeros(n_cols + 1, dtype=np.int64)
+    for p in range(nnz):
+        out_indptr[indices[p] + 1] += 1
+    for j in range(n_cols):
+        out_indptr[j + 1] += out_indptr[j]
+    cursor = out_indptr[:n_cols].copy()
+    out_indices = np.empty(nnz, dtype=np.int64)
+    out_data = np.empty(nnz, dtype=np.float64)
+    for i in range(n_rows):
+        for p in range(indptr[i], indptr[i + 1]):
+            j = indices[p]
+            pos = cursor[j]
+            cursor[j] = pos + 1
+            out_indices[pos] = i
+            out_data[pos] = data[p]
+    return out_indptr, out_indices, out_data
+
+
+@njit(cache=True, parallel=True)
+def _permute_columns_kernel(indptr, indices, data, inverse, n_rows):
+    # pure O(nnz) reordering: remap each row's columns through the
+    # inverse permutation and re-sort the row (keys are distinct)
+    out_indices = np.empty(indices.size, dtype=np.int64)
+    out_data = np.empty(data.size, dtype=np.float64)
+    for i in prange(n_rows):
+        start = indptr[i]
+        stop = indptr[i + 1]
+        mapped = inverse[indices[start:stop]]
+        order = np.argsort(mapped)
+        for t in range(stop - start):
+            out_indices[start + t] = mapped[order[t]]
+            out_data[start + t] = data[start + order[t]]
+    return out_indices, out_data
+
+
+@njit(cache=True, parallel=True)
+def _add_kernel(a_indptr, a_indices, a_data, b_indptr, b_indices, b_data, n_rows):
+    # two-pass sorted-row merge; explicitly stored zeros are retained
+    # (matching the vectorized backend's add)
+    counts = np.zeros(n_rows, dtype=np.int64)
+    for i in prange(n_rows):
+        pa = a_indptr[i]
+        pb = b_indptr[i]
+        ea = a_indptr[i + 1]
+        eb = b_indptr[i + 1]
+        n = 0
+        while pa < ea and pb < eb:
+            ca = a_indices[pa]
+            cb = b_indices[pb]
+            if ca == cb:
+                pa += 1
+                pb += 1
+            elif ca < cb:
+                pa += 1
+            else:
+                pb += 1
+            n += 1
+        counts[i] = n + (ea - pa) + (eb - pb)
+    indptr = np.zeros(n_rows + 1, dtype=np.int64)
+    for i in range(n_rows):
+        indptr[i + 1] = indptr[i] + counts[i]
+    out_indices = np.empty(indptr[n_rows], dtype=np.int64)
+    out_data = np.empty(indptr[n_rows], dtype=np.float64)
+    for i in prange(n_rows):
+        pa = a_indptr[i]
+        pb = b_indptr[i]
+        ea = a_indptr[i + 1]
+        eb = b_indptr[i + 1]
+        pos = indptr[i]
+        while pa < ea and pb < eb:
+            ca = a_indices[pa]
+            cb = b_indices[pb]
+            if ca == cb:
+                out_indices[pos] = ca
+                out_data[pos] = a_data[pa] + b_data[pb]
+                pa += 1
+                pb += 1
+            elif ca < cb:
+                out_indices[pos] = ca
+                out_data[pos] = a_data[pa]
+                pa += 1
+            else:
+                out_indices[pos] = cb
+                out_data[pos] = b_data[pb]
+                pb += 1
+            pos += 1
+        while pa < ea:
+            out_indices[pos] = a_indices[pa]
+            out_data[pos] = a_data[pa]
+            pa += 1
+            pos += 1
+        while pb < eb:
+            out_indices[pos] = b_indices[pb]
+            out_data[pos] = b_data[pb]
+            pb += 1
+            pos += 1
+    return indptr, out_indices, out_data
+
+
+# --------------------------------------------------------------------------- #
+# the backend
+# --------------------------------------------------------------------------- #
+class NumbaBackend:
+    """JIT-compiled parallel CSR kernels (pure Python without numba)."""
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        self._warm = False
+
+    # -- hot kernels -------------------------------------------------------- #
+    def spgemm(self, a: CSRMatrix, b: CSRMatrix) -> CSRMatrix:
+        out_shape = (a.shape[0], b.shape[1])
+        if a.nnz == 0 or b.nnz == 0:
+            return CSRMatrix.zeros(out_shape)
+        indptr, indices, data = _spgemm_kernel(
+            a.indptr, a.indices, a.data, b.indptr, b.indices, b.data,
+            out_shape[0], out_shape[1],
+        )
+        return CSRMatrix(out_shape, indptr, indices, data)
+
+    def spmm(self, a: CSRMatrix, dense: np.ndarray) -> np.ndarray:
+        out = np.zeros((a.shape[0], dense.shape[1]), dtype=np.float64)
+        if a.nnz:
+            _spmm_kernel(
+                a.indptr, a.indices, a.data,
+                np.ascontiguousarray(dense, dtype=np.float64), out,
+            )
+        return out
+
+    def spmv(self, a: CSRMatrix, vector: np.ndarray) -> np.ndarray:
+        out = np.zeros(a.shape[0], dtype=np.float64)
+        if a.nnz:
+            _spmv_kernel(
+                a.indptr, a.indices, a.data,
+                np.ascontiguousarray(vector, dtype=np.float64), out,
+            )
+        return out
+
+    def sparse_layer_step(
+        self, y: CSRMatrix, weight: CSRMatrix, bias: np.ndarray, threshold: float
+    ) -> CSRMatrix:
+        out_shape = (y.shape[0], weight.shape[1])
+        if y.nnz == 0 or weight.nnz == 0:
+            return CSRMatrix.zeros(out_shape)
+        indptr, indices, data = _fused_layer_step_kernel(
+            y.indptr, y.indices, y.data,
+            weight.indptr, weight.indices, weight.data,
+            np.ascontiguousarray(bias, dtype=np.float64), float(threshold),
+            out_shape[0], out_shape[1],
+        )
+        return CSRMatrix(out_shape, indptr, indices, data)
+
+    # -- structural kernels ------------------------------------------------- #
+    def transpose(self, a: CSRMatrix) -> CSRMatrix:
+        out_shape = (a.shape[1], a.shape[0])
+        if a.nnz == 0:
+            return CSRMatrix.zeros(out_shape)
+        indptr, indices, data = _transpose_kernel(
+            a.indptr, a.indices, a.data, a.shape[0], a.shape[1]
+        )
+        return CSRMatrix(out_shape, indptr, indices, data)
+
+    def permute_columns(self, a: CSRMatrix, permutation: np.ndarray) -> CSRMatrix:
+        if a.nnz == 0:
+            return a
+        from repro.core.permutation import invert_permutation
+
+        indices, data = _permute_columns_kernel(
+            a.indptr, a.indices, a.data,
+            invert_permutation(np.asarray(permutation, dtype=np.int64)),
+            a.shape[0],
+        )
+        return CSRMatrix(a.shape, a.indptr, indices, data)
+
+    def add(self, a: CSRMatrix, b: CSRMatrix) -> CSRMatrix:
+        if a.nnz == 0 and b.nnz == 0:
+            return CSRMatrix.zeros(a.shape)
+        indptr, indices, data = _add_kernel(
+            a.indptr, a.indices, a.data, b.indptr, b.indices, b.data, a.shape[0]
+        )
+        return CSRMatrix(a.shape, indptr, indices, data)
+
+    def kron(self, a: CSRMatrix, b: CSRMatrix) -> CSRMatrix:
+        # construction-path operation (Kronecker expansion happens once
+        # per topology, never in the inference loop): the vectorized
+        # NumPy kernel is already allocation-optimal here
+        from repro.backends.vectorized import BACKEND as _vectorized
+
+        return _vectorized.kron(a, b)
+
+    # -- warm-up / introspection -------------------------------------------- #
+    def warmup(self) -> None:
+        """Force JIT compilation of every kernel on tiny inputs.
+
+        With ``cache=True`` the compiled artifacts persist under
+        ``NUMBA_CACHE_DIR`` (or next to this file), so warm-up after the
+        first process is a cache load, not a compile.  Idempotent.
+        """
+        if self._warm:
+            return
+        y = CSRMatrix((2, 3), [0, 2, 3], [0, 2, 1], [1.0, 2.0, 3.0])
+        w = CSRMatrix((3, 3), [0, 1, 2, 3], [1, 0, 2], [1.0, 1.0, 1.0])
+        self.spgemm(y, w)
+        self.sparse_layer_step(y, w, np.zeros(3), 4.0)
+        self.spmm(y, np.ones((3, 2)))
+        self.spmv(y, np.ones(3))
+        self.transpose(y)
+        self.add(w, w)
+        self.permute_columns(y, np.array([2, 0, 1]))
+        self._warm = True
+
+    def is_warm(self) -> bool:
+        """True once :meth:`warmup` (or equivalent traffic) has compiled the kernels."""
+        if self._warm:
+            return True
+        signatures = getattr(_fused_layer_step_kernel, "signatures", None)
+        return bool(signatures)
+
+
+BACKEND = NumbaBackend()
+if NUMBA_AVAILABLE:
+    register(BACKEND)
+else:
+    register_unavailable("numba", UNAVAILABLE_REASON)

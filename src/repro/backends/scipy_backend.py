@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.backends.base import register
+from repro.backends.base import register, register_unavailable
 from repro.backends.fused import clamp_bias_filter
 from repro.sparse.csr import CSRMatrix
 
@@ -97,3 +97,7 @@ def scipy_available() -> bool:
 BACKEND = ScipyBackend()
 if scipy_available():
     register(BACKEND)
+else:  # pragma: no cover - scipy ships in the toolchain
+    register_unavailable(
+        "scipy", "scipy is not installed (pip install 'radixnet-repro[scipy]')"
+    )

@@ -19,9 +19,16 @@ generated, inspected, verified, and exported without writing Python::
     python -m repro.cli backends
 
 The kernel-heavy subcommands (``challenge``, ``verify``) accept
-``--backend {reference,scipy,vectorized}`` to select the sparse-kernel
-implementation (see :mod:`repro.backends`; the ``REPRO_BACKEND``
-environment variable sets the default).  ``challenge`` additionally
+``--backend {reference,scipy,vectorized,numba,auto}`` to select the
+sparse-kernel implementation (see :mod:`repro.backends`; the
+``REPRO_BACKEND`` environment variable sets the default, and ``auto``
+micro-probes the registered tiers once and picks the fastest).
+``backends`` prints the capability report: which tiers are registered,
+which optional tiers are missing and why, JIT warm state and thread
+count for numba, and -- with ``--probe`` -- the per-tier fused-kernel
+timing behind ``auto``.  Naming a backend that is unknown or not
+installed exits 2 (argument-error convention) with a one-line message
+listing the available backends.  ``challenge`` additionally
 accepts ``--chunk-size`` / ``--workers`` for chunked or process-parallel
 batched inference, and ``--activations {auto,dense,sparse}`` /
 ``--sparse-crossover`` to pick the activation storage policy (CSR
@@ -57,7 +64,7 @@ import argparse
 import sys
 from collections.abc import Sequence
 
-from repro.errors import ReproError
+from repro.errors import ReproError, UnknownBackendError
 
 
 def _parse_int_list(text: str, name: str) -> list[int]:
@@ -266,7 +273,14 @@ def build_parser() -> argparse.ArgumentParser:
     design.add_argument("--layer-widths", type=parse_widths, required=True)
     design.add_argument("--max-n-prime", type=int, default=None)
 
-    subparsers.add_parser("backends", help="list registered sparse-kernel backends")
+    backends_parser = subparsers.add_parser(
+        "backends", help="report sparse-kernel backend capabilities"
+    )
+    backends_parser.add_argument(
+        "--probe", action="store_true",
+        help="also micro-probe the performance tiers (the measurement "
+        "behind --backend auto)",
+    )
 
     return parser
 
@@ -659,12 +673,10 @@ def _cmd_design(args: argparse.Namespace) -> int:
 def _cmd_backends(args: argparse.Namespace) -> int:
     import repro.backends as backends
 
-    active = backends.active_backend().name
-    for name in backends.available_backends():
-        marker = "*" if name == active else " "
-        print(f"{marker} {name}")
-    print(f"(* = active; override with repro.backends.use(...), --backend, "
-          f"or the {backends.DEFAULT_BACKEND_ENV} environment variable)")
+    print(backends.format_capability_report(include_probe=args.probe))
+    print(f"(active = current default; override with repro.backends.use(...), "
+          f"--backend, or the {backends.DEFAULT_BACKEND_ENV} environment variable; "
+          f"'auto' picks the fastest tier)")
     return 0
 
 
@@ -685,6 +697,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
+    except UnknownBackendError as error:
+        # argument-error convention (argparse exits 2): a mistyped or
+        # not-installed --backend / REPRO_BACKEND name
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -25,6 +25,17 @@ class ConstraintError(ValidationError):
     """
 
 
+class UnknownBackendError(ValidationError):
+    """A sparse backend was requested by a name that is not usable.
+
+    Raised both for names that were never registered and for known
+    optional tiers that are unavailable in this environment (e.g.
+    ``numba`` or ``scipy`` when the package is not installed).  The CLI
+    maps this to exit code 2 (an argument error, like argparse's own),
+    with a one-line message listing ``available_backends()``.
+    """
+
+
 class ShapeError(ReproError, ValueError):
     """Matrix/vector shapes are inconsistent for the requested operation."""
 

@@ -9,11 +9,14 @@ challenge generator's per-layer neuron shuffling
 
 This module is a thin *dispatch layer*: it validates operand shapes and
 forwards to the active :mod:`repro.backends` implementation (``scipy``
-by default, with ``reference`` and ``vectorized`` pure-NumPy
-alternatives).  Switch implementations globally or per-scope with
-``repro.backends.use(...)``, or per-call via the ``backend=`` keyword
-accepted by every kernel here.  The public API of this module is stable
-across backends.
+by default, ``reference`` and ``vectorized`` as pure-NumPy
+alternatives, ``numba`` as the JIT-compiled ``prange``-parallel tier
+when numba is installed).  Switch implementations globally or per-scope
+with ``repro.backends.use(...)``, or per-call via the ``backend=``
+keyword accepted by every kernel here -- a name, an instance, or
+``"auto"`` (pick the fastest tier via a one-shot micro-probe; see
+:mod:`repro.backends.selection`).  The public API of this module is
+stable across backends.
 """
 
 from __future__ import annotations

@@ -77,6 +77,34 @@ class TestRegistry:
         monkeypatch.delenv(backends.DEFAULT_BACKEND_ENV)
         assert backends._initial_backend().name in {"scipy", "vectorized"}
 
+    def test_numba_backend_registered_iff_numba_importable(self):
+        from repro.backends.numba_backend import numba_available
+
+        assert ("numba" in ALL_BACKENDS) == numba_available()
+        if not numba_available():
+            assert "numba" in backends.unavailable_backends()
+
+    def test_unavailable_backend_error_names_the_reason(self):
+        """A known-but-missing optional tier gets an install hint, not
+        the generic unknown-name message."""
+        from repro.backends.numba_backend import numba_available
+        from repro.errors import UnknownBackendError
+
+        if numba_available():
+            pytest.skip("numba installed: the tier is registered, not missing")
+        with pytest.raises(UnknownBackendError, match="not available.*numba"):
+            backends.get_backend("numba")
+
+    def test_unknown_backend_error_lists_available(self):
+        from repro.errors import UnknownBackendError
+
+        with pytest.raises(UnknownBackendError, match="available backends:"):
+            backends.get_backend("no-such-backend")
+
+    def test_unavailable_registry_is_truthful(self):
+        # no name appears as both registered and unavailable
+        assert not set(backends.unavailable_backends()) & set(ALL_BACKENDS)
+
 
 # --------------------------------------------------------------------------- #
 # kernel parity across backends
@@ -270,6 +298,149 @@ def test_backends_agree_pairwise_on_spgemm():
     baseline = results["reference"]
     for name, got in results.items():
         np.testing.assert_allclose(got, baseline, atol=1e-12, err_msg=name)
+
+
+# --------------------------------------------------------------------------- #
+# numba backend algorithms (direct instance; runs as pure Python without numba)
+# --------------------------------------------------------------------------- #
+class TestNumbaBackendAlgorithms:
+    """Bit-parity of the numba kernels against the reference oracle.
+
+    The numba module's kernels fall back to plain Python when numba is
+    not installed, so the *algorithms* are testable (against the same
+    oracle, on the same inputs) in every environment -- only the
+    compiled speed needs numba.  Accumulation happens in the same
+    ``(k, q)`` order as the reference Gustavson row-merge, so sums must
+    be bit-identical, not merely close.
+    """
+
+    @pytest.fixture()
+    def impl(self):
+        from repro.backends.numba_backend import NumbaBackend
+
+        return NumbaBackend()
+
+    @pytest.fixture()
+    def oracle(self):
+        return backends.get_backend("reference")
+
+    def test_spgemm_bit_identical(self, impl, oracle):
+        for seed in range(4):
+            a, _ = random_csr((9, 7), 0.4, seed)
+            b, _ = random_csr((7, 8), 0.4, seed + 50)
+            got, want = impl.spgemm(a, b), oracle.spgemm(a, b)
+            assert got.same_pattern(want)
+            assert np.array_equal(got.data, want.data)
+
+    def test_fused_layer_step_bit_identical(self, impl, oracle):
+        for seed in range(4):
+            y, _ = random_csr((6, 10), 0.4, seed + 100)
+            y = CSRMatrix(y.shape, y.indptr, y.indices, np.abs(y.data))
+            w, _ = random_csr((10, 9), 0.35, seed + 150)
+            bias = -np.random.default_rng(seed).random(9) * 0.2
+            got = impl.sparse_layer_step(y, w, bias, 1.5)
+            want = oracle.sparse_layer_step(y, w, bias, 1.5)
+            assert got.same_pattern(want)
+            assert np.array_equal(got.data, want.data)
+
+    def test_dense_kernels_bit_identical(self, impl, oracle):
+        a, _ = random_csr((8, 6), 0.5, 200)
+        dense = np.random.default_rng(201).standard_normal((6, 4))
+        assert np.array_equal(impl.spmm(a, dense), oracle.spmm(a, dense))
+        vector = np.random.default_rng(202).standard_normal(6)
+        assert np.array_equal(impl.spmv(a, vector), oracle.spmv(a, vector))
+
+    def test_structural_kernels_exact(self, impl, oracle):
+        a, _ = random_csr((7, 9), 0.4, 210)
+        b, _ = random_csr((7, 9), 0.4, 211)
+        for got, want in (
+            (impl.transpose(a), oracle.transpose(a)),
+            (impl.add(a, b), oracle.add(a, b)),
+        ):
+            np.testing.assert_allclose(got.to_dense(), want.to_dense(), atol=1e-12)
+        permutation = np.random.default_rng(212).permutation(9)
+        got = impl.permute_columns(a, permutation)
+        want = oracle.permute_columns(a, permutation)
+        assert got.same_pattern(want)
+        assert np.array_equal(got.data, want.data)
+
+    def test_warmup_is_idempotent(self, impl):
+        assert not impl.is_warm()
+        impl.warmup()
+        assert impl.is_warm()
+        impl.warmup()  # second call is a no-op
+        assert impl.is_warm()
+
+    def test_empty_operands(self, impl):
+        zero = CSRMatrix.zeros((3, 4))
+        assert impl.spgemm(zero, CSRMatrix.zeros((4, 2))).nnz == 0
+        assert impl.sparse_layer_step(
+            zero, CSRMatrix.zeros((4, 2)), np.zeros(2), 1.0
+        ).nnz == 0
+        assert impl.transpose(zero).shape == (4, 3)
+        assert impl.add(zero, CSRMatrix.zeros((3, 4))).nnz == 0
+        assert impl.permute_columns(zero, np.array([1, 0, 3, 2])).nnz == 0
+
+
+# --------------------------------------------------------------------------- #
+# capability report and auto selection
+# --------------------------------------------------------------------------- #
+class TestSelection:
+    @pytest.fixture(autouse=True)
+    def fresh_cache(self):
+        from repro.backends import selection
+
+        selection._reset_cache()
+        yield
+        selection._reset_cache()
+
+    def test_capabilities_cover_registered_and_missing(self):
+        caps = backends.capabilities()
+        for name in ALL_BACKENDS:
+            assert caps[name]["available"] is True
+        for name, reason in backends.unavailable_backends().items():
+            assert caps[name]["available"] is False
+            assert caps[name]["reason"] == reason
+
+    def test_probe_measures_performance_tiers(self):
+        timings = backends.probe_backends()
+        assert timings, "at least one performance tier must be registered"
+        assert all(t > 0 for t in timings.values())
+        assert "reference" not in timings  # oracle, not a performance tier
+        # default invocation caches
+        assert backends.probe_backends() == timings
+
+    def test_auto_backend_is_cached_and_fast_tier(self):
+        from repro.backends import selection
+
+        chosen = backends.auto_backend()
+        assert chosen.name in selection.AUTO_CANDIDATES
+        assert backends.auto_backend() is chosen
+
+    def test_resolve_and_use_accept_auto(self):
+        chosen = backends.resolve_backend("auto")
+        assert chosen.name in backends.available_backends()
+        original = backends.active_backend()
+        with backends.use("auto") as active:
+            assert backends.active_backend() is active
+            assert active.name == chosen.name
+        assert backends.active_backend() is original
+
+    def test_env_auto_selects_initial_default(self, monkeypatch):
+        monkeypatch.setenv(backends.DEFAULT_BACKEND_ENV, "auto")
+        from repro.backends import selection
+
+        assert backends._initial_backend().name in selection.AUTO_CANDIDATES
+
+    def test_capability_report_formats(self):
+        report = backends.format_capability_report()
+        for name in ALL_BACKENDS:
+            assert name in report
+        for name in backends.unavailable_backends():
+            assert name in report
+            assert "missing" in report
+        probed = backends.format_capability_report(include_probe=True)
+        assert "auto would select:" in probed
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,149 @@
+"""Tests for the committed perf ledger (``benchmarks/ledger.py``).
+
+The ledger is a standalone script (benchmarks/ is not a package), so it
+is loaded by file path.  Measurement runs use the ``test`` profile --
+seconds, not minutes -- and one module-scoped ledger write is shared by
+the read-side tests.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+LEDGER_PATH = Path(__file__).resolve().parent.parent / "benchmarks" / "ledger.py"
+
+
+@pytest.fixture(scope="module")
+def ledger():
+    spec = importlib.util.spec_from_file_location("repro_bench_ledger", LEDGER_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def written(ledger, tmp_path_factory):
+    path = tmp_path_factory.mktemp("ledger") / "BENCH_90.json"
+    return ledger.write_ledger(path, pr=90, profile="test")
+
+
+class TestCollection:
+    def test_written_ledger_has_full_schema(self, ledger, written):
+        data = ledger.load_ledger(written)
+        assert data["schema"] == ledger.SCHEMA_VERSION
+        assert data["pr"] == 90
+        assert data["profile"] == "test"
+        assert set(data["metrics"]) == {
+            "kernels", "inference", "official_scale", "generation", "serve",
+        }
+        assert data["environment"]["numpy"]
+
+    def test_metrics_cover_every_known_backend(self, ledger, written):
+        """Installed tiers get numbers; missing tiers get explicit nulls."""
+        import repro.backends as backends
+
+        data = ledger.load_ledger(written)
+        kernels = data["metrics"]["kernels"]
+        for name in ("scipy", "vectorized"):
+            if name in backends.available_backends():
+                assert kernels[name]["fused_edges_per_s"] > 0
+        for name in backends.unavailable_backends():
+            assert kernels[name]["fused_edges_per_s"] is None
+            assert any(name in note for note in data["notes"])
+
+    def test_serve_metrics_present(self, ledger, written):
+        serve = ledger.load_ledger(written)["metrics"]["serve"]
+        assert serve["requests_per_s"] > 0
+        assert serve["latency_p99_ms"] >= serve["latency_p50_ms"] > 0
+
+    def test_unknown_profile_rejected(self, ledger):
+        with pytest.raises(ValueError, match="unknown profile"):
+            ledger.collect_metrics("warp-speed")
+
+
+class TestComparison:
+    def test_flatten_produces_dotted_leaves(self, ledger):
+        flat = ledger.flatten_metrics(
+            {"a": {"b": {"c": 1.0}, "d": None}, "e": 2}
+        )
+        assert flat == {"a.b.c": 1.0, "a.d": None, "e": 2}
+
+    def test_self_comparison_is_all_ok(self, ledger, written):
+        data = ledger.load_ledger(written)
+        rows = ledger.compare_ledgers(data, data)
+        assert all(r["status"] in ("ok", "unmeasured") for r in rows)
+
+    def test_regression_and_improvement_detected(self, ledger):
+        old = {"metrics": {"kernels": {"fused_edges_per_s": 100.0},
+                           "serve": {"latency_p99_ms": 10.0}}}
+        worse = {"metrics": {"kernels": {"fused_edges_per_s": 50.0},
+                             "serve": {"latency_p99_ms": 20.0}}}
+        statuses = {r["metric"]: r["status"]
+                    for r in ledger.compare_ledgers(old, worse)}
+        # throughput halved AND latency doubled: both move against their
+        # respective better-direction
+        assert statuses["kernels.fused_edges_per_s"] == "regression"
+        assert statuses["serve.latency_p99_ms"] == "regression"
+        better = {"metrics": {"kernels": {"fused_edges_per_s": 200.0},
+                              "serve": {"latency_p99_ms": 5.0}}}
+        statuses = {r["metric"]: r["status"]
+                    for r in ledger.compare_ledgers(old, better)}
+        assert statuses["kernels.fused_edges_per_s"] == "improved"
+        assert statuses["serve.latency_p99_ms"] == "improved"
+
+    def test_added_removed_and_null_metrics(self, ledger):
+        old = {"metrics": {"a": 1.0, "gone": 2.0, "n": None}}
+        new = {"metrics": {"a": 1.0, "fresh": 3.0, "n": 4.0}}
+        statuses = {r["metric"]: r["status"]
+                    for r in ledger.compare_ledgers(old, new)}
+        assert statuses == {"a": "ok", "gone": "removed",
+                            "fresh": "added", "n": "unmeasured"}
+
+    def test_format_comparison_text_and_markdown(self, ledger):
+        old = {"metrics": {"k": {"edges_per_s": 100.0}}}
+        new = {"metrics": {"k": {"edges_per_s": 40.0}}}
+        rows = ledger.compare_ledgers(old, new)
+        text = ledger.format_comparison(rows)
+        assert "k.edges_per_s" in text
+        assert "1 regression(s)" in text
+        markdown = ledger.format_comparison(rows, markdown=True)
+        assert markdown.startswith("| metric |")
+        assert "0.40x" in markdown
+
+    def test_find_latest_ledger_respects_before_pr(self, ledger, tmp_path):
+        for n in (3, 6, 11):
+            (tmp_path / f"BENCH_{n}.json").write_text(json.dumps({"metrics": {}}))
+        (tmp_path / "BENCH_notanumber.json").write_text("{}")
+        assert ledger.find_latest_ledger(tmp_path).name == "BENCH_11.json"
+        assert ledger.find_latest_ledger(tmp_path, before_pr=11).name == "BENCH_6.json"
+        assert ledger.find_latest_ledger(tmp_path, before_pr=3) is None
+
+
+class TestCommandLine:
+    def test_main_writes_and_compares(self, ledger, tmp_path, capsys):
+        first = tmp_path / "BENCH_1.json"
+        assert ledger.main(["--pr", "1", "--profile", "test",
+                            "--out", str(first)]) == 0
+        out = capsys.readouterr().out
+        assert "ledger written to" in out
+
+        second = tmp_path / "BENCH_2.json"
+        markdown = tmp_path / "summary.md"
+        code = ledger.main([
+            "--pr", "2", "--profile", "test", "--out", str(second),
+            "--compare", str(first), "--markdown", str(markdown),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "comparison against" in out
+        assert markdown.read_text().startswith("### Perf ledger:")
+
+    def test_committed_bench_6_is_a_valid_ledger(self, ledger):
+        committed = ledger.find_latest_ledger()
+        assert committed is not None, "BENCH_6.json must be committed"
+        data = ledger.load_ledger(committed)
+        assert data["pr"] >= 6
+        flat = ledger.flatten_metrics(data["metrics"])
+        assert any(v is not None for v in flat.values())

@@ -217,3 +217,32 @@ class TestCommands:
     def test_info_missing_file_returns_one(self, tmp_path, capsys):
         code = main(["info", str(tmp_path / "missing.npz")])
         assert code == 1
+
+
+class TestBackendsCommand:
+    def test_backends_prints_capability_report(self, capsys):
+        import repro.backends as backends
+
+        code = main(["backends"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in backends.available_backends():
+            assert name in out
+        for name, reason in backends.unavailable_backends().items():
+            assert name in out
+            assert "missing" in out
+        assert "active" in out
+        assert "REPRO_BACKEND" in out
+
+    def test_backends_probe_reports_auto_choice(self, capsys):
+        from repro.backends import selection
+
+        selection._reset_cache()
+        try:
+            code = main(["backends", "--probe"])
+        finally:
+            selection._reset_cache()
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "auto would select:" in out
+        assert "probe=" in out

@@ -186,6 +186,65 @@ class TestChallengeServeErrors:
 
 
 # --------------------------------------------------------------------------- #
+# backend selection errors (exit 2: argument-error convention)
+# --------------------------------------------------------------------------- #
+class TestBackendSelectionErrors:
+    """A mistyped or not-installed backend name is an *argument* error.
+
+    Both spellings -- ``--backend bogus`` and ``REPRO_BACKEND=bogus`` --
+    must exit 2 with one clean ``error:`` line listing
+    ``available_backends()``, never a raw ``KeyError`` traceback.
+    """
+
+    CHALLENGE = ["challenge", "--neurons", str(NEURONS), "--layers", "2",
+                 "--connections", "4", "--batch", "4"]
+
+    def test_unknown_backend_flag_exits_2(self, capsys):
+        code, _, err = _run(self.CHALLENGE + ["--backend", "bogus"], capsys)
+        assert code == 2
+        _assert_clean_error(err, "unknown sparse backend 'bogus'",
+                            "available backends:")
+
+    def test_unknown_backend_env_var_exits_2(self, capsys, monkeypatch):
+        import repro.backends as backends
+
+        monkeypatch.setenv(backends.DEFAULT_BACKEND_ENV, "bogus")
+        # the env default is resolved lazily; clear any already-resolved
+        # active backend so this invocation hits the lookup
+        monkeypatch.setattr(backends, "_active", None)
+        code, _, err = _run(self.CHALLENGE, capsys)
+        assert code == 2
+        _assert_clean_error(err, "unknown sparse backend 'bogus'",
+                            "available backends:")
+
+    def test_known_but_unavailable_backend_names_install_hint(self, capsys):
+        import repro.backends as backends
+
+        unavailable = backends.unavailable_backends()
+        if not unavailable:
+            pytest.skip("every known backend tier is installed here")
+        name, reason = next(iter(unavailable.items()))
+        code, _, err = _run(self.CHALLENGE + ["--backend", name], capsys)
+        assert code == 2
+        _assert_clean_error(err, f"sparse backend '{name}' is not available",
+                            reason.split(" (")[0], "available backends:")
+
+    def test_verify_subcommand_shares_the_contract(self, capsys):
+        code, _, err = _run(
+            ["verify", "--systems", "2,2;2,2", "--widths", "1,2,2,2,1",
+             "--backend", "bogus"],
+            capsys,
+        )
+        assert code == 2
+        _assert_clean_error(err, "unknown sparse backend 'bogus'")
+
+    def test_auto_is_not_an_error(self, capsys):
+        code, out, _ = _run(self.CHALLENGE + ["--backend", "auto"], capsys)
+        assert code == 0
+        assert "backend:" in out
+
+
+# --------------------------------------------------------------------------- #
 # repro challenge bench-serve
 # --------------------------------------------------------------------------- #
 class TestBenchServeErrors:

@@ -51,7 +51,7 @@ from repro.core.permutation import (
 from repro.core.radixnet import RadixNetSpec, generate_from_spec, radixnet_edge_count
 from repro.core.theory import predicted_radixnet_path_count
 from repro.sparse.csr import CSRMatrix
-from repro.sparse.ops import permute_columns, spgemm
+from repro.sparse.ops import permute_columns, sparse_layer_step, spgemm
 from repro.testing import random_csr
 
 ALL_BACKENDS = backends.available_backends()
@@ -268,6 +268,123 @@ class TestPermutationProperties:
         )
         got = permute_columns(matrix, permutation, backend=backend)
         np.testing.assert_allclose(got.to_dense(), via_matmul.to_dense(), atol=1e-12)
+
+
+# --------------------------------------------------------------------------- #
+# fused layer step invariants (every backend, numba included when present)
+# --------------------------------------------------------------------------- #
+@st.composite
+def fused_step_case(draw):
+    """Random (y, w, bias, threshold) for the fused Graph Challenge step.
+
+    Activations are non-negative (post-ReLU batches always are), the
+    bias is element-wise non-positive (the dispatch-layer precondition),
+    and the threshold is a positive clamp.
+    """
+    batch = draw(st.integers(1, 6))
+    neurons = draw(st.integers(1, 8))
+    outputs = draw(st.integers(1, 8))
+    seed = draw(st.integers(0, 2**31 - 1))
+    y, _ = random_csr((batch, neurons), draw(st.floats(0.0, 1.0)), seed)
+    y = CSRMatrix(y.shape, y.indptr, y.indices, np.abs(y.data))
+    w, _ = random_csr((neurons, outputs), draw(st.floats(0.0, 1.0)), seed + 1)
+    bias_scale = draw(st.floats(0.0, 2.0))
+    bias = -np.random.default_rng(seed + 2).random(outputs) * bias_scale
+    threshold = draw(st.floats(0.25, 4.0))
+    return y, w, bias, threshold
+
+
+def _fused_dense_oracle(y, w, bias, threshold):
+    """The recurrence in dense arithmetic with the stored-entry bias rule."""
+    dy, dw = y.to_dense(), w.to_dense()
+    z = dy @ dw
+    z[dy.sum(axis=1) > 0] += bias
+    return np.clip(z, 0.0, threshold)
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+class TestFusedLayerStepProperties:
+    @given(case=fused_step_case())
+    def test_matches_dense_oracle(self, backend, case):
+        y, w, bias, threshold = case
+        got = sparse_layer_step(y, w, bias, threshold, backend=backend)
+        np.testing.assert_allclose(
+            got.to_dense(), _fused_dense_oracle(y, w, bias, threshold), atol=1e-12
+        )
+        # the stored entries are already filtered and clamped
+        if got.nnz:
+            assert got.data.min() > 0.0
+            assert got.data.max() <= threshold
+
+    @given(case=fused_step_case())
+    def test_result_is_canonical_csr(self, backend, case):
+        y, w, bias, threshold = case
+        got = sparse_layer_step(y, w, bias, threshold, backend=backend)
+        for i in range(got.shape[0]):
+            cols, _ = got.row(i)
+            assert np.all(np.diff(cols) > 0)
+
+    # -- pinned edge cases (the hypothesis strategy rarely lands on these
+    # exactly, and the numba kernel inherits them via the parametrize) -- #
+    def test_empty_weight_layer(self, backend):
+        y, _ = random_csr((3, 5), 0.6, seed=1)
+        y = CSRMatrix(y.shape, y.indptr, y.indices, np.abs(y.data))
+        empty = CSRMatrix.zeros((5, 4))
+        got = sparse_layer_step(y, empty, np.zeros(4), 2.0, backend=backend)
+        assert got.shape == (3, 4)
+        assert got.nnz == 0
+
+    def test_empty_activation_batch(self, backend):
+        w, _ = random_csr((5, 4), 0.6, seed=2)
+        got = sparse_layer_step(
+            CSRMatrix.zeros((3, 5)), w, np.zeros(4), 2.0, backend=backend
+        )
+        assert got.shape == (3, 4)
+        assert got.nnz == 0
+
+    def test_all_rows_clamped_to_zero(self, backend):
+        # a bias more negative than any achievable product zeroes every row
+        y = CSRMatrix.ones((3, 4))
+        w = CSRMatrix.ones((4, 4))
+        bias = np.full(4, -100.0)
+        got = sparse_layer_step(y, w, bias, 2.0, backend=backend)
+        assert got.nnz == 0
+        np.testing.assert_array_equal(got.to_dense(), np.zeros((3, 4)))
+
+    def test_threshold_exactly_at_cap(self, backend):
+        # one product lands exactly on the threshold (stored, == cap) and
+        # one overshoots (stored, clamped to the cap): both must be kept
+        # and equal to the threshold bit-for-bit
+        threshold = 1.75
+        y = CSRMatrix((1, 1), [0, 1], [0], [1.0])
+        w = CSRMatrix((1, 2), [0, 2], [0, 1], [threshold, 2 * threshold])
+        got = sparse_layer_step(y, w, np.zeros(2), threshold, backend=backend)
+        assert got.nnz == 2
+        np.testing.assert_array_equal(got.data, [threshold, threshold])
+
+    def test_exact_zero_after_bias_is_dropped(self, backend):
+        # y @ w == 0.5, bias == -0.5: the sum is exactly 0.0, which the
+        # strictly-positive filter must drop (ReLU keeps nothing at 0)
+        y = CSRMatrix((1, 1), [0, 1], [0], [1.0])
+        w = CSRMatrix((1, 1), [0, 1], [0], [0.5])
+        got = sparse_layer_step(y, w, np.array([-0.5]), 2.0, backend=backend)
+        assert got.nnz == 0
+
+    @given(case=fused_step_case())
+    def test_single_row_batch(self, backend, case):
+        # a batch of one row follows the same oracle (the row-parallel
+        # kernels must handle a single prange iteration)
+        y, w, bias, threshold = case
+        one = CSRMatrix(
+            (1, y.shape[1]),
+            np.array([0, y.indptr[1]], dtype=np.int64),
+            y.indices[: y.indptr[1]],
+            y.data[: y.indptr[1]],
+        )
+        got = sparse_layer_step(one, w, bias, threshold, backend=backend)
+        np.testing.assert_allclose(
+            got.to_dense(), _fused_dense_oracle(one, w, bias, threshold), atol=1e-12
+        )
 
 
 class TestPermutationHelpers:
