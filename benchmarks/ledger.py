@@ -53,13 +53,16 @@ PROFILES = {
     # matches the bench_e2 defaults plus the official-scale fused smoke
     "test": dict(neurons=64, layers=4, batch=16, scale_neurons=128,
                  scale_layers=6, scale_batch=4, serve_requests=20,
-                 serve_clients=2, gen_layers=3, repeats=1),
+                 serve_clients=2, sweep_clients=(1, 2), sweep_requests=10,
+                 gen_layers=3, repeats=1),
     "quick": dict(neurons=256, layers=24, batch=64, scale_neurons=1024,
                   scale_layers=120, scale_batch=16, serve_requests=200,
-                  serve_clients=8, gen_layers=12, repeats=3),
+                  serve_clients=8, sweep_clients=(1, 2, 4, 8),
+                  sweep_requests=60, gen_layers=12, repeats=3),
     "full": dict(neurons=1024, layers=60, batch=64, scale_neurons=4096,
                  scale_layers=120, scale_batch=16, serve_requests=500,
-                 serve_clients=8, gen_layers=24, repeats=5),
+                 serve_clients=8, sweep_clients=(1, 2, 4, 8, 16),
+                 sweep_requests=100, gen_layers=24, repeats=5),
 }
 
 
@@ -239,25 +242,54 @@ def _generation_metrics(cfg: dict) -> dict:
 
 def _serve_metrics(cfg: dict) -> dict:
     from repro.challenge.generator import generate_challenge_network
-    from repro.serve import ServingEngine, bench_serve, serve_in_background
+    from repro.parallel import serve_worker_count
+    from repro.serve import (
+        ServingEngine,
+        bench_serve,
+        saturation_sweep,
+        serve_in_background,
+    )
 
     network = generate_challenge_network(
         cfg["neurons"], max(2, cfg["layers"] // 4), connections=8, seed=6
     )
     engine = ServingEngine.from_network(network, activations="dense")
-    with serve_in_background(engine, max_batch=32, max_wait_ms=2.0) as handle:
-        host, port = handle.address
-        report = bench_serve(
-            host, port,
-            requests=cfg["serve_requests"],
-            clients=cfg["serve_clients"],
-            rows_per_request=1,
-        )
-    return {
-        "requests_per_s": report["requests_per_second"],
-        "latency_p50_ms": report["latency_p50_ms"],
-        "latency_p99_ms": report["latency_p99_ms"],
-    }
+    workers_n = serve_worker_count()
+    out: dict = {"workers": workers_n}
+    # one worker (the PR 6 configuration) vs the multi-worker default; the
+    # top-level keys stay on the default configuration so the ledger
+    # comparison tracks what `challenge serve` actually ships
+    for label, workers in (("single_worker", 1), ("default", workers_n)):
+        with serve_in_background(
+            engine, max_batch=32, max_wait_ms=2.0, workers=workers
+        ) as handle:
+            host, port = handle.address
+            report = bench_serve(
+                host, port,
+                requests=cfg["serve_requests"],
+                clients=cfg["serve_clients"],
+                rows_per_request=1,
+            )
+            if label == "default":
+                out["requests_per_s"] = report["requests_per_second"]
+                out["latency_p50_ms"] = report["latency_p50_ms"]
+                out["latency_p99_ms"] = report["latency_p99_ms"]
+                sweep = saturation_sweep(
+                    host, port,
+                    clients_grid=tuple(cfg["sweep_clients"]),
+                    requests_per_point=cfg["sweep_requests"],
+                    seed=7,
+                )
+                knee = sweep["knee"]
+                if knee is not None:
+                    out["knee"] = {
+                        "clients": knee["clients"],
+                        "requests_per_s": knee["requests_per_second"],
+                        "latency_p99_ms": knee["latency_p99_ms"],
+                    }
+            else:
+                out["single_worker_requests_per_s"] = report["requests_per_second"]
+    return out
 
 
 def collect_metrics(profile: str = "quick") -> tuple[dict, list[str]]:

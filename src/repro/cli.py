@@ -221,6 +221,18 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="row budget per coalesced engine step (default 64)")
     challenge_serve.add_argument("--max-wait-ms", type=float, default=2.0, metavar="T",
                                  help="how long an open micro-batch waits for more rows (default 2ms)")
+    # SUPPRESS: the parent `challenge` parser also defines --workers (its
+    # process-pool fan-out); here it means batcher worker threads
+    challenge_serve.add_argument("--workers", type=int, default=argparse.SUPPRESS,
+                                 metavar="N",
+                                 help="batcher worker threads draining the request queue "
+                                 "(default min(cpu_count, 4))")
+    challenge_serve.add_argument("--adaptive-batch", action="store_true",
+                                 help="retune max-batch/max-wait-ms live from the "
+                                 "batch-size and queue-latency distributions")
+    challenge_serve.add_argument("--replicas", type=int, default=None, metavar="K",
+                                 help="fork K shared-nothing engine processes behind a "
+                                 "load balancer on --host/--port (same wire protocol)")
     challenge_serve.add_argument("--prefetch", type=int, default=2, metavar="DEPTH",
                                  help="background read-ahead while loading the network resident")
     challenge_serve.add_argument("--no-cache", action="store_true",
@@ -253,6 +265,18 @@ def build_parser() -> argparse.ArgumentParser:
                                        help="also write the full report as JSON to PATH")
     challenge_bench_serve.add_argument("--shutdown", action="store_true",
                                        help="send a graceful shutdown op after the load completes")
+    challenge_bench_serve.add_argument("--sweep", action="store_true",
+                                       help="saturation sweep: a clients x rows grid of "
+                                       "measurements locating the knee of the "
+                                       "throughput/latency curve")
+    challenge_bench_serve.add_argument("--sweep-clients", default="1,2,4,8", metavar="LIST",
+                                       help="comma-separated client counts for --sweep "
+                                       "(default 1,2,4,8)")
+    challenge_bench_serve.add_argument("--sweep-rows", default="1", metavar="LIST",
+                                       help="comma-separated rows-per-request values for "
+                                       "--sweep (default 1)")
+    challenge_bench_serve.add_argument("--sweep-requests", type=int, default=60, metavar="N",
+                                       help="requests per sweep grid point (default 60)")
     challenge_bench_serve.add_argument("--seed", type=int, default=argparse.SUPPRESS)
     challenge_verify = challenge_sub.add_parser(
         "verify", help="cross-check a saved network directory against the dense reference"
@@ -484,6 +508,23 @@ def _cmd_challenge_serve(args: argparse.Namespace) -> int:
     from repro.errors import ValidationError
     from repro.serve import ServeApp, ServingEngine
 
+    def on_ready(address: tuple[str, int]) -> None:
+        import os
+
+        host, port = address
+        print(f"serving on {host}:{port} "
+              f"(max_batch {args.max_batch}, max_wait {args.max_wait_ms}ms)", flush=True)
+        if args.port_file:
+            # write-then-rename: a polling client never reads a
+            # created-but-not-yet-written file
+            target = Path(args.port_file)
+            temp = target.with_name(target.name + ".tmp")
+            temp.write_text(f"{host} {port}\n")
+            os.replace(temp, target)
+
+    if args.replicas is not None:
+        return _serve_fleet(args, on_ready)
+
     # the parent `challenge` parser defaults --activations to "auto"; treat
     # that as "not given" so a warm start keeps the checkpoint's policy
     # unless the user picked an explicit mode or crossover
@@ -526,22 +567,11 @@ def _cmd_challenge_serve(args: argparse.Namespace) -> int:
         port=args.port,
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
+        workers=args.workers,
+        adaptive_batch=args.adaptive_batch,
     )
-    print(f"engine: {engine!r}")
-
-    def on_ready(address: tuple[str, int]) -> None:
-        import os
-
-        host, port = address
-        print(f"serving on {host}:{port} "
-              f"(max_batch {args.max_batch}, max_wait {args.max_wait_ms}ms)", flush=True)
-        if args.port_file:
-            # write-then-rename: a polling client never reads a
-            # created-but-not-yet-written file
-            target = Path(args.port_file)
-            temp = target.with_name(target.name + ".tmp")
-            temp.write_text(f"{host} {port}\n")
-            os.replace(temp, target)
+    print(f"engine: {engine!r} ({app.batcher.workers} workers"
+          f"{', adaptive batching' if args.adaptive_batch else ''})")
 
     app.run(on_ready)
     stats = app.stats()
@@ -552,11 +582,49 @@ def _cmd_challenge_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_fleet(args: argparse.Namespace, on_ready) -> int:
+    """`challenge serve --replicas K`: process fleet + load balancer."""
+    import tempfile
+
+    from repro.serve.balancer import LoadBalancer, ReplicaFleet
+
+    activations = args.activations if args.activations != "auto" else None
+    with tempfile.TemporaryDirectory(prefix="repro-fleet-") as workdir:
+        with ReplicaFleet(
+            args.replicas,
+            directory=args.dir,
+            neurons=args.neurons,
+            warm_start=args.warm_start,
+            workdir=workdir,
+            host=args.host,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            workers=args.workers,
+            adaptive_batch=args.adaptive_batch,
+            backend=args.backend,
+            activations=activations,
+        ) as fleet:
+            addresses = fleet.start()
+            print(f"fleet: {len(addresses)} replicas at "
+                  + ", ".join(f"{h}:{p}" for h, p in addresses), flush=True)
+            balancer = LoadBalancer(addresses, host=args.host, port=args.port)
+            balancer.run(on_ready)
+            routed = balancer.balancer_stats()
+            print(f"balanced {sum(routed['routed'])} requests across "
+                  f"{routed['replicas']} replicas "
+                  f"(per replica: {routed['routed']})")
+            fleet.stop()
+    return 0
+
+
 def _cmd_challenge_bench_serve(args: argparse.Namespace) -> int:
     import json as json_mod
     from pathlib import Path
 
     from repro.serve import bench_serve
+
+    if args.sweep:
+        return _bench_serve_sweep(args)
 
     report = bench_serve(
         args.host,
@@ -592,6 +660,52 @@ def _cmd_challenge_bench_serve(args: argparse.Namespace) -> int:
         Path(args.json).write_text(json_mod.dumps(report, indent=2) + "\n")
         print(f"report written to {args.json}")
     return 0 if report["errors"] == 0 and report["completed"] == report["requests"] else 1
+
+
+def _bench_serve_sweep(args: argparse.Namespace) -> int:
+    """`challenge bench-serve --sweep`: locate the saturation knee."""
+    import json as json_mod
+    from pathlib import Path
+
+    from repro.serve import ServeClient, saturation_sweep
+
+    clients_grid = tuple(int(v) for v in args.sweep_clients.split(","))
+    rows_grid = tuple(int(v) for v in args.sweep_rows.split(","))
+    report = saturation_sweep(
+        args.host,
+        args.port,
+        clients_grid=clients_grid,
+        rows_grid=rows_grid,
+        requests_per_point=args.sweep_requests,
+        seed=args.seed,
+        encoding=args.encoding,
+    )
+    print(f"sweep: clients {list(clients_grid)} x rows {list(rows_grid)}, "
+          f"{args.sweep_requests} requests/point ({args.encoding} encoding)")
+    for point in report["grid"]:
+        extra = ""
+        if "queue_wait_mean_ms" in point:
+            extra = (f", queue {point['queue_wait_mean_ms']:.2f}ms / "
+                     f"compute {point['service_mean_ms']:.2f}ms")
+        print(f"  clients {point['clients']:>3} x rows {point['rows_per_request']:>3}: "
+              f"{point['requests_per_second']:,.1f} req/s, "
+              f"p50 {point['latency_p50_ms']:.2f}ms, "
+              f"p99 {point['latency_p99_ms']:.2f}ms"
+              f" ({point['errors']} errors){extra}")
+    knee = report["knee"]
+    if knee is not None:
+        print(f"knee: {knee['clients']} clients x {knee['rows_per_request']} rows -> "
+              f"{knee['requests_per_second']:,.1f} req/s at "
+              f"p99 {knee['latency_p99_ms']:.2f}ms "
+              f"({'saturated' if knee['saturated'] else 'still climbing at grid edge'})")
+    if args.shutdown:
+        with ServeClient(args.host, args.port) as client:
+            ok = bool(client.shutdown().get("ok"))
+        print(f"shutdown: {'acknowledged' if ok else 'FAILED'}")
+    if args.json:
+        Path(args.json).write_text(json_mod.dumps(report, indent=2) + "\n")
+        print(f"report written to {args.json}")
+    return 0 if report["errors"] == 0 else 1
 
 
 def _cmd_challenge_generate(args: argparse.Namespace) -> int:

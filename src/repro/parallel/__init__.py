@@ -16,7 +16,12 @@ dimension (sweeps).  This subpackage provides:
   pipelines (:mod:`repro.challenge.pipeline`).
 """
 
-from repro.parallel.executor import parallel_map, serial_map, effective_worker_count
+from repro.parallel.executor import (
+    effective_worker_count,
+    parallel_map,
+    serial_map,
+    serve_worker_count,
+)
 from repro.parallel.partition import chunked, partition_batch, balanced_chunk_sizes
 from repro.parallel.pipeline import (
     Prefetcher,
@@ -29,6 +34,7 @@ __all__ = [
     "parallel_map",
     "serial_map",
     "effective_worker_count",
+    "serve_worker_count",
     "chunked",
     "partition_batch",
     "balanced_chunk_sizes",

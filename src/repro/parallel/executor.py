@@ -30,6 +30,25 @@ def effective_worker_count(requested: int | None = None) -> int:
     return max(1, (os.cpu_count() or 2) - 1)
 
 
+def serve_worker_count(requested: int | None = None) -> int:
+    """Batcher worker threads for the serve path: requested, else
+    ``min(cpu_count, 4)``.
+
+    Unlike :func:`effective_worker_count` (process fan-out over a batch
+    workload) this does not reserve a core for the parent: the serve
+    front end is an asyncio loop that spends its life parked on sockets,
+    and the batcher workers release the GIL inside the kernels.  Capped
+    at 4 -- engine steps are memory-bandwidth-bound, so piling every
+    core of a large machine onto one queue stops paying for the extra
+    coordination well before then.
+    """
+    if requested is not None:
+        if requested < 1:
+            raise ValidationError("worker count must be >= 1")
+        return int(requested)
+    return min(os.cpu_count() or 1, 4)
+
+
 def serial_map(func: Callable[[T], R], items: Iterable[T]) -> list[R]:
     """Plain serial map returning a list (the fallback path of ``parallel_map``)."""
     return [func(item) for item in items]

@@ -13,9 +13,27 @@ newline-delimited JSON protocol (:mod:`repro.serve.protocol`);
 :func:`~repro.serve.client.bench_serve` are the bundled client and load
 generator.  CLI: ``repro challenge serve`` / ``repro challenge
 bench-serve``.
+
+Scale-out (PR 7): the batcher runs ``workers`` threads against the one
+queue (engine steps in parallel, results still bit-identical);
+:mod:`repro.serve.balancer` forks shared-nothing process replicas behind
+an asyncio load balancer speaking the same protocol (``--replicas K``);
+:class:`~repro.serve.controller.AdaptiveBatchController` retunes
+``max_batch``/``max_wait_ms`` from the live batch/latency distributions
+(``--adaptive-batch``); and :func:`~repro.serve.client.saturation_sweep`
+locates the knee of the throughput/latency curve
+(``bench-serve --sweep``).
 """
 
 from repro.serve.app import ServeApp, ServerHandle, serve_in_background
+from repro.serve.balancer import (
+    FleetHandle,
+    LoadBalancer,
+    ReplicaFleet,
+    ReplicaProcess,
+    aggregate_stats,
+    serve_fleet_in_background,
+)
 from repro.serve.batcher import (
     BatcherStats,
     EngineStep,
@@ -25,14 +43,20 @@ from repro.serve.batcher import (
     RequestStats,
     ServeResult,
 )
-from repro.serve.client import ServeClient, bench_serve
+from repro.serve.client import ServeClient, bench_serve, saturation_sweep
+from repro.serve.controller import AdaptiveBatchController
 from repro.serve.engine import ServingEngine
 
 __all__ = [
+    "AdaptiveBatchController",
     "BatcherStats",
     "EngineStep",
+    "FleetHandle",
+    "LoadBalancer",
     "MicroBatcher",
     "PendingRequest",
+    "ReplicaFleet",
+    "ReplicaProcess",
     "RequestQueue",
     "RequestStats",
     "ServeApp",
@@ -40,6 +64,9 @@ __all__ = [
     "ServeResult",
     "ServerHandle",
     "ServingEngine",
+    "aggregate_stats",
     "bench_serve",
+    "saturation_sweep",
+    "serve_fleet_in_background",
     "serve_in_background",
 ]

@@ -6,12 +6,14 @@ Concurrency model -- three layers, each single-purpose:
   line per request, validates it in the protocol layer, and parks the
   connection's coroutine while the request is pending (thousands of idle
   connections cost nothing);
-* the **micro-batcher worker thread**
-  (:class:`repro.serve.batcher.MicroBatcher`) owns the engine: it
-  coalesces whatever accumulated while the previous step ran and drives
-  one :meth:`repro.serve.engine.ServingEngine.step` per micro-batch --
-  the NumPy/SciPy kernels release the GIL, so the event loop stays
-  responsive while a batch computes;
+* the **micro-batcher worker pool**
+  (:class:`repro.serve.batcher.MicroBatcher`) owns the engine: each of
+  its ``workers`` threads coalesces whatever accumulated while the
+  previous step ran and drives one
+  :meth:`repro.serve.engine.ServingEngine.step` per micro-batch -- the
+  NumPy/SciPy kernels release the GIL, so the event loop stays
+  responsive while batches compute and requests/second scales with
+  cores;
 * completion flows back through a done callback bridged onto the loop
   (``call_soon_threadsafe``) -- no thread is parked per pending request
   -- and the handler writes the response line.
@@ -33,14 +35,23 @@ import threading
 from typing import Any, Callable
 
 from repro.errors import ReproError, ServeError
+from repro.parallel.executor import serve_worker_count
 from repro.serve import protocol
 from repro.serve.batcher import MicroBatcher
+from repro.serve.controller import AdaptiveBatchController
 from repro.serve.engine import ServingEngine
 from repro.utils.clock import Clock
 
 
 class ServeApp:
-    """A serving instance: one engine, one batcher, one listening socket."""
+    """A serving instance: one engine, one batcher pool, one socket.
+
+    ``workers`` batcher threads (default ``min(cpu_count, 4)``) drain
+    the shared request queue concurrently; ``adaptive_batch=True``
+    attaches an :class:`AdaptiveBatchController` that retunes
+    ``max_batch``/``max_wait_ms`` from the live batch-size and
+    queue-latency distributions.
+    """
 
     def __init__(
         self,
@@ -52,13 +63,21 @@ class ServeApp:
         max_wait_ms: float = 2.0,
         request_timeout_s: float = 60.0,
         clock: Clock | None = None,
+        workers: int | None = None,
+        adaptive_batch: bool = False,
     ) -> None:
         self.engine = engine
         self.host = host
         self.port = int(port)
         self.request_timeout_s = float(request_timeout_s)
+        self.controller = AdaptiveBatchController(clock=clock) if adaptive_batch else None
         self.batcher = MicroBatcher(
-            engine.step, max_batch=max_batch, max_wait_ms=max_wait_ms, clock=clock
+            engine.step,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            clock=clock,
+            workers=serve_worker_count(workers),
+            controller=self.controller,
         )
         self.address: tuple[str, int] | None = None
         self.connections_opened = 0
@@ -73,12 +92,15 @@ class ServeApp:
     # ------------------------------------------------------------------ #
     def stats(self) -> dict:
         """Live serving counters (the ``stats`` op's payload)."""
-        return {
+        payload = {
             **self.batcher.stats_dict(),
             "connections_opened": self.connections_opened,
             "protocol_errors": self.protocol_errors,
             "pending": len(self.batcher.queue),
         }
+        if self.controller is not None:
+            payload["adaptive"] = self.controller.snapshot()
+        return payload
 
     async def _dispatch(self, line: bytes) -> tuple[dict, bool]:
         """One request line -> (response, shutdown_requested)."""
@@ -94,6 +116,8 @@ class ServeApp:
                 meta.update(
                     max_batch=self.batcher.max_batch,
                     max_wait_ms=self.batcher.max_wait_s * 1000.0,
+                    workers=self.batcher.workers,
+                    adaptive_batch=self.controller is not None,
                 )
                 return {"id": request_id, "ok": True, **meta}, False
             if op == protocol.OP_STATS:
@@ -303,6 +327,8 @@ def serve_in_background(
     max_wait_ms: float = 2.0,
     request_timeout_s: float = 60.0,
     startup_timeout_s: float = 30.0,
+    workers: int | None = None,
+    adaptive_batch: bool = False,
 ) -> ServerHandle:
     """Run a :class:`ServeApp` on a daemon thread; return once it is listening.
 
@@ -319,6 +345,8 @@ def serve_in_background(
         max_batch=max_batch,
         max_wait_ms=max_wait_ms,
         request_timeout_s=request_timeout_s,
+        workers=workers,
+        adaptive_batch=adaptive_batch,
     )
     ready = threading.Event()
     holder: dict[str, Any] = {}

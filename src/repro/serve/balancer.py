@@ -1,0 +1,625 @@
+"""Process replicas behind a thin asyncio load balancer.
+
+Worker threads (:class:`repro.serve.batcher.MicroBatcher` with
+``workers > 1``) scale one engine across cores until the engine
+process itself saturates -- the Python layer loop, protocol parsing,
+and the event loop all share one interpreter.  The next rung is
+*shared-nothing process replicas*: K independent server processes, each
+loading its own copy of the network via the existing
+:class:`repro.challenge.pipeline.LoadStage` path (warm starts
+included), behind a front-end balancer that speaks the exact same
+newline-JSON protocol, so clients (and ``bench_serve``) cannot tell a
+fleet from a single engine.
+
+Pieces:
+
+* :class:`ReplicaProcess` -- one ``repro challenge serve`` subprocess:
+  spawned with ``--port 0 --port-file``, readiness = the atomically
+  written port file appearing;
+* :class:`ReplicaFleet` -- K replicas as a unit: start, wait-ready,
+  graceful stop (shutdown op first, terminate as the fallback);
+* :class:`LoadBalancer` -- the asyncio front end: routes each ``infer``
+  to the replica with the fewest outstanding requests (over a per-replica
+  connection pool; one pooled connection per in-flight request, because a
+  replica serializes requests per connection), answers ``ping`` locally,
+  forwards ``meta`` to replica 0 (plus fleet fields), *aggregates*
+  ``stats`` across replicas (fleet totals at the top level -- same shape
+  as a single server's -- with per-replica snapshots under
+  ``"replicas"``), and broadcasts ``shutdown`` so every replica drains
+  before the balancer answers and exits;
+* :func:`serve_fleet_in_background` -- fleet + balancer on a background
+  thread, the embedding used by tests and benchmarks.
+
+Request lines are forwarded *verbatim* (bytes in, bytes out), so the
+fleet inherits the single-server bit-identity guarantee: whatever
+replica a request lands on runs the same row-independent recurrence.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.errors import ServeError, ValidationError
+from repro.serve import protocol
+
+
+def _python_env() -> dict:
+    """Subprocess env whose ``PYTHONPATH`` can import :mod:`repro`.
+
+    Replicas must import the same source tree as the parent even when
+    the package is not installed (tests run with pytest's
+    ``pythonpath = ["src"]``, which subprocesses do not inherit).
+    """
+    import repro
+
+    src = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else src + os.pathsep + existing
+    return env
+
+
+class ReplicaProcess:
+    """One shared-nothing ``repro challenge serve`` subprocess."""
+
+    def __init__(self, argv: list[str], port_file: Path) -> None:
+        self.argv = argv
+        self.port_file = port_file
+        self.process: subprocess.Popen | None = None
+        self.address: tuple[str, int] | None = None
+
+    def start(self) -> "ReplicaProcess":
+        self.process = subprocess.Popen(
+            self.argv,
+            env=_python_env(),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+        )
+        return self
+
+    def wait_ready(self, timeout_s: float = 60.0) -> tuple[str, int]:
+        """Block until the replica wrote its port file; returns its address."""
+        assert self.process is not None, "start() the replica first"
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if self.port_file.exists():
+                text = self.port_file.read_text().strip()
+                if text:  # written atomically (write-then-rename), so complete
+                    host, port = text.split()
+                    self.address = (host, int(port))
+                    return self.address
+            if self.process.poll() is not None:
+                stderr = (self.process.stderr.read() or b"").decode(errors="replace")
+                raise ServeError(
+                    f"replica exited with code {self.process.returncode} before "
+                    f"binding its port: {stderr.strip()[-500:]}"
+                )
+            time.sleep(0.02)
+        raise ServeError(f"replica did not become ready within {timeout_s}s")
+
+    def alive(self) -> bool:
+        return self.process is not None and self.process.poll() is None
+
+    def stop(self, timeout_s: float = 30.0) -> None:
+        """Reap the subprocess, escalating politely (wait, terminate, kill)."""
+        if self.process is None:
+            return
+        try:
+            self.process.wait(timeout=timeout_s)
+        except subprocess.TimeoutExpired:
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover - defensive
+                self.process.kill()
+                self.process.wait(timeout=5.0)
+        finally:
+            if self.process.stderr is not None:
+                self.process.stderr.close()
+
+
+class ReplicaFleet:
+    """K replica processes of one saved network, managed as a unit."""
+
+    def __init__(
+        self,
+        replicas: int,
+        *,
+        directory: str | os.PathLike | None = None,
+        neurons: int | None = None,
+        warm_start: str | os.PathLike | None = None,
+        workdir: str | os.PathLike,
+        host: str = "127.0.0.1",
+        max_batch: int = 64,
+        max_wait_ms: float = 2.0,
+        workers: int | None = None,
+        adaptive_batch: bool = False,
+        backend: str | None = None,
+        activations: str | None = None,
+    ) -> None:
+        if replicas < 1:
+            raise ValidationError(f"replicas must be >= 1, got {replicas}")
+        if warm_start is None and (directory is None or neurons is None):
+            raise ValidationError(
+                "a replica fleet needs --dir + --neurons (or --warm-start)"
+            )
+        self.replicas: list[ReplicaProcess] = []
+        workdir = Path(workdir)
+        workdir.mkdir(parents=True, exist_ok=True)
+        for index in range(replicas):
+            port_file = workdir / f"replica-{index}.port"
+            argv = [sys.executable, "-m", "repro.cli", "challenge", "serve",
+                    "--host", host, "--port", "0",
+                    "--port-file", str(port_file),
+                    "--max-batch", str(max_batch),
+                    "--max-wait-ms", str(max_wait_ms)]
+            if warm_start is not None:
+                argv += ["--warm-start", str(warm_start)]
+            else:
+                argv += ["--dir", str(directory), "--neurons", str(neurons)]
+            if workers is not None:
+                argv += ["--workers", str(workers)]
+            if adaptive_batch:
+                argv += ["--adaptive-batch"]
+            if backend is not None:
+                argv += ["--backend", backend]
+            if activations is not None:
+                argv += ["--activations", activations]
+            self.replicas.append(ReplicaProcess(argv, port_file))
+
+    def start(self, timeout_s: float = 120.0) -> list[tuple[str, int]]:
+        """Launch every replica (concurrently) and wait for all addresses."""
+        for replica in self.replicas:
+            replica.start()
+        try:
+            return [replica.wait_ready(timeout_s) for replica in self.replicas]
+        except ServeError:
+            self.terminate()
+            raise
+
+    @property
+    def addresses(self) -> list[tuple[str, int]]:
+        return [r.address for r in self.replicas if r.address is not None]
+
+    def stop(self, timeout_s: float = 30.0) -> None:
+        """Reap replicas (they exit on their own after a shutdown broadcast)."""
+        for replica in self.replicas:
+            replica.stop(timeout_s)
+
+    def terminate(self) -> None:
+        """Hard stop: terminate whatever is still running (error paths)."""
+        for replica in self.replicas:
+            if replica.alive():
+                replica.process.terminate()
+        self.stop(timeout_s=5.0)
+
+    def __enter__(self) -> "ReplicaFleet":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.terminate()
+
+
+def aggregate_stats(per_replica: list[dict]) -> dict:
+    """Fleet totals in the same shape as one server's ``stats`` payload.
+
+    Counters sum, ``max_batch_rows`` takes the max, and the means are
+    re-derived from the summed totals (a mean of means would weight a
+    cold replica the same as a saturated one).
+    """
+    summed = ("requests", "rows", "batches", "failures", "pending",
+              "connections_opened", "protocol_errors", "workers",
+              "total_queue_wait_s", "total_service_s")
+    fleet: dict[str, Any] = {key: 0 for key in summed}
+    fleet["max_batch_rows"] = 0
+    for stats in per_replica:
+        for key in summed:
+            fleet[key] += stats.get(key, 0)
+        fleet["max_batch_rows"] = max(
+            fleet["max_batch_rows"], stats.get("max_batch_rows", 0)
+        )
+    fleet["mean_batch_rows"] = (
+        fleet["rows"] / fleet["batches"] if fleet["batches"] else 0.0
+    )
+    fleet["mean_queue_wait_s"] = (
+        fleet["total_queue_wait_s"] / fleet["requests"] if fleet["requests"] else 0.0
+    )
+    fleet["mean_service_s"] = (
+        fleet["total_service_s"] / fleet["requests"] if fleet["requests"] else 0.0
+    )
+    return fleet
+
+
+class LoadBalancer:
+    """The fleet front end: one listening socket, K replica backends.
+
+    Speaks the single-server protocol verbatim.  ``infer`` lines are
+    routed whole (bytes untouched) to the replica with the fewest
+    outstanding requests -- the cheapest balancing signal that still
+    tracks real backend load, since a slow replica accumulates
+    outstanding requests and stops being picked.
+    """
+
+    def __init__(
+        self,
+        addresses: list[tuple[str, int]],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        request_timeout_s: float = 120.0,
+    ) -> None:
+        if not addresses:
+            raise ValidationError("a load balancer needs at least one replica")
+        self.replica_addresses = list(addresses)
+        self.host = host
+        self.port = int(port)
+        self.request_timeout_s = float(request_timeout_s)
+        self.address: tuple[str, int] | None = None
+        self.connections_opened = 0
+        self.protocol_errors = 0
+        self.routed = [0] * len(addresses)
+        self._outstanding = [0] * len(addresses)
+        self._pools: list[list[tuple[asyncio.StreamReader, asyncio.StreamWriter]]] = [
+            [] for _ in addresses
+        ]
+        self._shutdown: asyncio.Event | None = None
+        self._handlers: set[asyncio.Task] = set()
+        self._inflight = 0
+        self._idle: asyncio.Event | None = None
+
+    # ------------------------------------------------------------------ #
+    # replica connections
+    # ------------------------------------------------------------------ #
+    async def _acquire(self, index: int) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        pool = self._pools[index]
+        if pool:
+            return pool.pop()
+        host, port = self.replica_addresses[index]
+        return await asyncio.open_connection(
+            host, port, limit=protocol.MAX_LINE_BYTES
+        )
+
+    async def _forward(self, index: int, line: bytes) -> dict:
+        """One request line to replica ``index``; its decoded response."""
+        self._outstanding[index] += 1
+        self.routed[index] += 1
+        try:
+            reader, writer = await self._acquire(index)
+            try:
+                writer.write(line if line.endswith(b"\n") else line + b"\n")
+                await writer.drain()
+                response = await asyncio.wait_for(
+                    reader.readline(), timeout=self.request_timeout_s
+                )
+                if not response:
+                    raise ServeError(f"replica {index} closed the connection")
+                self._pools[index].append((reader, writer))
+                return protocol.decode(response)
+            except BaseException:
+                writer.close()
+                raise
+        finally:
+            self._outstanding[index] -= 1
+
+    def _pick_replica(self) -> int:
+        """Least-outstanding-requests routing (ties go to the lowest index)."""
+        return min(range(len(self._outstanding)), key=self._outstanding.__getitem__)
+
+    async def _broadcast(self, message: dict) -> list[dict]:
+        """The same request to every replica, concurrently."""
+        results = await asyncio.gather(
+            *(self._forward(i, protocol.encode(message))
+              for i in range(len(self.replica_addresses))),
+            return_exceptions=True,
+        )
+        out: list[dict] = []
+        for index, result in enumerate(results):
+            if isinstance(result, BaseException):
+                out.append({"ok": False, "error": f"replica {index}: {result}"})
+            else:
+                out.append(result)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # request dispatch
+    # ------------------------------------------------------------------ #
+    def balancer_stats(self) -> dict:
+        return {
+            "replicas": len(self.replica_addresses),
+            "routed": list(self.routed),
+            "outstanding": list(self._outstanding),
+            "connections_opened": self.connections_opened,
+            "protocol_errors": self.protocol_errors,
+        }
+
+    async def _dispatch(self, line: bytes) -> tuple[dict, bool]:
+        request_id: Any = None
+        try:
+            message = protocol.decode(line)
+            request_id = message.get("id")
+            op = message.get("op")
+            if op == protocol.OP_PING:
+                return {"id": request_id, "ok": True, "op": "pong"}, False
+            if op == protocol.OP_INFER:
+                response = await self._forward(self._pick_replica(), line)
+                return response, False
+            if op == protocol.OP_META:
+                meta = await self._forward(0, protocol.encode({"op": protocol.OP_META}))
+                meta.update(
+                    id=request_id,
+                    replicas=len(self.replica_addresses),
+                    fleet=True,
+                )
+                return meta, False
+            if op == protocol.OP_STATS:
+                snapshots = await self._broadcast({"op": protocol.OP_STATS})
+                per_replica = [
+                    {k: v for k, v in snap.items() if k not in ("id", "ok")}
+                    for snap in snapshots
+                    if snap.get("ok")
+                ]
+                fleet = aggregate_stats(per_replica)
+                return {
+                    "id": request_id,
+                    "ok": True,
+                    **fleet,
+                    "replicas": per_replica,
+                    "balancer": self.balancer_stats(),
+                }, False
+            if op == protocol.OP_SHUTDOWN:
+                # every replica drains its accepted requests before
+                # answering, so acknowledging here means the whole fleet
+                # is drained
+                acks = await self._broadcast({"op": protocol.OP_SHUTDOWN})
+                ok = all(ack.get("ok") for ack in acks)
+                return {"id": request_id, "ok": ok, "op": "shutdown"}, True
+            raise ServeError(f"unknown op {op!r} (expected one of {protocol.OPS})")
+        except ServeError as exc:
+            self.protocol_errors += 1
+            return protocol.error_response(request_id, str(exc)), False
+        except Exception as exc:  # noqa: BLE001 - a bad request/replica must
+            # never take the balancer down
+            self.protocol_errors += 1
+            return (
+                protocol.error_response(request_id, f"balancer error: {exc!r}"),
+                False,
+            )
+
+    # ------------------------------------------------------------------ #
+    # connection handling (mirrors ServeApp: one line in, one line out)
+    # ------------------------------------------------------------------ #
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self.connections_opened += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    self.protocol_errors += 1
+                    writer.write(protocol.encode(
+                        protocol.error_response(None, "protocol line too long")
+                    ))
+                    break
+                if not line:
+                    break
+                if line.strip() == b"":
+                    continue
+                # count the dispatch-to-response window so shutdown can
+                # wait for in-flight forwards before reaping connections
+                assert self._idle is not None
+                self._inflight += 1
+                self._idle.clear()
+                try:
+                    response, shutdown = await self._dispatch(line)
+                    writer.write(protocol.encode(response))
+                    await writer.drain()
+                finally:
+                    self._inflight -= 1
+                    if self._inflight == 0:
+                        self._idle.set()
+                if shutdown:
+                    assert self._shutdown is not None
+                    self._shutdown.set()
+                    break
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        except asyncio.CancelledError:
+            pass
+        finally:
+            if task is not None:
+                self._handlers.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _close_pools(self) -> None:
+        for pool in self._pools:
+            while pool:
+                _, writer = pool.pop()
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                    pass
+
+    async def _main(
+        self, on_ready: Callable[[tuple[str, int]], None] | None = None
+    ) -> None:
+        self._shutdown = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        server = await asyncio.start_server(
+            self._handle, self.host, self.port, limit=protocol.MAX_LINE_BYTES
+        )
+        sockname = server.sockets[0].getsockname()
+        self.address = (str(sockname[0]), int(sockname[1]))
+        if on_ready is not None:
+            on_ready(self.address)
+        try:
+            async with server:
+                await self._shutdown.wait()
+        finally:
+            # let every in-flight forward write its response before the
+            # connections still parked on readline are reaped
+            try:
+                await asyncio.wait_for(
+                    self._idle.wait(), timeout=self.request_timeout_s
+                )
+            except asyncio.TimeoutError:  # pragma: no cover - defensive
+                pass
+            for handler in list(self._handlers):
+                if handler is not asyncio.current_task():
+                    handler.cancel()
+            if self._handlers:
+                await asyncio.gather(*self._handlers, return_exceptions=True)
+            await self._close_pools()
+
+    def run(self, on_ready: Callable[[tuple[str, int]], None] | None = None) -> None:
+        """Blocking entry point (``repro challenge serve --replicas K``)."""
+        try:
+            asyncio.run(self._main(on_ready))
+        except KeyboardInterrupt:  # pragma: no cover - interactive stop
+            pass
+
+
+class FleetHandle:
+    """A background fleet: balancer address, live pieces, blocking stop."""
+
+    def __init__(
+        self,
+        fleet: ReplicaFleet,
+        balancer: LoadBalancer,
+        thread: threading.Thread,
+        loop: asyncio.AbstractEventLoop,
+    ) -> None:
+        self.fleet = fleet
+        self.balancer = balancer
+        self._thread = thread
+        self._loop = loop
+
+    @property
+    def address(self) -> tuple[str, int]:
+        assert self.balancer.address is not None
+        return self.balancer.address
+
+    def stop(self, timeout: float = 60.0) -> None:
+        """Graceful fleet stop: broadcast shutdown, join everything.
+
+        Uses the wire protocol (a ``shutdown`` op through the balancer)
+        so every replica drains; falls back to terminating the
+        subprocesses if the balancer is already gone.
+        """
+        from repro.serve.client import ServeClient
+
+        if self._thread.is_alive():
+            try:
+                with ServeClient(*self.address, timeout_s=timeout) as client:
+                    client.shutdown()
+            except ServeError:
+                def _signal() -> None:
+                    if self.balancer._shutdown is not None:
+                        self.balancer._shutdown.set()
+
+                try:
+                    self._loop.call_soon_threadsafe(_signal)
+                except RuntimeError:  # pragma: no cover - loop already closed
+                    pass
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():  # pragma: no cover - defensive
+            raise ServeError(f"balancer thread did not stop within {timeout}s")
+        self.fleet.stop(timeout_s=timeout)
+
+    def __enter__(self) -> "FleetHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def serve_fleet_in_background(
+    *,
+    replicas: int,
+    workdir: str | os.PathLike,
+    directory: str | os.PathLike | None = None,
+    neurons: int | None = None,
+    warm_start: str | os.PathLike | None = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_batch: int = 64,
+    max_wait_ms: float = 2.0,
+    workers: int | None = None,
+    adaptive_batch: bool = False,
+    backend: str | None = None,
+    activations: str | None = None,
+    startup_timeout_s: float = 120.0,
+) -> FleetHandle:
+    """K replica processes + balancer on a background thread.
+
+    The replica analogue of :func:`repro.serve.app.serve_in_background`:
+    returns once the balancer is listening (every replica already bound
+    and ready), and the handle's context-manager exit drains the whole
+    fleet.  ``workdir`` holds the replica port files.
+    """
+    fleet = ReplicaFleet(
+        replicas,
+        directory=directory,
+        neurons=neurons,
+        warm_start=warm_start,
+        workdir=workdir,
+        host=host,
+        max_batch=max_batch,
+        max_wait_ms=max_wait_ms,
+        workers=workers,
+        adaptive_batch=adaptive_batch,
+        backend=backend,
+        activations=activations,
+    )
+    addresses = fleet.start(timeout_s=startup_timeout_s)
+    balancer = LoadBalancer(addresses, host=host, port=port)
+    ready = threading.Event()
+    holder: dict[str, Any] = {}
+
+    def _runner() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+
+        def _on_ready(address: tuple[str, int]) -> None:
+            holder["loop"] = loop
+            ready.set()
+
+        try:
+            loop.run_until_complete(balancer._main(_on_ready))
+        except BaseException as exc:  # noqa: BLE001 - relayed to the starter
+            holder["error"] = exc
+        finally:
+            ready.set()
+            asyncio.set_event_loop(None)
+            loop.close()
+
+    thread = threading.Thread(target=_runner, daemon=True, name="serve-balancer")
+    thread.start()
+    if not ready.wait(startup_timeout_s):  # pragma: no cover - defensive
+        fleet.terminate()
+        raise ServeError(f"balancer did not start within {startup_timeout_s}s")
+    if "error" in holder:
+        thread.join(timeout=5.0)
+        fleet.terminate()
+        raise ServeError(
+            f"balancer failed to start: {holder['error']}"
+        ) from holder["error"]
+    if "loop" not in holder:  # pragma: no cover - defensive
+        fleet.terminate()
+        raise ServeError("balancer exited before binding its socket")
+    return FleetHandle(fleet, balancer, thread, holder["loop"])

@@ -20,11 +20,17 @@ Pieces:
   the worker, with an eventful "something is waiting" signal and
   front-of-queue push-back (a request that would overflow the batch
   budget goes back unharmed, preserving arrival order);
-* :class:`MicroBatcher` -- the worker: collect up to ``max_batch`` rows,
-  waiting at most ``max_wait_ms`` after the first request arrives, run
-  one engine step, scatter the rows back.  All waiting goes through an
-  injectable :class:`repro.utils.clock.Clock`, so tests drive the
-  batching logic deterministically with a
+* :class:`MicroBatcher` -- the worker pool: each worker collects up to
+  ``max_batch`` rows, waiting at most ``max_wait_ms`` after the first
+  request arrives, runs one engine step, and scatters the rows back.
+  With ``workers > 1`` several engine steps run concurrently against the
+  *same* queue -- the recurrence is row-independent and the kernels
+  release the GIL, so requests/second scales with cores while every
+  per-request result stays bit-identical to a single-shot run (each
+  batch is a disjoint slice of the queue; the stats counters are
+  lock-protected against concurrent consumers).  All waiting goes
+  through an injectable :class:`repro.utils.clock.Clock`, so tests drive
+  the batching logic deterministically with a
   :class:`repro.utils.clock.FakeClock` and zero real sleeps
   (:meth:`MicroBatcher.run_once` with ``wait=False``).
 """
@@ -36,11 +42,41 @@ import threading
 from collections import deque
 from collections.abc import Callable
 from dataclasses import dataclass, field
+from typing import Protocol
 
 import numpy as np
 
 from repro.errors import ServeError, ValidationError
 from repro.utils.clock import Clock, SystemClock
+
+
+class BatchController(Protocol):
+    """What the batcher needs from a feedback controller.
+
+    :class:`repro.serve.controller.AdaptiveBatchController` is the
+    shipped implementation; the batcher only relies on this shape, so
+    tests can plug in recording doubles.
+    """
+
+    def bind(self, batcher: "MicroBatcher") -> None:
+        """Called once from ``MicroBatcher.__init__`` with its batcher."""
+        ...  # pragma: no cover - protocol
+
+    def observe(
+        self,
+        *,
+        batch_rows: int,
+        batch_requests: int,
+        queue_wait_s: float,
+        service_s: float,
+        queue_depth: int,
+    ) -> None:
+        """One completed batch: shape + latency breakdown + backlog."""
+        ...  # pragma: no cover - protocol
+
+    def idle(self, *, queue_depth: int) -> None:
+        """A worker found the queue empty and is about to park."""
+        ...  # pragma: no cover - protocol
 
 
 @dataclass
@@ -204,6 +240,23 @@ class RequestQueue:
             self.available.set()
 
 
+def _recent_summary(samples: list[tuple[int, int, float, float]]) -> dict:
+    """Percentile summary of recent ``(rows, requests, queue_wait, service)``."""
+    if not samples:
+        return {"batches": 0}
+    rows = np.asarray([s[0] for s in samples], dtype=np.float64)
+    waits = np.asarray([s[2] for s in samples], dtype=np.float64)
+    services = np.asarray([s[3] for s in samples], dtype=np.float64)
+    return {
+        "batches": len(samples),
+        "mean_batch_rows": float(rows.mean()),
+        "queue_wait_p50_ms": float(np.percentile(waits, 50)) * 1000.0,
+        "queue_wait_p99_ms": float(np.percentile(waits, 99)) * 1000.0,
+        "service_p50_ms": float(np.percentile(services, 50)) * 1000.0,
+        "service_p99_ms": float(np.percentile(services, 99)) * 1000.0,
+    }
+
+
 @dataclass
 class EngineStep:
     """What the batcher needs back from one engine step over a stacked batch."""
@@ -232,6 +285,11 @@ class BatcherStats:
             "failures": self.failures,
             "max_batch_rows": self.max_batch_rows,
             "mean_batch_rows": self.rows / self.batches if self.batches else 0.0,
+            # queue-wait vs compute breakdown: totals *and* means, so a
+            # stats reader (the adaptive controller, the saturation sweep)
+            # can attribute end-to-end latency to queueing or the kernels
+            "total_queue_wait_s": self.total_queue_wait_s,
+            "total_service_s": self.total_service_s,
             "mean_queue_wait_s": (
                 self.total_queue_wait_s / self.requests if self.requests else 0.0
             ),
@@ -263,11 +321,29 @@ class MicroBatcher:
         Time source for all waits (default :class:`SystemClock`); tests
         pass a :class:`repro.utils.clock.FakeClock` and drive
         :meth:`run_once` directly for fully deterministic batching.
+    workers:
+        How many worker threads :meth:`start` launches.  Each loops
+        :meth:`run_once` against the shared queue, so up to ``workers``
+        engine steps run concurrently (the kernels release the GIL).
+        Per-request results are unaffected: every batch is a disjoint
+        slice of the queue and the recurrence is row-independent.
+    controller:
+        Optional feedback controller (duck-typed like
+        :class:`repro.serve.controller.AdaptiveBatchController`): after
+        every batch the executing worker calls
+        ``controller.observe(...)`` with the batch shape and latency
+        breakdown, and idle workers call ``controller.idle(...)``; the
+        controller may retune :attr:`max_batch` / :attr:`max_wait_s` in
+        response.
 
-    The worker thread (:meth:`start`) loops :meth:`run_once`; embedders
+    The worker threads (:meth:`start`) loop :meth:`run_once`; embedders
     that want the batching semantics without a thread (property tests,
     benchmarks) call :meth:`run_once` themselves.
     """
+
+    #: Batches whose shape/latency samples feed the live distributions
+    #: (adaptive controller input, ``stats`` percentiles).
+    RECENT_WINDOW = 256
 
     def __init__(
         self,
@@ -277,6 +353,8 @@ class MicroBatcher:
         max_wait_ms: float = 2.0,
         clock: Clock | None = None,
         idle_wait_s: float = 0.05,
+        workers: int = 1,
+        controller: "BatchController | None" = None,
     ) -> None:
         if max_batch < 1:
             raise ValidationError(f"max_batch must be >= 1, got {max_batch}")
@@ -284,16 +362,26 @@ class MicroBatcher:
             raise ValidationError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
         if idle_wait_s <= 0:
             raise ValidationError(f"idle_wait_s must be > 0, got {idle_wait_s}")
+        if workers < 1:
+            raise ValidationError(f"workers must be >= 1, got {workers}")
         self._step = step
         self.max_batch = int(max_batch)
         self.max_wait_s = float(max_wait_ms) / 1000.0
         self.idle_wait_s = float(idle_wait_s)
+        self.workers = int(workers)
         self.clock: Clock = clock if clock is not None else SystemClock()
         self.queue = RequestQueue()
         self.stats = BatcherStats()
         self._stats_lock = threading.Lock()
-        self._thread: threading.Thread | None = None
+        self._recent: deque[tuple[int, int, float, float]] = deque(
+            maxlen=self.RECENT_WINDOW
+        )
+        self._threads: list[threading.Thread] = []
+        self._live_workers = 0
         self._stopped = threading.Event()
+        self._controller = controller
+        if controller is not None:
+            controller.bind(self)
 
     # ------------------------------------------------------------------ #
     # submission (front-end side)
@@ -326,6 +414,8 @@ class MicroBatcher:
                 break
             if self.queue.closed or not wait:
                 return None
+            if self._controller is not None:
+                self._controller.idle(queue_depth=0)
             self.clock.wait(self.queue.available, self.idle_wait_s)
         batch = [first]
         rows = first.num_rows
@@ -368,17 +458,30 @@ class MicroBatcher:
                 item._fail(exc)
             return
         service_s = self.clock.monotonic() - started
+        batch_queue_wait_s = sum(
+            max(0.0, started - item.enqueued_at) for item in batch
+        )
         # aggregate counters update BEFORE any request completes: a client
         # that just received its response must never read a stats snapshot
-        # that does not count it yet
+        # that does not count it yet.  With multiple workers this lock is
+        # also what keeps the counters exact under concurrent batches.
         with self._stats_lock:
             self.stats.requests += len(batch)
             self.stats.rows += total_rows
             self.stats.batches += 1
             self.stats.max_batch_rows = max(self.stats.max_batch_rows, total_rows)
             self.stats.total_service_s += service_s * len(batch)
-            self.stats.total_queue_wait_s += sum(
-                max(0.0, started - item.enqueued_at) for item in batch
+            self.stats.total_queue_wait_s += batch_queue_wait_s
+            self._recent.append(
+                (total_rows, len(batch), batch_queue_wait_s / len(batch), service_s)
+            )
+        if self._controller is not None:
+            self._controller.observe(
+                batch_rows=total_rows,
+                batch_requests=len(batch),
+                queue_wait_s=batch_queue_wait_s / len(batch),
+                service_s=service_s,
+                queue_depth=len(self.queue),
             )
         offset = 0
         for item in batch:
@@ -405,11 +508,22 @@ class MicroBatcher:
         """A consistent snapshot of the aggregate counters.
 
         Readers on other threads (the ``stats`` op) must come through
-        here: the worker updates several counters per batch under
+        here: workers update several counters per batch under
         ``_stats_lock``, and an unlocked ``stats.as_dict()`` could see a
-        torn in-between state (rows counted, batches not yet)."""
+        torn in-between state (rows counted, batches not yet).  Besides
+        the lifetime totals the snapshot carries the *recent-window*
+        latency distribution (per-batch queue-wait and service-time
+        percentiles over the last :attr:`RECENT_WINDOW` batches) -- the
+        signal the adaptive controller and the saturation sweep read to
+        attribute latency to queueing vs compute."""
         with self._stats_lock:
-            return self.stats.as_dict()
+            snapshot = self.stats.as_dict()
+            recent = list(self._recent)
+        snapshot["workers"] = self.workers
+        snapshot["max_batch"] = self.max_batch
+        snapshot["max_wait_ms"] = self.max_wait_s * 1000.0
+        snapshot["recent"] = _recent_summary(recent)
+        return snapshot
 
     def run_once(self, *, wait: bool = True) -> bool:
         """Collect and execute one micro-batch.
@@ -431,25 +545,35 @@ class MicroBatcher:
             while self.run_once(wait=True):
                 pass
         finally:
-            self._stopped.set()
+            # the LAST worker out flips the stopped event
+            with self._stats_lock:
+                self._live_workers -= 1
+                if self._live_workers == 0:
+                    self._stopped.set()
 
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
     def start(self) -> "MicroBatcher":
-        if self._thread is not None:
+        """Launch the :attr:`workers` worker threads."""
+        if self._threads:
             raise ServeError("batcher already started")
-        self._thread = threading.Thread(
-            target=self._worker, daemon=True, name="micro-batcher"
-        )
-        self._thread.start()
+        self._live_workers = self.workers
+        self._threads = [
+            threading.Thread(
+                target=self._worker, daemon=True, name=f"micro-batcher-{i}"
+            )
+            for i in range(self.workers)
+        ]
+        for thread in self._threads:
+            thread.start()
         return self
 
     def close(self, *, drain: bool = True, timeout: float = 30.0) -> None:
         """Stop accepting requests; drain (default) or fail what is queued.
 
         With ``drain=True`` every already-queued request is still served
-        before the worker exits -- the clean-shutdown guarantee the
+        before the workers exit -- the clean-shutdown guarantee the
         stress tests pin.  With ``drain=False`` queued requests fail
         promptly with :class:`ServeError`.
         """
@@ -460,13 +584,16 @@ class MicroBatcher:
                 if item is None:
                     break
                 item._fail(ServeError("batcher shut down before the request ran"))
-        if self._thread is not None:
-            self._thread.join(timeout=timeout)
-            if self._thread.is_alive():  # pragma: no cover - defensive
-                raise ServeError(f"batcher worker did not stop within {timeout}s")
-            self._thread = None
+        if self._threads:
+            for thread in self._threads:
+                thread.join(timeout=timeout)
+                if thread.is_alive():  # pragma: no cover - defensive
+                    raise ServeError(
+                        f"batcher worker did not stop within {timeout}s"
+                    )
+            self._threads = []
         else:
-            # no worker thread: drain in-line so embedded users get the
+            # no worker threads: drain in-line so embedded users get the
             # same "close completes the queue" semantics
             while self.run_once(wait=False):
                 pass

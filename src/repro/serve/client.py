@@ -7,7 +7,12 @@ generator behind ``repro challenge bench-serve``: ``clients`` threads
 fire ``requests`` total inference requests (challenge-style input rows)
 at a live server and the aggregate reports the serving figures of merit
 -- requests/second, rows/second, and latency percentiles (p50/p95/p99)
--- plus the server's own batching counters.
+-- plus the server's own batching counters.  :func:`saturation_sweep`
+(``bench-serve --sweep``) runs a clients x rows grid of those
+measurements and locates the *knee* of the throughput/latency curve --
+the offered concurrency beyond which added clients stop buying
+throughput and only buy latency -- the serve-path regression signal the
+perf ledger records PR-to-PR.
 """
 
 from __future__ import annotations
@@ -259,4 +264,142 @@ def bench_serve(
         "server_stats": server_stats,
         "shutdown_sent": bool(shutdown),
         "shutdown_ok": shutdown_ok,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# saturation sweep (`repro challenge bench-serve --sweep`)
+# --------------------------------------------------------------------------- #
+def _locate_knee(points: list[dict], *, min_gain: float = 0.10) -> dict | None:
+    """The knee of one rows-slice of the sweep grid.
+
+    ``points`` must share ``rows_per_request`` and be sorted by
+    ``clients``.  Walking up the concurrency ladder, the knee is the
+    last point whose throughput improved by at least ``min_gain`` over
+    its predecessor -- beyond it, added clients only buy latency.  A
+    curve that never gains (single useful client) knees at its first
+    point; a curve still gaining at the end knees at its last point
+    (``saturated: False`` -- the sweep did not reach the plateau).
+    """
+    if not points:
+        return None
+    knee_index = 0
+    for i in range(1, len(points)):
+        prev = points[i - 1]["requests_per_second"]
+        curr = points[i]["requests_per_second"]
+        if prev <= 0 or curr >= prev * (1.0 + min_gain):
+            knee_index = i
+        else:
+            break
+    knee = dict(points[knee_index])
+    knee["saturated"] = knee_index < len(points) - 1
+    return knee
+
+
+def saturation_sweep(
+    host: str,
+    port: int,
+    *,
+    clients_grid: tuple[int, ...] = (1, 2, 4, 8),
+    rows_grid: tuple[int, ...] = (1,),
+    requests_per_point: int = 60,
+    seed: int = 0,
+    encoding: str = "dense",
+    timeout_s: float = 240.0,
+    min_gain: float = 0.10,
+) -> dict:
+    """Map the throughput/latency curve of a live server and find its knee.
+
+    For every ``rows x clients`` grid point this runs one
+    :func:`bench_serve` measurement (``requests_per_point`` requests,
+    distinct seeds per point so no two points replay the same rows) and
+    records throughput, latency percentiles, and the *per-point*
+    server-side queue-wait vs compute split (differenced from the
+    cumulative ``stats`` totals between points).  The knee -- per rows
+    value and overall (highest-throughput knee across rows values) -- is
+    located by :func:`_locate_knee`.  The returned report is
+    JSON-serializable; ``bench-serve --sweep`` writes it for the CI
+    saturation artifact and :mod:`benchmarks.ledger` records the knee.
+    """
+    clients_grid = tuple(sorted({int(c) for c in clients_grid}))
+    rows_grid = tuple(sorted({int(r) for r in rows_grid}))
+    if not clients_grid or clients_grid[0] < 1:
+        raise ValidationError(f"clients_grid must be >= 1, got {clients_grid}")
+    if not rows_grid or rows_grid[0] < 1:
+        raise ValidationError(f"rows_grid must be >= 1, got {rows_grid}")
+    if requests_per_point < 1:
+        raise ValidationError(
+            f"requests_per_point must be >= 1, got {requests_per_point}"
+        )
+
+    grid: list[dict] = []
+    knees: list[dict] = []
+    # baseline the cumulative server counters so the first point's
+    # queue-wait/compute attribution excludes any pre-sweep traffic
+    try:
+        with ServeClient(host, port, timeout_s=timeout_s) as probe:
+            baseline = probe.stats()
+        prev_wait = baseline.get("total_queue_wait_s")
+        prev_service = baseline.get("total_service_s")
+        prev_batches = baseline.get("batches")
+    except ServeError:
+        prev_wait = prev_service = prev_batches = None
+    point_seed = seed
+    for rows in rows_grid:
+        slice_points: list[dict] = []
+        for clients in clients_grid:
+            report = bench_serve(
+                host,
+                port,
+                requests=requests_per_point,
+                clients=clients,
+                rows_per_request=rows,
+                seed=point_seed,
+                encoding=encoding,
+                timeout_s=timeout_s,
+            )
+            point_seed += requests_per_point
+            point = {
+                "clients": clients,
+                "rows_per_request": rows,
+                "requests": requests_per_point,
+                "completed": report["completed"],
+                "errors": report["errors"],
+                "wall_seconds": report["wall_seconds"],
+                "requests_per_second": report["requests_per_second"],
+                "rows_per_second": report["rows_per_second"],
+                "latency_p50_ms": report["latency_p50_ms"],
+                "latency_p99_ms": report["latency_p99_ms"],
+            }
+            stats = report.get("server_stats") or {}
+            wait = stats.get("total_queue_wait_s")
+            service = stats.get("total_service_s")
+            batches = stats.get("batches")
+            if None not in (wait, service, batches, prev_wait):
+                d_batches = batches - prev_batches
+                if d_batches > 0:
+                    point["queue_wait_mean_ms"] = (
+                        (wait - prev_wait) / d_batches * 1000.0
+                    )
+                    point["service_mean_ms"] = (
+                        (service - prev_service) / d_batches * 1000.0
+                    )
+            prev_wait, prev_service, prev_batches = wait, service, batches
+            slice_points.append(point)
+            grid.append(point)
+        knee = _locate_knee(slice_points, min_gain=min_gain)
+        if knee is not None:
+            knees.append(knee)
+
+    overall = max(knees, key=lambda k: k["requests_per_second"]) if knees else None
+    return {
+        "clients_grid": list(clients_grid),
+        "rows_grid": list(rows_grid),
+        "requests_per_point": requests_per_point,
+        "encoding": encoding,
+        "min_gain": min_gain,
+        "grid": grid,
+        "knees": knees,
+        "knee": overall,
+        "errors": int(sum(p["errors"] for p in grid)),
     }

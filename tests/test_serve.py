@@ -274,7 +274,15 @@ class TestMicroBatcher:
         batcher = MicroBatcher(_echo_step, max_batch=4, max_wait_ms=0.0, clock=FakeClock())
         batcher.submit(_rows(1.0))
         batcher.run_once(wait=False)
-        assert batcher.stats_dict() == batcher.stats.as_dict()
+        snapshot = batcher.stats_dict()
+        # counter snapshot matches, plus the configuration/telemetry keys
+        for key, value in batcher.stats.as_dict().items():
+            assert snapshot[key] == value
+        assert snapshot["workers"] == 1
+        assert snapshot["max_batch"] == 4
+        assert snapshot["max_wait_ms"] == 0.0
+        assert snapshot["recent"]["batches"] == 1
+        assert snapshot["recent"]["mean_batch_rows"] == 1.0
 
     def test_step_error_fails_every_request_in_the_batch(self):
         def exploding(rows):

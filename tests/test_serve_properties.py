@@ -9,10 +9,13 @@ request interleavings: however arrivals coalesce into micro-batches,
   single-shot through :meth:`InferenceEngine.run` -- on every registered
   backend, under both forced activation policies.
 
-Everything runs deterministically: a :class:`FakeClock` replaces timed
-waits and the tests drive :meth:`MicroBatcher.run_once` directly, so an
-"interleaving" is an explicit schedule of submit/step actions, not a
-thread race.
+The single-consumer tests run deterministically: a :class:`FakeClock`
+replaces timed waits and the tests drive :meth:`MicroBatcher.run_once`
+directly, so an "interleaving" is an explicit schedule of submit/step
+actions, not a thread race.  The worker-pool suite then re-checks the
+same exactly-once + bit-identity guarantees with 1-4 *real* worker
+threads racing on the queue -- the interleaving there is whatever the
+scheduler produces, which is the point.
 """
 
 import numpy as np
@@ -26,7 +29,7 @@ from repro.challenge.generator import (
     generate_challenge_network,
 )
 from repro.challenge.inference import InferenceEngine
-from repro.serve import EngineStep, MicroBatcher, ServingEngine
+from repro.serve import AdaptiveBatchController, EngineStep, MicroBatcher, ServingEngine
 from repro.utils.clock import FakeClock
 
 NEURONS = 32
@@ -136,3 +139,169 @@ class TestBatcherCoalescingProperties:
         for rows, pending in zip(requests, pendings):
             single = reference.run(rows, record_timing=False)
             assert (pending.result(timeout=0).activations == single.activations).all()
+
+
+# --------------------------------------------------------------------------- #
+# the worker pool: real threads racing on the one queue
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("backend", available_backends())
+@pytest.mark.parametrize("policy", ["dense", "sparse"])
+class TestWorkerPoolProperties:
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=10),
+        workers=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_any_worker_count_is_bit_identical_and_exactly_once(
+        self, engines, backend, policy, sizes, workers
+    ):
+        """N workers draining one queue: exactly-once, bit-identical results."""
+        serving, reference = engines[(backend, policy)]
+        batcher = MicroBatcher(
+            serving.step, max_batch=4, max_wait_ms=0.5, workers=workers
+        ).start()
+        try:
+            requests = _request_rows(sizes)
+            pendings = [batcher.submit(rows) for rows in requests]
+            for pending in pendings:
+                pending.result(timeout=30)
+        finally:
+            batcher.close(drain=True)
+
+        # exactly-once: the counters account for every request and row
+        assert all(pending.done() for pending in pendings)
+        assert batcher.stats.requests == len(requests)
+        assert batcher.stats.rows == sum(r.shape[0] for r in requests)
+        assert batcher.stats.failures == 0
+        assert len(batcher.queue) == 0
+        for rows, pending in zip(requests, pendings):
+            result = pending.result(timeout=0)
+            single = reference.run(rows, record_timing=False)
+            assert result.activations.shape == (rows.shape[0], NEURONS)
+            assert (result.activations == single.activations).all()
+            assert list(result.categories) == list(single.categories)
+
+
+# --------------------------------------------------------------------------- #
+# adaptive batch controller: deterministic convergence under FakeClock
+# --------------------------------------------------------------------------- #
+class TestAdaptiveControllerConvergence:
+    """Zero-sleep convergence checks: every signal is an explicit call."""
+
+    def _bound(self, *, max_batch=8, max_wait_ms=4.0, **controller_kwargs):
+        clock = FakeClock()
+        controller_kwargs.setdefault("interval_s", 0.0)
+        controller = AdaptiveBatchController(clock=clock, **controller_kwargs)
+        batcher = MicroBatcher(
+            _echo_identity,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            clock=clock,
+            controller=controller,
+        )
+        return batcher, controller, clock
+
+    def test_sustained_load_shrinks_wait_to_floor_and_grows_batch(self):
+        batcher, controller, clock = self._bound(min_wait_ms=0.5)
+        for _ in range(32):  # a burst: every batch leaves a queue behind
+            controller.observe(
+                batch_rows=8, batch_requests=8,
+                queue_wait_s=0.01, service_s=0.001, queue_depth=5,
+            )
+        assert batcher.max_wait_s == pytest.approx(0.5 / 1000.0)
+        assert batcher.max_batch == controller.max_batch_cap
+        assert controller.tightened > 0
+
+    def test_idle_relaxes_back_to_baseline(self):
+        batcher, controller, clock = self._bound(min_wait_ms=0.5)
+        for _ in range(16):
+            controller.observe(
+                batch_rows=8, batch_requests=8,
+                queue_wait_s=0.01, service_s=0.001, queue_depth=5,
+            )
+        assert batcher.max_wait_s < 4.0 / 1000.0
+        for _ in range(32):  # quiet spell: empty queue, tiny batches
+            controller.idle(queue_depth=0)
+        assert batcher.max_wait_s == pytest.approx(4.0 / 1000.0)
+        assert batcher.max_batch == 8
+        assert controller.relaxed > 0
+
+    def test_small_batches_with_empty_queue_count_as_idle(self):
+        batcher, controller, clock = self._bound()
+        for _ in range(8):
+            controller.observe(
+                batch_rows=8, batch_requests=8,
+                queue_wait_s=0.01, service_s=0.001, queue_depth=3,
+            )
+        tightened = controller.tightened
+        for _ in range(32):  # lone single-row batches, nothing queued
+            controller.observe(
+                batch_rows=1, batch_requests=1,
+                queue_wait_s=0.0001, service_s=0.001, queue_depth=0,
+            )
+        assert controller.tightened == tightened  # no further tightening
+        assert batcher.max_wait_s == pytest.approx(4.0 / 1000.0)
+        assert batcher.max_batch == 8
+
+    def test_adjustment_interval_rate_limits_reaction(self):
+        batcher, controller, clock = self._bound(interval_s=1.0, min_wait_ms=0.01)
+        for _ in range(10):  # same fake instant: only the first one counts
+            controller.observe(
+                batch_rows=8, batch_requests=8,
+                queue_wait_s=0.01, service_s=0.001, queue_depth=5,
+            )
+        assert controller.tightened == 1
+        clock.advance(2.0)
+        controller.observe(
+            batch_rows=8, batch_requests=8,
+            queue_wait_s=0.01, service_s=0.001, queue_depth=5,
+        )
+        assert controller.tightened == 2
+
+    def test_driven_through_the_batcher_loop(self):
+        """End to end under FakeClock: run_once feeds the controller."""
+        batcher, controller, clock = self._bound(max_batch=2, min_wait_ms=0.5)
+        for i in range(12):  # keep the queue deeper than the row budget
+            batcher.submit(np.full((1, 2), float(i)))
+        while batcher.run_once(wait=False):
+            pass
+        assert controller.tightened > 0
+        assert batcher.max_wait_s < 4.0 / 1000.0
+        # drained queue: idle ticks walk the window back up (what the
+        # worker's empty-queue branch reports each time it parks)
+        for _ in range(64):
+            controller.idle(queue_depth=0)
+        assert batcher.max_wait_s == pytest.approx(4.0 / 1000.0)
+
+    def test_parked_worker_reports_idle_to_the_controller(self):
+        """The empty-queue wait branch fires the idle hook.
+
+        FakeClock waits never park a thread, so the controller stub
+        closes the queue from inside ``idle`` -- the collect loop then
+        observes the close and returns instead of spinning.
+        """
+        calls: list[int] = []
+
+        class ClosingController:
+            def bind(self, batcher):
+                self.batcher = batcher
+
+            def observe(self, **kwargs):  # pragma: no cover - not reached
+                pass
+
+            def idle(self, *, queue_depth):
+                calls.append(queue_depth)
+                self.batcher.queue.close()
+
+        batcher = MicroBatcher(
+            _echo_identity, max_wait_ms=1.0, clock=FakeClock(),
+            controller=ClosingController(),
+        )
+        assert batcher.run_once(wait=True) is False
+        assert calls == [0]
+
+
+def _echo_identity(rows: np.ndarray) -> EngineStep:
+    return EngineStep(
+        activations=np.asarray(rows, dtype=np.float64), layer_modes=["dense"]
+    )
