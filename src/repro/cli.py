@@ -95,6 +95,26 @@ def parse_widths(text: str) -> list[int]:
     return values
 
 
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid float value: {text!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {text}")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {text}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -233,6 +253,14 @@ def build_parser() -> argparse.ArgumentParser:
     challenge_serve.add_argument("--replicas", type=int, default=None, metavar="K",
                                  help="fork K shared-nothing engine processes behind a "
                                  "load balancer on --host/--port (same wire protocol)")
+    challenge_serve.add_argument("--health-interval-ms", type=_positive_float,
+                                 default=500.0, metavar="T",
+                                 help="with --replicas: gap between balancer health "
+                                 "pings of each replica (default 500ms)")
+    challenge_serve.add_argument("--max-restarts", type=_nonnegative_int,
+                                 default=2, metavar="N",
+                                 help="with --replicas: crash restarts allowed per "
+                                 "replica before the fleet gives it up (default 2)")
     challenge_serve.add_argument("--prefetch", type=int, default=2, metavar="DEPTH",
                                  help="background read-ahead while loading the network resident")
     challenge_serve.add_argument("--no-cache", action="store_true",
@@ -265,6 +293,10 @@ def build_parser() -> argparse.ArgumentParser:
                                        help="also write the full report as JSON to PATH")
     challenge_bench_serve.add_argument("--shutdown", action="store_true",
                                        help="send a graceful shutdown op after the load completes")
+    challenge_bench_serve.add_argument("--timeout-s", type=_positive_float,
+                                       default=120.0, metavar="T",
+                                       help="per-request timeout; a hung server fails "
+                                       "the request with a clean error (default 120)")
     challenge_bench_serve.add_argument("--sweep", action="store_true",
                                        help="saturation sweep: a clients x rows grid of "
                                        "measurements locating the knee of the "
@@ -583,10 +615,16 @@ def _cmd_challenge_serve(args: argparse.Namespace) -> int:
 
 
 def _serve_fleet(args: argparse.Namespace, on_ready) -> int:
-    """`challenge serve --replicas K`: process fleet + load balancer."""
+    """`challenge serve --replicas K`: process fleet + load balancer.
+
+    The fleet runs supervised: the balancer health-pings every replica
+    each ``--health-interval-ms`` and a watcher thread restarts crashed
+    replicas up to ``--max-restarts`` times each.
+    """
     import tempfile
 
-    from repro.serve.balancer import LoadBalancer, ReplicaFleet
+    from repro.serve.balancer import FleetSupervisor, LoadBalancer, ReplicaFleet
+    from repro.serve.health import HealthPolicy
 
     activations = args.activations if args.activations != "auto" else None
     with tempfile.TemporaryDirectory(prefix="repro-fleet-") as workdir:
@@ -607,12 +645,30 @@ def _serve_fleet(args: argparse.Namespace, on_ready) -> int:
             addresses = fleet.start()
             print(f"fleet: {len(addresses)} replicas at "
                   + ", ".join(f"{h}:{p}" for h, p in addresses), flush=True)
-            balancer = LoadBalancer(addresses, host=args.host, port=args.port)
-            balancer.run(on_ready)
+            # pids on their own line so ops tooling (and the CI chaos
+            # smoke) can target a replica process directly
+            print("fleet pids: " + " ".join(str(p) for p in fleet.pids), flush=True)
+            balancer = LoadBalancer(
+                addresses,
+                host=args.host,
+                port=args.port,
+                health=HealthPolicy(interval_s=args.health_interval_ms / 1000.0),
+            )
+            supervisor = FleetSupervisor(
+                fleet, balancer, max_restarts=args.max_restarts
+            ).start()
+            try:
+                balancer.run(on_ready)
+            finally:
+                supervisor.stop()
             routed = balancer.balancer_stats()
             print(f"balanced {sum(routed['routed'])} requests across "
                   f"{routed['replicas']} replicas "
                   f"(per replica: {routed['routed']})")
+            print(f"resilience: {routed['retries']} retries, "
+                  f"{routed['restarts']} restarts, "
+                  f"{routed['health']['ejections']} ejections, "
+                  f"{routed['health']['pings_ok']} pings ok")
             fleet.stop()
     return 0
 
@@ -635,6 +691,7 @@ def _cmd_challenge_bench_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
         encoding=args.encoding,
         shutdown=args.shutdown,
+        timeout_s=args.timeout_s,
     )
     server = report["server"]
     print(f"server: {server['neurons']} neurons x {server['layers']} layers, "

@@ -23,15 +23,28 @@ an asyncio load balancer speaking the same protocol (``--replicas K``);
 (``--adaptive-batch``); and :func:`~repro.serve.client.saturation_sweep`
 locates the knee of the throughput/latency curve
 (``bench-serve --sweep``).
+
+Resilience (PR 8): the fleet is self-healing.  The balancer actively
+health-checks replicas (:mod:`repro.serve.health` holds the
+FakeClock-testable decision logic), ejects one after consecutive
+failures, retries in-flight requests lost to a dead connection on
+another replica with capped exponential backoff (exactly-once,
+bit-identical -- the recurrence is stateless per request), and the
+:class:`~repro.serve.balancer.FleetSupervisor` restarts crashed replica
+processes (``--max-restarts``) and drives zero-drop rolling restarts
+via ``drain``.
 """
 
 from repro.serve.app import ServeApp, ServerHandle, serve_in_background
 from repro.serve.balancer import (
+    BalancerHandle,
     FleetHandle,
+    FleetSupervisor,
     LoadBalancer,
     ReplicaFleet,
     ReplicaProcess,
     aggregate_stats,
+    serve_balancer_in_background,
     serve_fleet_in_background,
 )
 from repro.serve.batcher import (
@@ -46,13 +59,24 @@ from repro.serve.batcher import (
 from repro.serve.client import ServeClient, bench_serve, saturation_sweep
 from repro.serve.controller import AdaptiveBatchController
 from repro.serve.engine import ServingEngine
+from repro.serve.health import (
+    HealthMonitor,
+    HealthPolicy,
+    ReplicaHealth,
+    backoff_delays,
+)
 
 __all__ = [
     "AdaptiveBatchController",
+    "BalancerHandle",
     "BatcherStats",
     "EngineStep",
     "FleetHandle",
+    "FleetSupervisor",
+    "HealthMonitor",
+    "HealthPolicy",
     "LoadBalancer",
+    "ReplicaHealth",
     "MicroBatcher",
     "PendingRequest",
     "ReplicaFleet",
@@ -65,8 +89,10 @@ __all__ = [
     "ServerHandle",
     "ServingEngine",
     "aggregate_stats",
+    "backoff_delays",
     "bench_serve",
     "saturation_sweep",
+    "serve_balancer_in_background",
     "serve_fleet_in_background",
     "serve_in_background",
 ]

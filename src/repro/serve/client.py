@@ -50,23 +50,45 @@ class ServeClient:
             raise ServeError(
                 f"cannot connect to serve instance at {host}:{port}: {exc}"
             ) from None
+        self.timeout_s = float(timeout_s)
         self._sock.settimeout(timeout_s)
         self._file = self._sock.makefile("rwb")
         self._lock = threading.Lock()
+        self._broken = False
 
     # ------------------------------------------------------------------ #
     def request(self, message: dict) -> dict:
-        """Send one request line; block for (and return) its response."""
+        """Send one request line; block for (and return) its response.
+
+        A request that times out (``timeout_s``) or hits a connection
+        error raises a clean :class:`ServeError` *and* poisons this
+        client: the protocol pairs responses to requests by stream
+        order, so after a timeout a late response could be mistaken for
+        the answer to the *next* request.  Open a fresh client instead.
+        """
         payload = protocol.encode(message)
         with self._lock:
+            if self._broken:
+                raise ServeError(
+                    "serve connection is broken (a previous request timed out "
+                    "or failed); open a new client"
+                )
             try:
                 self._file.write(payload)
                 self._file.flush()
                 line = self._file.readline(protocol.MAX_LINE_BYTES + 2)
+            except socket.timeout:
+                self._broken = True
+                raise ServeError(
+                    f"request {message.get('op')!r} timed out after "
+                    f"{self.timeout_s}s waiting for {self.host}:{self.port}"
+                ) from None
             except OSError as exc:
+                self._broken = True
                 raise ServeError(f"serve connection failed: {exc}") from None
-        if not line:
-            raise ServeError("server closed the connection")
+            if not line:
+                self._broken = True
+                raise ServeError("server closed the connection")
         return protocol.decode(line)
 
     def checked(self, message: dict) -> dict:
@@ -109,6 +131,10 @@ class ServeClient:
 
     def shutdown(self) -> dict:
         return self.checked({"op": protocol.OP_SHUTDOWN})
+
+    def drain(self, replica: int) -> dict:
+        """Balancer-only: warm-restart one replica (zero dropped requests)."""
+        return self.checked({"op": protocol.OP_DRAIN, "replica": int(replica)})
 
     def close(self) -> None:
         try:

@@ -1,0 +1,269 @@
+"""Replica health state and retry/backoff policy for the fleet balancer.
+
+The resilience machinery of :mod:`repro.serve.balancer` splits into two
+halves so each is testable on its own terms:
+
+* the *decisions* live here, in plain synchronous objects driven by the
+  injectable :class:`repro.utils.clock.Clock` -- when a replica is due
+  for a ping, when consecutive failures cross the ejection threshold,
+  when an ejected replica has answered enough to re-enter rotation, and
+  what the capped exponential backoff schedule for a retried request
+  looks like.  Unit tests drive these with a
+  :class:`~repro.utils.clock.FakeClock` and zero sleeps;
+* the *I/O* (actually opening connections and sending ``ping`` lines)
+  stays in the balancer's asyncio world, which the chaos suite
+  (``tests/test_serve_chaos.py``) exercises against real sockets through
+  a fault-injecting proxy.
+
+State machine per replica (:class:`ReplicaHealth`):
+
+``healthy``
+    In rotation.  ``fail_threshold`` *consecutive* failures (pings or
+    in-flight request errors -- both are evidence) eject it.
+``ejected``
+    Out of rotation.  Health pings keep probing it; one successful ping
+    (the *readiness ping*) re-admits it.  The fleet supervisor also
+    lands here while a crashed replica is being restarted, and calls
+    :meth:`HealthMonitor.admit` once the replacement answered its
+    readiness ping.
+``draining``
+    Out of rotation for *new* requests, but deliberately so: outstanding
+    work is finishing ahead of a warm restart.  Failures do not
+    accumulate against a draining replica.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+from repro.utils.clock import Clock, SystemClock
+
+STATE_HEALTHY = "healthy"
+STATE_EJECTED = "ejected"
+STATE_DRAINING = "draining"
+STATES = (STATE_HEALTHY, STATE_EJECTED, STATE_DRAINING)
+
+
+def backoff_delays(attempts: int, base_s: float, cap_s: float) -> list[float]:
+    """The capped exponential backoff schedule for ``attempts`` retries.
+
+    Delay ``k`` is ``base_s * 2**k``, clamped to ``cap_s`` -- the
+    standard shape: immediate-ish first retry, quickly spreading out,
+    never waiting longer than the cap.  Safe to apply to inference
+    requests because the recurrence is stateless per request: re-running
+    a lost request on another replica produces bit-identical rows.
+    """
+    if attempts < 0:
+        raise ValidationError(f"attempts must be >= 0, got {attempts}")
+    if base_s < 0 or cap_s < 0:
+        raise ValidationError(
+            f"backoff base/cap must be >= 0, got base={base_s}, cap={cap_s}"
+        )
+    return [min(base_s * (2.0 ** k), cap_s) for k in range(attempts)]
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """Knobs for active health checking and in-flight request recovery."""
+
+    interval_s: float = 0.5        # gap between pings of one replica
+    fail_threshold: int = 3        # consecutive failures that eject
+    retry_limit: int = 3           # retries per lost in-flight request
+    retry_base_s: float = 0.05     # first retry backoff
+    retry_cap_s: float = 1.0       # backoff ceiling
+    ping_timeout_s: float = 5.0    # how long one health ping may take
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0:
+            raise ValidationError(
+                f"health interval must be > 0, got {self.interval_s}"
+            )
+        if self.fail_threshold < 1:
+            raise ValidationError(
+                f"fail_threshold must be >= 1, got {self.fail_threshold}"
+            )
+        if self.retry_limit < 0:
+            raise ValidationError(
+                f"retry_limit must be >= 0, got {self.retry_limit}"
+            )
+        if self.retry_base_s < 0 or self.retry_cap_s < 0:
+            raise ValidationError(
+                "retry backoff base/cap must be >= 0, got "
+                f"base={self.retry_base_s}, cap={self.retry_cap_s}"
+            )
+        if self.ping_timeout_s <= 0:
+            raise ValidationError(
+                f"ping_timeout_s must be > 0, got {self.ping_timeout_s}"
+            )
+
+    def retry_delays(self) -> list[float]:
+        """The backoff schedule this policy applies to a retried request."""
+        return backoff_delays(self.retry_limit, self.retry_base_s, self.retry_cap_s)
+
+
+@dataclass
+class ReplicaHealth:
+    """One replica's health record (mutated only via :class:`HealthMonitor`)."""
+
+    state: str = STATE_HEALTHY
+    consecutive_failures: int = 0
+    pings_ok: int = 0
+    pings_failed: int = 0
+    ejections: int = 0
+    admissions: int = 0
+    last_ping_s: float | None = None
+    last_error: str | None = None
+
+    def snapshot(self) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "pings_ok": self.pings_ok,
+            "pings_failed": self.pings_failed,
+            "ejections": self.ejections,
+            "admissions": self.admissions,
+            "last_error": self.last_error,
+        }
+
+
+@dataclass
+class HealthMonitor:
+    """Health bookkeeping for a fixed-size fleet of replicas.
+
+    Thread-safe: the balancer's event loop records in-flight failures,
+    the health-check task records ping outcomes, and the fleet
+    supervisor thread ejects/admits around restarts -- all through this
+    one object.  Time comes from the injectable clock, so every
+    transition is unit-testable with a
+    :class:`~repro.utils.clock.FakeClock` and no sleeps.
+    """
+
+    count: int
+    policy: HealthPolicy = field(default_factory=HealthPolicy)
+    clock: Clock = field(default_factory=SystemClock)
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValidationError(f"a health monitor needs >= 1 replica, got {self.count}")
+        self._lock = threading.Lock()
+        self._replicas = [ReplicaHealth() for _ in range(self.count)]
+
+    # ------------------------------------------------------------------ #
+    # rotation queries
+    # ------------------------------------------------------------------ #
+    def state(self, index: int) -> str:
+        with self._lock:
+            return self._replicas[index].state
+
+    def in_rotation(self) -> list[int]:
+        """Indices a new request may be routed to (healthy only)."""
+        with self._lock:
+            return [
+                i for i, r in enumerate(self._replicas) if r.state == STATE_HEALTHY
+            ]
+
+    def due_for_ping(self) -> list[int]:
+        """Replicas whose last ping is older than the check interval.
+
+        Ejected replicas stay on the probe schedule -- a successful ping
+        is exactly how they earn their way back into rotation.  Draining
+        replicas are skipped: they are out of rotation on purpose and
+        about to be restarted.
+        """
+        now = self.clock.monotonic()
+        with self._lock:
+            return [
+                i
+                for i, r in enumerate(self._replicas)
+                if r.state != STATE_DRAINING
+                and (
+                    r.last_ping_s is None
+                    or now - r.last_ping_s >= self.policy.interval_s
+                )
+            ]
+
+    # ------------------------------------------------------------------ #
+    # evidence
+    # ------------------------------------------------------------------ #
+    def record_success(self, index: int, *, ping: bool = False) -> bool:
+        """A replica answered.  Returns True if this re-admitted it."""
+        with self._lock:
+            replica = self._replicas[index]
+            replica.consecutive_failures = 0
+            replica.last_error = None
+            if ping:
+                replica.pings_ok += 1
+                replica.last_ping_s = self.clock.monotonic()
+            if replica.state == STATE_EJECTED:
+                # the readiness ping: back into rotation
+                replica.state = STATE_HEALTHY
+                replica.admissions += 1
+                return True
+            return False
+
+    def record_failure(
+        self, index: int, *, ping: bool = False, error: str | None = None
+    ) -> bool:
+        """A replica failed to answer.  Returns True if this ejected it."""
+        with self._lock:
+            replica = self._replicas[index]
+            if ping:
+                replica.pings_failed += 1
+                replica.last_ping_s = self.clock.monotonic()
+            replica.last_error = error
+            if replica.state != STATE_HEALTHY:
+                return False  # already out of rotation
+            replica.consecutive_failures += 1
+            if replica.consecutive_failures >= self.policy.fail_threshold:
+                replica.state = STATE_EJECTED
+                replica.ejections += 1
+                return True
+            return False
+
+    # ------------------------------------------------------------------ #
+    # supervisor transitions
+    # ------------------------------------------------------------------ #
+    def eject(self, index: int, *, error: str | None = None) -> None:
+        """Force a replica out of rotation (crash observed by the watcher)."""
+        with self._lock:
+            replica = self._replicas[index]
+            if error is not None:
+                replica.last_error = error
+            if replica.state != STATE_EJECTED:
+                replica.state = STATE_EJECTED
+                replica.ejections += 1
+
+    def drain(self, index: int) -> None:
+        """Take a replica out of rotation deliberately (warm restart ahead)."""
+        with self._lock:
+            self._replicas[index].state = STATE_DRAINING
+
+    def admit(self, index: int) -> None:
+        """Put a replica (back) into rotation with a clean slate."""
+        with self._lock:
+            replica = self._replicas[index]
+            if replica.state != STATE_HEALTHY:
+                replica.admissions += 1
+            replica.state = STATE_HEALTHY
+            replica.consecutive_failures = 0
+            replica.last_error = None
+            replica.last_ping_s = self.clock.monotonic()
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def states(self) -> list[str]:
+        with self._lock:
+            return [r.state for r in self._replicas]
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "pings_ok": sum(r.pings_ok for r in self._replicas),
+                "pings_failed": sum(r.pings_failed for r in self._replicas),
+                "ejections": sum(r.ejections for r in self._replicas),
+                "admissions": sum(r.admissions for r in self._replicas),
+                "replicas": [r.snapshot() for r in self._replicas],
+            }

@@ -22,6 +22,11 @@ Requests are objects with an ``op``:
 ``{"op": "shutdown"}``
     Graceful stop: the server drains every queued request, answers this
     one, and exits.
+``{"op": "drain", "replica": i}``
+    Balancer-only (a single server rejects it): warm-restart replica
+    ``i`` -- stop routing to it, let its outstanding work finish,
+    restart it, and answer once the replacement passed its readiness
+    ping.  The response carries the replacement's ``"address"``.
 
 Responses echo ``id`` and carry ``"ok": true`` plus op-specific fields,
 or ``"ok": false`` with an ``"error"`` message.  Malformed lines get an
@@ -46,7 +51,9 @@ OP_PING = "ping"
 OP_META = "meta"
 OP_STATS = "stats"
 OP_SHUTDOWN = "shutdown"
+OP_DRAIN = "drain"  # balancer-only: warm-restart one replica
 OPS = (OP_INFER, OP_PING, OP_META, OP_STATS, OP_SHUTDOWN)
+BALANCER_OPS = OPS + (OP_DRAIN,)
 
 
 def encode(message: dict) -> bytes:

@@ -1,0 +1,226 @@
+"""Fault-injection helpers for the serve resilience suite.
+
+:class:`FaultProxy` is a line-oriented TCP shim that sits between the
+load balancer and one backend server, pretending to *be* that backend
+(the balancer is pointed at the proxy's address).  Tests script faults
+against it mid-run:
+
+* ``set_refusing`` -- new connections are accepted and immediately
+  closed (the backend looks dead to dial attempts and health pings);
+* ``sever_now`` / ``sever_after_responses`` -- cut live connections,
+  either immediately or right before the Nth-next response line would
+  be forwarded (the nastiest loss: the backend already did the work,
+  the caller never hears back);
+* ``set_blackhole`` -- swallow request lines (the request vanishes and
+  the caller is left waiting: the timeout fault);
+* ``set_delay`` -- per-response latency injection;
+* ``fail`` / ``heal`` -- full outage on, everything back to clean
+  pass-through.
+
+Because the serve protocol is newline-delimited JSON, the proxy pumps
+whole lines, so every fault lands on a request/response *boundary* --
+the schedule is deterministic with respect to protocol traffic, not a
+byte-level race.
+
+:func:`kill_replica` is the process-level fault: SIGKILL, no warning,
+no cleanup -- exactly what the fleet supervisor must recover from.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import threading
+import time
+
+
+def kill_replica(pid: int) -> None:
+    """SIGKILL a replica subprocess (the supervisor reaps and restarts it)."""
+    os.kill(pid, signal.SIGKILL)
+
+
+def wait_until(predicate, timeout_s: float = 30.0, interval_s: float = 0.02) -> None:
+    """Poll ``predicate`` until truthy; AssertionError on timeout."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval_s)
+    raise AssertionError(f"condition not reached within {timeout_s}s: {predicate}")
+
+
+class FaultProxy:
+    """A fault-injecting TCP relay in front of one newline-JSON backend."""
+
+    def __init__(self, backend_host: str, backend_port: int, *, host: str = "127.0.0.1") -> None:
+        self.backend = (backend_host, int(backend_port))
+        self._listener = socket.create_server((host, 0))
+        self._listener.settimeout(0.2)  # the accept loop polls the closed flag
+        name = self._listener.getsockname()
+        self.address: tuple[str, int] = (str(name[0]), int(name[1]))
+        self._lock = threading.Lock()
+        self._pairs: set[tuple[socket.socket, socket.socket]] = set()
+        self._closed = False
+        self._refusing = False
+        self._blackhole = False
+        self._delay_s = 0.0
+        self._sever_at: int | None = None  # responses_forwarded watermark
+        self.connections = 0
+        self.requests_forwarded = 0
+        self.responses_forwarded = 0
+        self.severed = 0
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True, name=f"fault-proxy-{self.address[1]}"
+        )
+        self._accept_thread.start()
+
+    # ------------------------------------------------------------------ #
+    # the fault schedule (all callable mid-run, thread-safe)
+    # ------------------------------------------------------------------ #
+    def set_refusing(self, refusing: bool = True) -> None:
+        with self._lock:
+            self._refusing = refusing
+
+    def set_blackhole(self, blackhole: bool = True) -> None:
+        with self._lock:
+            self._blackhole = blackhole
+
+    def set_delay(self, delay_s: float) -> None:
+        with self._lock:
+            self._delay_s = float(delay_s)
+
+    def sever_after_responses(self, n: int) -> None:
+        """Cut the connection instead of forwarding the (n+1)th-next response.
+
+        ``n=0`` severs right before the very next response line -- the
+        backend has processed the request, the caller sees a dead socket.
+        One-shot: the schedule disarms after firing.
+        """
+        with self._lock:
+            self._sever_at = self.responses_forwarded + max(0, int(n))
+
+    def sever_now(self) -> None:
+        """Cut every live connection immediately."""
+        with self._lock:
+            pairs = list(self._pairs)
+            self.severed += len(pairs)
+        for pair in pairs:
+            self._close_pair(pair)
+
+    def fail(self) -> None:
+        """Full outage: refuse new connections and cut the live ones."""
+        self.set_refusing(True)
+        self.sever_now()
+
+    def heal(self) -> None:
+        """Back to clean pass-through (existing severed connections stay dead)."""
+        with self._lock:
+            self._refusing = False
+            self._blackhole = False
+            self._delay_s = 0.0
+            self._sever_at = None
+
+    # ------------------------------------------------------------------ #
+    def _accept_loop(self) -> None:
+        while True:
+            with self._lock:
+                if self._closed:
+                    return
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            with self._lock:
+                refusing = self._refusing or self._closed
+            if refusing:
+                conn.close()
+                continue
+            try:
+                upstream = socket.create_connection(self.backend, timeout=10.0)
+            except OSError:
+                conn.close()
+                continue
+            pair = (conn, upstream)
+            with self._lock:
+                self.connections += 1
+                self._pairs.add(pair)
+            for src, dst, direction in (
+                (conn, upstream, "request"),
+                (upstream, conn, "response"),
+            ):
+                threading.Thread(
+                    target=self._pump,
+                    args=(pair, src, dst, direction),
+                    daemon=True,
+                ).start()
+
+    def _pump(self, pair, src: socket.socket, dst: socket.socket, direction: str) -> None:
+        try:
+            src_file = src.makefile("rb")
+            for line in src_file:
+                with self._lock:
+                    blackhole = self._blackhole and direction == "request"
+                    delay = self._delay_s if direction == "response" else 0.0
+                    sever = (
+                        direction == "response"
+                        and self._sever_at is not None
+                        and self.responses_forwarded >= self._sever_at
+                    )
+                    if sever:
+                        self._sever_at = None
+                        self.severed += 1
+                if sever:
+                    self._close_pair(pair)
+                    return
+                if blackhole:
+                    continue  # the request vanishes in flight
+                if delay:
+                    time.sleep(delay)
+                try:
+                    dst.sendall(line)
+                except OSError:
+                    break
+                with self._lock:
+                    if direction == "request":
+                        self.requests_forwarded += 1
+                    else:
+                        self.responses_forwarded += 1
+        except (OSError, ValueError):  # pragma: no cover - racing teardown
+            pass
+        finally:
+            self._close_pair(pair)
+
+    def _close_pair(self, pair) -> None:
+        with self._lock:
+            if pair not in self._pairs:
+                return
+            self._pairs.discard(pair)
+        for sock in pair:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - best-effort teardown
+            pass
+        self.sever_now()
+        self._accept_thread.join(timeout=5.0)
+
+    def __enter__(self) -> "FaultProxy":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -186,6 +186,64 @@ class TestChallengeServeErrors:
 
 
 # --------------------------------------------------------------------------- #
+# resilience flags (PR 8): bad values are argument errors -- exit 2
+# --------------------------------------------------------------------------- #
+class TestResilienceFlagErrors:
+    SERVE = ["challenge", "serve", "--dir", "ignored", "--neurons", str(NEURONS)]
+
+    def _assert_argparse_error(self, argv, capsys, *needles):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+        for needle in needles:
+            assert needle in err, f"{needle!r} not in stderr: {err!r}"
+
+    def test_health_interval_must_be_positive(self, capsys):
+        self._assert_argparse_error(
+            self.SERVE + ["--health-interval-ms", "0"], capsys,
+            "--health-interval-ms", "must be > 0",
+        )
+
+    def test_health_interval_must_be_a_number(self, capsys):
+        self._assert_argparse_error(
+            self.SERVE + ["--health-interval-ms", "soon"], capsys,
+            "--health-interval-ms", "invalid float value",
+        )
+
+    def test_max_restarts_must_be_nonnegative(self, capsys):
+        self._assert_argparse_error(
+            self.SERVE + ["--max-restarts", "-1"], capsys,
+            "--max-restarts", "must be >= 0",
+        )
+
+    def test_max_restarts_must_be_an_integer(self, capsys):
+        self._assert_argparse_error(
+            self.SERVE + ["--max-restarts", "lots"], capsys,
+            "--max-restarts", "invalid int value",
+        )
+
+    def test_bench_serve_timeout_must_be_positive(self, capsys):
+        self._assert_argparse_error(
+            ["challenge", "bench-serve", "--port", "1", "--timeout-s", "-3"],
+            capsys, "--timeout-s", "must be > 0",
+        )
+
+    def test_valid_resilience_flags_reach_the_library_layer(self, tmp_path, capsys):
+        """Good flag values parse; the missing directory is the error."""
+        code, _, err = _run(
+            ["challenge", "serve", "--dir", str(tmp_path / "ghost"),
+             "--neurons", str(NEURONS), "--replicas", "2",
+             "--health-interval-ms", "250", "--max-restarts", "3"],
+            capsys,
+        )
+        assert code == 1
+        _assert_clean_error(err)
+
+
+# --------------------------------------------------------------------------- #
 # backend selection errors (exit 2: argument-error convention)
 # --------------------------------------------------------------------------- #
 class TestBackendSelectionErrors:

@@ -1,4 +1,4 @@
-"""Property-based tests for the micro-batcher's coalescing invariants.
+"""Property-based tests for the serve layer's coalescing and health invariants.
 
 The headline serve guarantee, pinned here with hypothesis over arbitrary
 request interleavings: however arrivals coalesce into micro-batches,
@@ -16,7 +16,16 @@ actions, not a thread race.  The worker-pool suite then re-checks the
 same exactly-once + bit-identity guarantees with 1-4 *real* worker
 threads racing on the queue -- the interleaving there is whatever the
 scheduler produces, which is the point.
+
+PR 8 adds the resilience decision layer: :class:`HealthMonitor` and the
+backoff schedule are driven here entirely by :class:`FakeClock` -- zero
+sleeps -- including a hypothesis sweep of random fault schedules checked
+against an independent model of the ejection state machine, plus
+balancer unit tests (scripted pings, scripted forward failures) that pin
+the eject/re-admit and retry/backoff behavior without any sockets.
 """
+
+import asyncio
 
 import numpy as np
 import pytest
@@ -29,7 +38,18 @@ from repro.challenge.generator import (
     generate_challenge_network,
 )
 from repro.challenge.inference import InferenceEngine
-from repro.serve import AdaptiveBatchController, EngineStep, MicroBatcher, ServingEngine
+from repro.errors import ServeError, ValidationError
+from repro.serve import (
+    AdaptiveBatchController,
+    EngineStep,
+    HealthMonitor,
+    HealthPolicy,
+    LoadBalancer,
+    MicroBatcher,
+    ServingEngine,
+    backoff_delays,
+)
+from repro.serve.health import STATE_DRAINING, STATE_EJECTED, STATE_HEALTHY
 from repro.utils.clock import FakeClock
 
 NEURONS = 32
@@ -305,3 +325,264 @@ def _echo_identity(rows: np.ndarray) -> EngineStep:
     return EngineStep(
         activations=np.asarray(rows, dtype=np.float64), layer_modes=["dense"]
     )
+
+
+# --------------------------------------------------------------------------- #
+# PR 8: health-check / backoff decisions, entirely FakeClock-driven
+# --------------------------------------------------------------------------- #
+class TestBackoffSchedule:
+    def test_capped_exponential_shape(self):
+        assert backoff_delays(5, 0.05, 1.0) == [0.05, 0.1, 0.2, 0.4, 0.8]
+
+    def test_cap_clamps_the_tail(self):
+        assert backoff_delays(6, 0.05, 0.3) == [0.05, 0.1, 0.2, 0.3, 0.3, 0.3]
+
+    def test_zero_attempts_is_empty(self):
+        assert backoff_delays(0, 0.05, 1.0) == []
+
+    def test_policy_exposes_its_schedule(self):
+        policy = HealthPolicy(retry_limit=4, retry_base_s=0.01, retry_cap_s=0.05)
+        assert policy.retry_delays() == [0.01, 0.02, 0.04, 0.05]
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValidationError):
+            backoff_delays(-1, 0.05, 1.0)
+        with pytest.raises(ValidationError):
+            backoff_delays(3, -0.05, 1.0)
+        with pytest.raises(ValidationError):
+            HealthPolicy(interval_s=0.0)
+        with pytest.raises(ValidationError):
+            HealthPolicy(fail_threshold=0)
+
+
+class TestHealthMonitorClockDriven:
+    """Every transition an explicit call; time only moves when advanced."""
+
+    def _monitor(self, count=2, **policy_kwargs):
+        clock = FakeClock()
+        policy_kwargs.setdefault("interval_s", 1.0)
+        policy_kwargs.setdefault("fail_threshold", 3)
+        monitor = HealthMonitor(
+            count, policy=HealthPolicy(**policy_kwargs), clock=clock
+        )
+        return monitor, clock
+
+    def test_consecutive_failures_cross_the_threshold(self):
+        monitor, _ = self._monitor(fail_threshold=3)
+        assert monitor.record_failure(0) is False
+        assert monitor.record_failure(0) is False
+        assert monitor.record_failure(0) is True  # third strike ejects
+        assert monitor.state(0) == STATE_EJECTED
+        assert monitor.in_rotation() == [1]
+
+    def test_success_resets_the_streak(self):
+        monitor, _ = self._monitor(fail_threshold=2)
+        monitor.record_failure(0)
+        monitor.record_success(0)  # evidence of life: streak resets
+        assert monitor.record_failure(0) is False
+        assert monitor.state(0) == STATE_HEALTHY
+
+    def test_ping_schedule_follows_the_interval(self):
+        monitor, clock = self._monitor(interval_s=1.0)
+        assert monitor.due_for_ping() == [0, 1]  # never pinged: both due
+        monitor.record_success(0, ping=True)
+        monitor.record_success(1, ping=True)
+        assert monitor.due_for_ping() == []  # just pinged, clock unmoved
+        clock.advance(0.5)
+        assert monitor.due_for_ping() == []
+        clock.advance(0.5)
+        assert monitor.due_for_ping() == [0, 1]
+
+    def test_ejected_replica_stays_on_the_probe_schedule(self):
+        monitor, clock = self._monitor(fail_threshold=1, interval_s=1.0)
+        monitor.record_failure(0, ping=True)
+        assert monitor.state(0) == STATE_EJECTED
+        clock.advance(1.0)
+        assert 0 in monitor.due_for_ping()  # keeps being probed
+        # the readiness ping re-admits it with a clean slate
+        assert monitor.record_success(0, ping=True) is True
+        assert monitor.state(0) == STATE_HEALTHY
+        assert monitor.in_rotation() == [0, 1]
+        assert monitor.snapshot()["admissions"] == 1
+
+    def test_draining_is_out_of_rotation_and_unpinged(self):
+        monitor, clock = self._monitor()
+        monitor.drain(0)
+        assert monitor.state(0) == STATE_DRAINING
+        assert monitor.in_rotation() == [1]
+        clock.advance(10.0)
+        assert 0 not in monitor.due_for_ping()
+        # failures do not accumulate against a draining replica
+        assert monitor.record_failure(0) is False
+        assert monitor.state(0) == STATE_DRAINING
+
+    def test_admit_gives_a_clean_slate(self):
+        monitor, clock = self._monitor(fail_threshold=1)
+        monitor.record_failure(0, error="boom")
+        assert monitor.state(0) == STATE_EJECTED
+        monitor.admit(0)
+        assert monitor.state(0) == STATE_HEALTHY
+        snapshot = monitor.snapshot()["replicas"][0]
+        assert snapshot["consecutive_failures"] == 0
+        assert snapshot["last_error"] is None
+        assert monitor.due_for_ping() == [1]  # admission stamps the ping clock
+
+    @given(
+        schedule=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=2), st.booleans()),
+            max_size=60,
+        ),
+        threshold=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_fault_schedule_matches_the_model(self, schedule, threshold):
+        """Hypothesis sweep: the monitor against an independent model of
+        the ejection state machine, transition by transition."""
+        monitor = HealthMonitor(
+            3,
+            policy=HealthPolicy(fail_threshold=threshold),
+            clock=FakeClock(),
+        )
+        state = [STATE_HEALTHY] * 3
+        streak = [0] * 3
+        for index, ok in schedule:
+            if ok:
+                readmitted = monitor.record_success(index, ping=True)
+                assert readmitted == (state[index] == STATE_EJECTED)
+                state[index] = STATE_HEALTHY
+                streak[index] = 0
+            else:
+                ejected = monitor.record_failure(index, ping=True)
+                if state[index] == STATE_HEALTHY:
+                    streak[index] += 1
+                    if streak[index] >= threshold:
+                        state[index] = STATE_EJECTED
+                        streak[index] = 0
+                        assert ejected
+                    else:
+                        assert not ejected
+                else:
+                    assert not ejected
+            assert monitor.states() == state
+            assert monitor.in_rotation() == [
+                i for i, s in enumerate(state) if s == STATE_HEALTHY
+            ]
+
+
+class TestBalancerHealthUnit:
+    """The balancer's health/retry plumbing with scripted I/O -- no sockets."""
+
+    def _balancer(self, clock=None, **policy_kwargs):
+        policy_kwargs.setdefault("interval_s", 1.0)
+        policy_kwargs.setdefault("fail_threshold", 2)
+        return LoadBalancer(
+            [("127.0.0.1", 1), ("127.0.0.1", 2)],
+            health=HealthPolicy(**policy_kwargs),
+            health_checks=False,
+            clock=clock or FakeClock(),
+        )
+
+    def test_scripted_pings_eject_then_readmit(self):
+        clock = FakeClock()
+        balancer = self._balancer(clock=clock, fail_threshold=2)
+        alive = {1}
+
+        async def scripted_ping(index):
+            return index in alive
+
+        balancer._ping_replica = scripted_ping
+        asyncio.run(balancer._health_check_once())  # failure 1 for replica 0
+        assert balancer.monitor.states() == [STATE_HEALTHY, STATE_HEALTHY]
+        clock.advance(1.0)
+        asyncio.run(balancer._health_check_once())  # failure 2: ejected
+        assert balancer.monitor.states() == [STATE_EJECTED, STATE_HEALTHY]
+        clock.advance(1.0)
+        alive.add(0)  # the replica comes back
+        asyncio.run(balancer._health_check_once())  # readiness ping re-admits
+        assert balancer.monitor.states() == [STATE_HEALTHY, STATE_HEALTHY]
+        stats = balancer.balancer_stats()
+        assert stats["health"]["ejections"] == 1
+        assert stats["health"]["admissions"] == 1
+        assert stats["health"]["pings_failed"] == 2
+
+    def test_pings_respect_the_fake_clock_interval(self):
+        clock = FakeClock()
+        balancer = self._balancer(clock=clock)
+        pinged: list[int] = []
+
+        async def scripted_ping(index):
+            pinged.append(index)
+            return True
+
+        balancer._ping_replica = scripted_ping
+        asyncio.run(balancer._health_check_once())
+        assert pinged == [0, 1]
+        asyncio.run(balancer._health_check_once())  # clock unmoved: none due
+        assert pinged == [0, 1]
+        clock.advance(1.0)
+        asyncio.run(balancer._health_check_once())
+        assert pinged == [0, 1, 0, 1]
+
+    def test_retry_follows_the_backoff_schedule_then_fails_over(self, monkeypatch):
+        balancer = self._balancer(
+            retry_limit=3, retry_base_s=0.05, retry_cap_s=0.08, fail_threshold=99
+        )
+        sleeps: list[float] = []
+
+        async def fake_sleep(delay):
+            sleeps.append(delay)
+
+        monkeypatch.setattr("asyncio.sleep", fake_sleep)
+        picked: list[int] = []
+
+        async def failing_forward(index, line):
+            picked.append(index)
+            raise ServeError("scripted connection loss")
+
+        balancer._forward = failing_forward
+        with pytest.raises(ServeError, match="infer failed after 4 attempts"):
+            asyncio.run(balancer._forward_with_retry(b'{"op":"infer"}\n', "infer"))
+        assert sleeps == [0.05, 0.08, 0.08]  # capped exponential backoff
+        assert balancer.retries == 3
+        assert len(picked) == 4
+        assert picked[1] != picked[0]  # the first retry failed over
+
+    def test_retry_returns_the_first_successful_forward(self, monkeypatch):
+        balancer = self._balancer(retry_limit=2, retry_base_s=0.01, retry_cap_s=0.01)
+
+        async def fake_sleep(delay):
+            pass
+
+        monkeypatch.setattr("asyncio.sleep", fake_sleep)
+        attempts: list[int] = []
+
+        async def flaky_forward(index, line):
+            attempts.append(index)
+            if len(attempts) == 1:
+                raise ServeError("first connection dies")
+            return {"ok": True, "echo": index}
+
+        balancer._forward = flaky_forward
+        response = asyncio.run(balancer._forward_with_retry(b'{"op":"infer"}\n', "infer"))
+        assert response["ok"] is True
+        assert len(attempts) == 2
+        assert attempts[1] != attempts[0]  # retried on the *other* replica
+        assert balancer.retries == 1
+
+    def test_no_rotation_raises_a_clean_error(self):
+        balancer = self._balancer(fail_threshold=1)
+        balancer.monitor.eject(0)
+        balancer.monitor.eject(1)
+        with pytest.raises(ServeError, match="no healthy replicas"):
+            balancer._pick_replica()
+
+    def test_stats_snapshot_carries_states_mid_ejection(self):
+        """Regression: ejecting a replica between the rotation snapshot
+        and the per-replica report must not tear the stats payload."""
+        balancer = self._balancer(fail_threshold=1)
+        balancer.monitor.eject(1, error="killed for the test")
+        stats = balancer.balancer_stats()
+        assert stats["states"] == [STATE_HEALTHY, STATE_EJECTED]
+        assert stats["replicas"] == 2
+        assert len(stats["routed"]) == 2
+        assert stats["health"]["ejections"] == 1
