@@ -292,6 +292,90 @@ def _serve_metrics(cfg: dict) -> dict:
     return out
 
 
+# run in fresh subprocesses: a fork()ed shard worker inherits the parent's
+# resident pages, so measuring inside the (numpy-heavy) ledger process
+# would flatter or penalize workers depending on import history.  Each
+# probe process loads only what the run itself needs.
+_SHARD_PROBE = """\
+import json, sys
+from repro.challenge.generator import challenge_input_batch
+from repro.challenge.pipeline import run_challenge_pipeline
+from repro.utils import peak_rss_mb
+
+directory, neurons, batch_rows, shards = (
+    sys.argv[1], int(sys.argv[2]), int(sys.argv[3]), int(sys.argv[4]))
+batch = challenge_input_batch(neurons, batch_rows, seed=9)
+kwargs = {} if shards == 0 else {"shards": shards, "shard_transport": "process"}
+outcome = run_challenge_pipeline(directory, neurons, batch, **kwargs)
+assert outcome.completed
+worker = outcome.shard_worker_rss_mb or []
+print(json.dumps({
+    "edges_per_s": outcome.result.edges_per_second,
+    "wall_seconds": outcome.result.total_seconds,
+    "rss_mb": peak_rss_mb(),
+    "worker_rss_mb": max((r for r in worker if r is not None), default=None),
+}))
+"""
+
+
+def _shard_metrics(cfg: dict, notes: list[str]) -> dict:
+    """Tensor-parallel sharding (PR 9): edges/s + per-worker peak RSS at
+    K=1,2,4 against the unsharded pipeline, official shape."""
+    import os
+    import subprocess
+
+    from repro.challenge.generator import generate_challenge_network
+    from repro.challenge.io import save_challenge_network
+
+    neurons, layers = cfg["scale_neurons"], cfg["scale_layers"]
+    out: dict = {"neurons": neurons, "layers": layers, "batch": cfg["scale_batch"]}
+    with tempfile.TemporaryDirectory(prefix="repro-shard-bench-") as tmp:
+        directory = str(Path(tmp) / "net")
+        save_challenge_network(
+            generate_challenge_network(neurons, layers, connections=32, seed=8),
+            directory,
+        )
+        env = dict(os.environ)
+        src = str(_repo_root() / "src")
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src if not existing else src + os.pathsep + existing
+
+        def probe(shards: int) -> dict:
+            proc = subprocess.run(
+                [sys.executable, "-c", _SHARD_PROBE, directory, str(neurons),
+                 str(cfg["scale_batch"]), str(shards)],
+                capture_output=True, text=True, env=env,
+            )
+            if proc.returncode:
+                raise RuntimeError(
+                    f"shard probe (K={shards}) failed: {proc.stderr[-2000:]}"
+                )
+            return json.loads(proc.stdout.strip().splitlines()[-1])
+
+        base = probe(0)
+        out["unsharded_edges_per_s"] = base["edges_per_s"]
+        out["unsharded_rss_mb"] = base["rss_mb"]
+        for k in (1, 2, 4):
+            reading = probe(k)
+            out[f"k{k}"] = {
+                "edges_per_s": reading["edges_per_s"],
+                "worker_rss_mb": reading["worker_rss_mb"],
+                "rss_mb": reading["rss_mb"],
+            }
+            if reading["worker_rss_mb"] is None:
+                notes.append(
+                    f"shard.k{k}: worker pool unavailable here "
+                    "(serial-transport fallback); worker RSS not measured"
+                )
+    cores = os.cpu_count()
+    if cores is not None and cores < 4:
+        notes.append(
+            f"shard.*: only {cores} core(s) visible -- K>1 wall-clock wins "
+            "need multi-core runners (CI); RSS figures are load-bearing here"
+        )
+    return out
+
+
 def collect_metrics(profile: str = "quick") -> tuple[dict, list[str]]:
     """Measure the standard metric set; returns ``(metrics, notes)``."""
     _ensure_importable()
@@ -307,6 +391,7 @@ def collect_metrics(profile: str = "quick") -> tuple[dict, list[str]]:
         "official_scale": _official_scale_metrics(cfg, notes),
         "generation": _generation_metrics(cfg),
         "serve": _serve_metrics(cfg),
+        "shard": _shard_metrics(cfg, notes),
     }
     return metrics, notes
 

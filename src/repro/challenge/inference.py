@@ -355,6 +355,7 @@ class InferenceEngine:
         workers: int | None = None,
         record_timing: bool = True,
         activations: str | ActivationPolicy | None = None,
+        shards: int | None = None,
     ) -> InferenceResult:
         """Run the full recurrence over ``inputs`` (``(batch, neurons)``).
 
@@ -366,7 +367,11 @@ class InferenceEngine:
         across a process pool (chunks are independent, so this is a pure
         batch partition); per-layer timings are not collected on the
         parallel path.  ``activations`` overrides the engine's default
-        :class:`ActivationPolicy` for this call.
+        :class:`ActivationPolicy` for this call.  ``shards=K`` runs
+        tensor-parallel over output-column ranges instead (see
+        :mod:`repro.parallel.sharding`) -- in-process, single-shot, and
+        bit-identical to the unsharded run; it composes with neither
+        ``chunk_size`` nor ``workers``.
         """
         y = self._validate_inputs(inputs)
         policy = self._resolve_policy(activations)
@@ -375,6 +380,18 @@ class InferenceEngine:
             raise ValidationError(f"chunk_size must be >= 1, got {chunk_size}")
         if workers is not None and workers < 1:
             raise ValidationError(f"workers must be >= 1, got {workers}")
+        if shards is not None:
+            if chunk_size is not None or workers is not None:
+                raise ValidationError(
+                    "shards (tensor-parallel) does not compose with "
+                    "chunk_size/workers (batch-parallel); pick one axis"
+                )
+            from repro.parallel.sharding import ShardLayout
+
+            layout = ShardLayout.balanced(self.network.neurons, shards)
+            return self._run_block(
+                y, record_timing=record_timing, policy=policy, layout=layout
+            )
         if batch == 0:
             return self._run_block(y, record_timing=record_timing, policy=policy)
         if chunk_size is None:
@@ -477,7 +494,12 @@ class InferenceEngine:
         return zip(self.network.weights, self.weights_t, self.network.biases)
 
     def _run_block(
-        self, y: np.ndarray, *, record_timing: bool, policy: ActivationPolicy
+        self,
+        y: np.ndarray,
+        *,
+        record_timing: bool,
+        policy: ActivationPolicy,
+        layout=None,
     ) -> InferenceResult:
         # lazy: repro.challenge.pipeline imports this module at its top level
         from repro.challenge.pipeline import PipelineState, run_pipeline
@@ -489,6 +511,7 @@ class InferenceEngine:
             backend=self.backend,
             policy=policy,
             record_timing=record_timing,
+            layout=layout,
         )
         return state.result(backend=self.backend.name, policy=policy)
 
@@ -672,6 +695,7 @@ def sparse_dnn_inference(
     chunk_size: int | None = None,
     workers: int | None = None,
     activations: str | ActivationPolicy | None = None,
+    shards: int | None = None,
 ) -> InferenceResult:
     """Run the challenge inference recurrence over all layers of ``network``.
 
@@ -681,9 +705,9 @@ def sparse_dnn_inference(
 
     This is the stable functional front end of :class:`InferenceEngine`;
     see :meth:`InferenceEngine.run` for the ``chunk_size`` / ``workers`` /
-    ``activations`` semantics.  ``edges_traversed`` is the Graph
-    Challenge convention: total stored weight entries across layers,
-    times the batch size.
+    ``activations`` / ``shards`` semantics.  ``edges_traversed`` is the
+    Graph Challenge convention: total stored weight entries across
+    layers, times the batch size.
     """
     return engine_for(network, backend).run(
         inputs,
@@ -691,6 +715,7 @@ def sparse_dnn_inference(
         workers=workers,
         record_timing=record_timing,
         activations=activations,
+        shards=shards,
     )
 
 

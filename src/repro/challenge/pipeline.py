@@ -143,6 +143,12 @@ THREAD = "thread"
 PROCESS = "process"
 _TRANSPORTS = (THREAD, PROCESS)
 
+# sharded execution exchanges the activation frontier either inside the
+# driving process ("serial") or with a pool of resident-shard worker
+# processes ("process") -- see repro.parallel.sharding
+SERIAL = "serial"
+_SHARD_TRANSPORTS = (PROCESS, SERIAL)
+
 
 def _process_layer_producer(
     out_queue, directory: str, neurons: int, start: int, use_cache: bool, mmap: bool
@@ -365,21 +371,49 @@ class ComputeStage:
         ``None``: the dense path transposes on demand when only ``weight``
         is present, and the sparse path (which needs the untransposed
         ``weight``) falls back to dense when only ``weight_t`` is."""
-        batch = state.batch
         ref = weight if weight is not None else weight_t
         if ref is None:
             raise ValidationError("each layer needs a weight or transposed weight")
-        in_size = ref.shape[0] if weight is not None else ref.shape[1]
+        self._advance(
+            state,
+            in_size=ref.shape[0] if weight is not None else ref.shape[1],
+            nnz=ref.nnz,
+            has_weight=weight is not None,
+            any_positive_bias=bool(np.any(bias > 0.0)),
+            step=lambda batch, target: batch.step(
+                weight, weight_t, bias, self.threshold, self.backend
+            ),
+        )
+
+    def _advance(
+        self,
+        state: PipelineState,
+        *,
+        in_size: int,
+        nnz: int,
+        has_weight: bool,
+        any_positive_bias: bool,
+        step,
+    ) -> None:
+        """The policy/timing/stats frame around one layer step.
+
+        ``step(batch, target)`` performs the actual kernel work on the
+        already-converted batch.  Subclasses (the sharded compute stage)
+        swap the step while inheriting the policy decision, the sparse
+        gate, and the bookkeeping unchanged -- which is what keeps their
+        recorded stats identical to an unsharded run.
+        """
+        batch = state.batch
         if in_size != batch.neurons:
             raise ShapeError(
                 f"layer expects {in_size} input neurons, activations have {batch.neurons}"
             )
-        state.edges_per_sample += ref.nnz
+        state.edges_per_sample += nnz
         target = self.policy.pick(density=batch.density(), elements=batch.elements)
         if target == SPARSE and (
-            state.rows == 0 or weight is None or np.any(bias > 0.0)
+            state.rows == 0 or not has_weight or any_positive_bias
         ):
-            if self.policy.mode == SPARSE and state.rows > 0 and weight is not None:
+            if self.policy.mode == SPARSE and state.rows > 0 and has_weight:
                 raise ValidationError(
                     "sparse activation policy requires non-positive biases "
                     "(a positive bias activates entries outside the sparse "
@@ -388,15 +422,15 @@ class ComputeStage:
             target = DENSE
         start = time.perf_counter() if self.record_timing else 0.0
         batch = batch.to_sparse() if target == SPARSE else batch.to_dense()
-        batch = batch.step(weight, weight_t, bias, self.threshold, self.backend)
+        batch = step(batch, target)
         if self.record_timing:
             state.layer_seconds.append(time.perf_counter() - start)
-        nnz = batch.nnz()
+        nnz_out = batch.nnz()
         state.batch = batch
         state.layers_done += 1
-        state.peak_nnz = max(state.peak_nnz, nnz)
+        state.peak_nnz = max(state.peak_nnz, nnz_out)
         state.layer_modes.append(target)
-        state.layer_density.append(nnz / batch.elements if batch.elements else 0.0)
+        state.layer_density.append(nnz_out / batch.elements if batch.elements else 0.0)
 
 
 # --------------------------------------------------------------------------- #
@@ -626,6 +660,7 @@ def run_pipeline(
     prefetch: int = 0,
     checkpoint: CheckpointStage | None = None,
     max_layers: int | None = None,
+    layout: "object | None" = None,
 ) -> PipelineState:
     """Drive ``state`` through ``layers``: load -> compute -> checkpoint.
 
@@ -633,19 +668,35 @@ def run_pipeline(
     (``prefetch`` applies only when a raw iterable is wrapped here).
     ``max_layers`` stops the run -- checkpointing the stop point -- once
     ``state.layers_done`` reaches it (a *staged* run: apply layers k..m,
-    exit, resume later).  On any error or interrupt the state reached
-    after the last completed layer is checkpointed best-effort, so a
-    killed run resumes from where it actually stopped rather than the
-    last periodic save.  Returns the advanced ``state`` (the same object,
-    mutated).
+    exit, resume later).  ``layout`` (a
+    :class:`repro.parallel.sharding.ShardLayout`) computes each layer as
+    column-range shards via the serial sharded stage -- bit-identical to
+    the unsharded path; the process-transport pool lives in
+    :func:`repro.parallel.sharding.run_sharded_challenge_pipeline`.  On
+    any error or interrupt the state reached after the last completed
+    layer is checkpointed best-effort, so a killed run resumes from where
+    it actually stopped rather than the last periodic save.  Returns the
+    advanced ``state`` (the same object, mutated).
     """
     load = layers if isinstance(layers, LoadStage) else LoadStage(layers, prefetch=prefetch)
-    compute = ComputeStage(
-        threshold=threshold,
-        backend=resolve_backend(backend),
-        policy=ActivationPolicy.resolve(policy),
-        record_timing=record_timing,
-    )
+    if layout is not None:
+        # lazy: repro.parallel.sharding imports this module at its top level
+        from repro.parallel.sharding import ShardedComputeStage
+
+        compute: ComputeStage = ShardedComputeStage(
+            threshold=threshold,
+            backend=resolve_backend(backend),
+            policy=ActivationPolicy.resolve(policy),
+            record_timing=record_timing,
+            layout=layout,
+        )
+    else:
+        compute = ComputeStage(
+            threshold=threshold,
+            backend=resolve_backend(backend),
+            policy=ActivationPolicy.resolve(policy),
+            record_timing=record_timing,
+        )
     if max_layers is not None and max_layers <= state.layers_done:
         raise ValidationError(
             f"max_layers ({max_layers}) must exceed the {state.layers_done} "
@@ -681,7 +732,10 @@ class PipelineOutcome:
     ``result`` reflects the state *reached*: for a completed run it is
     the final :class:`InferenceResult`; for a staged run stopped at
     ``--stop-after`` it is the partial state (categories are not final
-    until ``completed`` is true).
+    until ``completed`` is true).  ``shards`` is the tensor-parallel
+    shard count the run executed with (``None`` for the unsharded path);
+    ``shard_worker_rss_mb`` carries the per-worker peak RSS readings of a
+    process-transport sharded run (``None`` elsewhere).
     """
 
     result: InferenceResult
@@ -690,6 +744,8 @@ class PipelineOutcome:
     num_layers: int
     resumed_from: int = 0
     checkpoint: Path | None = None
+    shards: int | None = None
+    shard_worker_rss_mb: list | None = None
 
 
 def _outcome(
@@ -700,6 +756,8 @@ def _outcome(
     num_layers: int,
     resumed_from: int,
     stage: CheckpointStage | None,
+    shards: int | None = None,
+    shard_worker_rss_mb: list | None = None,
 ) -> PipelineOutcome:
     return PipelineOutcome(
         result=state.result(backend=backend.name, policy=policy),
@@ -708,6 +766,8 @@ def _outcome(
         num_layers=num_layers,
         resumed_from=resumed_from,
         checkpoint=stage.path if stage is not None else None,
+        shards=shards,
+        shard_worker_rss_mb=shard_worker_rss_mb,
     )
 
 
@@ -726,6 +786,8 @@ def run_challenge_pipeline(
     use_cache: bool = True,
     record_timing: bool = True,
     context: dict | None = None,
+    shards: int | None = None,
+    shard_transport: str = PROCESS,
 ) -> PipelineOutcome:
     """Checkpointed, prefetch-overlapped inference over a saved network.
 
@@ -739,6 +801,16 @@ def run_challenge_pipeline(
     (JSON-serializable) are stored in the checkpoint so
     :func:`resume_challenge_pipeline` is self-contained; the network
     directory, neurons, and streaming options are always recorded.
+
+    ``shards=K`` runs tensor-parallel: every layer is partitioned into K
+    contiguous output-column ranges, computed independently, and
+    all-gathered -- bit-identical to the unsharded run (see
+    :mod:`repro.parallel.sharding`).  With the default
+    ``shard_transport="process"`` a pool of K worker processes each holds
+    only its slice of every layer (~1/K of the model per process); where
+    processes cannot be spawned it degrades to the in-process ``"serial"``
+    transport automatically.  The shard count is recorded in the
+    checkpoint so resume reconstructs (and guards) the layout.
     """
     from repro.challenge.io import read_challenge_meta
 
@@ -750,6 +822,15 @@ def run_challenge_pipeline(
         raise ValidationError(
             f"stop_after must be in 1..{meta.num_layers}, got {stop_after}"
         )
+    if shard_transport not in _SHARD_TRANSPORTS:
+        raise ValidationError(
+            f"shard_transport must be one of {_SHARD_TRANSPORTS}, got {shard_transport!r}"
+        )
+    layout = None
+    if shards is not None:
+        from repro.parallel.sharding import ShardLayout
+
+        layout = ShardLayout.balanced(meta.neurons, shards)
     state = PipelineState.initial(inputs, neurons=meta.neurons)
     stage = None
     if checkpoint_dir is not None:
@@ -761,6 +842,9 @@ def run_challenge_pipeline(
             "transport": str(transport),
             **(context or {}),
         }
+        if layout is not None:
+            run_context["shards"] = layout.shards
+            run_context["shard_transport"] = str(shard_transport)
         stage = CheckpointStage(
             checkpoint_dir,
             every=checkpoint_every,
@@ -776,6 +860,37 @@ def run_challenge_pipeline(
         raise ValidationError(
             "stop_after without a checkpoint_dir would discard the partial run"
         )
+    if layout is not None and shard_transport == PROCESS:
+        from repro.parallel.sharding import run_sharded_challenge_pipeline
+
+        try:
+            state, worker_rss = run_sharded_challenge_pipeline(
+                directory,
+                meta.neurons,
+                state,
+                layout=layout,
+                threshold=meta.threshold,
+                backend=impl,
+                policy=policy,
+                record_timing=record_timing,
+                checkpoint=stage,
+                max_layers=stop_after,
+                use_cache=use_cache,
+            )
+            return _outcome(
+                state,
+                backend=impl,
+                policy=policy,
+                num_layers=meta.num_layers,
+                resumed_from=0,
+                stage=stage,
+                shards=layout.shards,
+                shard_worker_rss_mb=worker_rss,
+            )
+        except (OSError, PermissionError, RuntimeError):
+            if state.layers_done:
+                raise  # partially advanced: a serial redo would double-apply
+            # restricted environment: fall back to the serial transport
     load = LoadStage.from_directory(
         directory,
         meta.neurons,
@@ -793,6 +908,7 @@ def run_challenge_pipeline(
         record_timing=record_timing,
         checkpoint=stage,
         max_layers=stop_after,
+        layout=layout,
     )
     return _outcome(
         state,
@@ -801,6 +917,7 @@ def run_challenge_pipeline(
         num_layers=meta.num_layers,
         resumed_from=0,
         stage=stage,
+        shards=None if layout is None else layout.shards,
     )
 
 
@@ -813,6 +930,8 @@ def resume_challenge_pipeline(
     stop_after: int | None = None,
     use_cache: bool | None = None,
     record_timing: bool = True,
+    shards: int | None = None,
+    shard_transport: str | None = None,
 ) -> PipelineOutcome:
     """Continue an interrupted run from its on-disk checkpoint.
 
@@ -823,6 +942,13 @@ def resume_challenge_pipeline(
     set still yields bit-identical categories).  Layers already applied
     are *seeked past*, never re-read.  Resuming a completed checkpoint
     is a no-op returning the stored final state.
+
+    A sharded checkpoint records its ``--shards`` count.  By default the
+    resume reuses it; an explicit ``shards`` must either match or be
+    ``1`` -- dropping to unsharded is always safe because the
+    checkpointed activation batch is layout-independent, while resuming
+    under any *other* layout is refused loudly rather than silently
+    producing a layout chimera.
     """
     ckpt = load_checkpoint(checkpoint_dir)
     impl = resolve_backend(backend if backend is not None else ckpt.backend)
@@ -833,6 +959,40 @@ def resume_challenge_pipeline(
             f"{ckpt.path}: checkpoint context lacks the network directory/neurons "
             "needed to resume"
         )
+    recorded = ckpt.context.get("shards")
+    recorded_k = int(recorded) if recorded is not None else 1
+    if shards is None:
+        effective_shards = int(recorded) if recorded is not None else None
+    elif shards in (recorded_k, 1):
+        effective_shards = int(shards)
+    else:
+        raise ValidationError(
+            f"checkpoint at {ckpt.path} was written with --shards {recorded_k}; "
+            f"resume with --shards {recorded_k} (the recorded layout) or "
+            f"--shards 1 (unsharded -- always safe), not --shards {shards}"
+        )
+    layout = None
+    if effective_shards is not None:
+        from repro.parallel.sharding import ShardLayout
+
+        layout = ShardLayout.balanced(int(neurons), effective_shards)
+    effective_transport = str(
+        shard_transport
+        if shard_transport is not None
+        else ckpt.context.get("shard_transport", PROCESS)
+    )
+    if effective_transport not in _SHARD_TRANSPORTS:
+        raise ValidationError(
+            f"shard_transport must be one of {_SHARD_TRANSPORTS}, "
+            f"got {effective_transport!r}"
+        )
+    context = dict(ckpt.context)
+    if layout is not None:
+        context["shards"] = layout.shards
+        context["shard_transport"] = effective_transport
+    else:
+        context.pop("shards", None)
+        context.pop("shard_transport", None)
     stage = CheckpointStage(
         checkpoint_dir,
         every=ckpt.every,
@@ -840,7 +1000,7 @@ def resume_challenge_pipeline(
         threshold=ckpt.threshold,
         backend=impl.name,
         num_layers=ckpt.num_layers,
-        context=ckpt.context,
+        context=context,
     )
     resumed_from = ckpt.state.layers_done
     if ckpt.completed or resumed_from >= ckpt.num_layers:
@@ -851,12 +1011,49 @@ def resume_challenge_pipeline(
             num_layers=ckpt.num_layers,
             resumed_from=resumed_from,
             stage=stage,
+            shards=None if layout is None else layout.shards,
         )
     if stop_after is not None and stop_after <= resumed_from:
         raise ValidationError(
             f"stop_after ({stop_after}) must exceed the {resumed_from} layers "
             "already checkpointed"
         )
+    if layout is not None and effective_transport == PROCESS:
+        from repro.parallel.sharding import run_sharded_challenge_pipeline
+
+        state = ckpt.state
+        try:
+            state, worker_rss = run_sharded_challenge_pipeline(
+                directory,
+                int(neurons),
+                state,
+                layout=layout,
+                threshold=ckpt.threshold,
+                backend=impl,
+                policy=ckpt.policy,
+                record_timing=record_timing,
+                checkpoint=stage,
+                max_layers=stop_after,
+                use_cache=bool(
+                    use_cache
+                    if use_cache is not None
+                    else ckpt.context.get("use_cache", True)
+                ),
+            )
+            return _outcome(
+                state,
+                backend=impl,
+                policy=ckpt.policy,
+                num_layers=ckpt.num_layers,
+                resumed_from=resumed_from,
+                stage=stage,
+                shards=layout.shards,
+                shard_worker_rss_mb=worker_rss,
+            )
+        except (OSError, PermissionError, RuntimeError):
+            if state.layers_done != resumed_from:
+                raise  # partially advanced: a serial redo would double-apply
+            # restricted environment: fall back to the serial transport
     load = LoadStage.from_directory(
         directory,
         int(neurons),
@@ -880,6 +1077,7 @@ def resume_challenge_pipeline(
         record_timing=record_timing,
         checkpoint=stage,
         max_layers=stop_after,
+        layout=layout,
     )
     return _outcome(
         state,
@@ -888,4 +1086,5 @@ def resume_challenge_pipeline(
         num_layers=ckpt.num_layers,
         resumed_from=resumed_from,
         stage=stage,
+        shards=None if layout is None else layout.shards,
     )

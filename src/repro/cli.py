@@ -115,6 +115,16 @@ def _nonnegative_int(text: str) -> int:
     return value
 
 
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {text}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -208,6 +218,19 @@ def build_parser() -> argparse.ArgumentParser:
     challenge_run.add_argument("--stop-after", type=int, default=None, metavar="L",
                                help="checkpoint and exit cleanly after layer L (staged runs; "
                                "continue with --resume)")
+    challenge_run.add_argument("--shards", type=_positive_int, default=None, metavar="K",
+                               help="tensor-parallel: partition every layer into K "
+                               "column-range shards, each held by its own worker "
+                               "process (bit-identical to unsharded; on --resume "
+                               "defaults to the checkpoint's recorded count)")
+    # SUPPRESS so a resume can tell "not given" (checkpoint's value) from
+    # an explicit override, like --prefetch / --prefetch-transport
+    challenge_run.add_argument("--shard-transport", choices=["process", "serial"],
+                               default=argparse.SUPPRESS,
+                               help="how shards exchange the activation frontier: a "
+                               "worker-process pool (default; ~1/K model memory per "
+                               "process) or in-process serial shards (falls back "
+                               "automatically where processes cannot be spawned)")
     challenge_run.add_argument("--no-cache", action="store_true",
                                help="force TSV parsing (ignore the binary sidecar cache)")
     # SUPPRESS defaults: shared with the parent `challenge` parser (see
@@ -261,6 +284,11 @@ def build_parser() -> argparse.ArgumentParser:
                                  default=2, metavar="N",
                                  help="with --replicas: crash restarts allowed per "
                                  "replica before the fleet gives it up (default 2)")
+    challenge_serve.add_argument("--shards", type=_positive_int, default=None, metavar="K",
+                                 help="tensor-parallel resident engine: keep each layer "
+                                 "as K column-range slices and all-gather per step "
+                                 "(bit-identical; a warm start defaults to the "
+                                 "checkpoint's recorded count)")
     challenge_serve.add_argument("--prefetch", type=int, default=2, metavar="DEPTH",
                                  help="background read-ahead while loading the network resident")
     challenge_serve.add_argument("--no-cache", action="store_true",
@@ -465,6 +493,13 @@ def _report_pipeline_outcome(outcome, *, resumed: bool) -> None:
         print(f"checkpoint: {outcome.checkpoint}")
         if not outcome.completed:
             print(f"resume with: repro challenge run --resume {outcome.checkpoint.parent}")
+    if outcome.shards:
+        readings = [v for v in (outcome.shard_worker_rss_mb or []) if v is not None]
+        if readings:
+            print(f"shards: {outcome.shards} "
+                  f"(max worker peak RSS {format_rss_mb(max(readings))})")
+        else:
+            print(f"shards: {outcome.shards} (serial transport)")
     print(f"peak RSS: {format_rss_mb(peak_rss_mb())}")
 
 
@@ -492,6 +527,8 @@ def _cmd_challenge_run(args: argparse.Namespace) -> int:
             transport=transport,
             stop_after=args.stop_after,
             use_cache=False if args.no_cache else None,
+            shards=args.shards,
+            shard_transport=getattr(args, "shard_transport", None),
         )
         print(f"network: resumed run over {outcome.num_layers} layers")
         _report_pipeline_outcome(outcome, resumed=True)
@@ -501,6 +538,12 @@ def _cmd_challenge_run(args: argparse.Namespace) -> int:
     if args.neurons is None:
         raise ValidationError("--neurons is required with --dir (pass it after the "
                               "`run` token)")
+    if args.shards is not None and args.shards > args.neurons:
+        # argument-error convention (exit 2), like the argparse-level
+        # validation of non-positive --shards values
+        print(f"error: --shards must be in 1..{args.neurons} (the neuron count), "
+              f"got {args.shards}", file=sys.stderr)
+        return 2
     if args.sparse_crossover is not None:
         policy = ActivationPolicy(mode=args.activations,
                                   crossover_density=args.sparse_crossover)
@@ -527,6 +570,8 @@ def _cmd_challenge_run(args: argparse.Namespace) -> int:
         stop_after=args.stop_after,
         use_cache=not args.no_cache,
         context={"batch_size": args.batch, "seed": args.seed},
+        shards=args.shards,
+        shard_transport=getattr(args, "shard_transport", None) or "process",
     )
     print(f"network: {args.dir} ({args.neurons} neurons x {outcome.num_layers} layers)")
     _report_pipeline_outcome(outcome, resumed=False)
@@ -554,6 +599,11 @@ def _cmd_challenge_serve(args: argparse.Namespace) -> int:
             temp.write_text(f"{host} {port}\n")
             os.replace(temp, target)
 
+    if args.shards is not None and args.neurons is not None and args.shards > args.neurons:
+        # argument-error convention (exit 2), matching `challenge run`
+        print(f"error: --shards must be in 1..{args.neurons} (the neuron count), "
+              f"got {args.shards}", file=sys.stderr)
+        return 2
     if args.replicas is not None:
         return _serve_fleet(args, on_ready)
 
@@ -577,6 +627,7 @@ def _cmd_challenge_serve(args: argparse.Namespace) -> int:
             activations=policy,
             use_cache=not args.no_cache,
             prefetch=args.prefetch,
+            shards=args.shards,
         )
     else:
         if args.dir is None:
@@ -592,6 +643,7 @@ def _cmd_challenge_serve(args: argparse.Namespace) -> int:
             activations=policy,
             use_cache=not args.no_cache,
             prefetch=args.prefetch,
+            shards=args.shards,
         )
     app = ServeApp(
         engine,
@@ -641,6 +693,7 @@ def _serve_fleet(args: argparse.Namespace, on_ready) -> int:
             adaptive_batch=args.adaptive_batch,
             backend=args.backend,
             activations=activations,
+            shards=args.shards,
         ) as fleet:
             addresses = fleet.start()
             print(f"fleet: {len(addresses)} replicas at "

@@ -13,7 +13,11 @@ dimension (sweeps).  This subpackage provides:
 * :func:`parallel_inference` -- batch-parallel Graph Challenge inference;
 * :class:`Prefetcher` / :func:`prefetched` -- bounded background-thread
   producer/consumer, the overlap primitive of the staged streaming
-  pipelines (:mod:`repro.challenge.pipeline`).
+  pipelines (:mod:`repro.challenge.pipeline`);
+* :mod:`repro.parallel.sharding` -- tensor-parallel column sharding of
+  the challenge recurrence (``repro challenge run --shards K``): shard
+  layouts, CSR slice/all-gather primitives, the sharded compute stage,
+  and the resident-shard worker pool.
 """
 
 from repro.parallel.executor import (
@@ -22,12 +26,28 @@ from repro.parallel.executor import (
     serial_map,
     serve_worker_count,
 )
-from repro.parallel.partition import chunked, partition_batch, balanced_chunk_sizes
+from repro.parallel.partition import (
+    balanced_chunk_sizes,
+    chunked,
+    partition_batch,
+    partition_ranges,
+)
 from repro.parallel.pipeline import (
     Prefetcher,
     parallel_inference,
     prefetched,
     sweep_specs,
+)
+from repro.parallel.sharding import (
+    ShardedComputeStage,
+    ShardedLayer,
+    ShardLayout,
+    ShardWorkerPool,
+    hstack_csr,
+    run_sharded_challenge_pipeline,
+    shard_layer,
+    slice_csr_columns,
+    slice_csr_rows,
 )
 
 __all__ = [
@@ -37,9 +57,19 @@ __all__ = [
     "serve_worker_count",
     "chunked",
     "partition_batch",
+    "partition_ranges",
     "balanced_chunk_sizes",
     "parallel_inference",
     "sweep_specs",
     "Prefetcher",
     "prefetched",
+    "ShardLayout",
+    "ShardedLayer",
+    "ShardedComputeStage",
+    "ShardWorkerPool",
+    "shard_layer",
+    "slice_csr_columns",
+    "slice_csr_rows",
+    "hstack_csr",
+    "run_sharded_challenge_pipeline",
 ]

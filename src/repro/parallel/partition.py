@@ -26,6 +26,29 @@ def balanced_chunk_sizes(total: int, parts: int) -> list[int]:
     return [base + (1 if i < remainder else 0) for i in range(parts)]
 
 
+def partition_ranges(total: int, parts: int) -> list[tuple[int, int]]:
+    """Contiguous ``[start, stop)`` ranges covering ``0..total`` in order.
+
+    The remainder of an uneven split is distributed across the *leading*
+    parts, so ranges differ in length by at most one and no range is ever
+    empty: when ``parts > total`` only ``total`` ranges are produced
+    rather than padding with empty trailing shards.
+
+    >>> partition_ranges(10, 3)
+    [(0, 4), (4, 7), (7, 10)]
+    >>> partition_ranges(2, 4)
+    [(0, 1), (1, 2)]
+    """
+    sizes = balanced_chunk_sizes(total, parts)
+    ranges: list[tuple[int, int]] = []
+    start = 0
+    for size in sizes:
+        if size > 0:
+            ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
 def chunked(items: Sequence[T], parts: int) -> list[list[T]]:
     """Partition a sequence into ``parts`` balanced contiguous chunks (may be empty)."""
     sizes = balanced_chunk_sizes(len(items), parts)
@@ -46,11 +69,4 @@ def partition_batch(batch: np.ndarray, parts: int) -> list[np.ndarray]:
     arr = np.asarray(batch)
     if arr.ndim != 2:
         raise ValidationError("batch must be 2-D (samples, features)")
-    sizes = balanced_chunk_sizes(arr.shape[0], parts)
-    pieces = []
-    start = 0
-    for size in sizes:
-        if size > 0:
-            pieces.append(arr[start : start + size])
-        start += size
-    return pieces
+    return [arr[start:stop] for start, stop in partition_ranges(arr.shape[0], parts)]

@@ -182,6 +182,7 @@ class ReplicaFleet:
         adaptive_batch: bool = False,
         backend: str | None = None,
         activations: str | None = None,
+        shards: int | None = None,
     ) -> None:
         if replicas < 1:
             raise ValidationError(f"replicas must be >= 1, got {replicas}")
@@ -207,6 +208,8 @@ class ReplicaFleet:
             self._argv_tail += ["--backend", backend]
         if activations is not None:
             self._argv_tail += ["--activations", activations]
+        if shards is not None:
+            self._argv_tail += ["--shards", str(shards)]
         self.generations = [0] * replicas
         self.restarted = 0
         self.replicas: list[ReplicaProcess] = [

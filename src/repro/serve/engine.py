@@ -60,18 +60,57 @@ class ServingEngine:
         backend: str | SparseBackend | None = None,
         activations: str | ActivationPolicy | None = None,
         source: str = "in-memory",
+        shards: int | None = None,
     ) -> None:
         self.backend = resolve_backend(backend)
         self.policy = ActivationPolicy.resolve(activations)
         self.neurons = int(neurons)
         self.threshold = float(threshold)
         self.source = source
-        # pay the transposes once; the request hot loop never transposes
-        self.layers = tuple(
-            (weight, self.backend.transpose(weight), np.asarray(bias, dtype=np.float64))
-            for weight, bias in layers
-        )
-        self.edges_per_sample = int(sum(w.nnz for w, _, _ in self.layers))
+        self.layout = None
+        if shards is not None:
+            from repro.parallel.sharding import ShardLayout
+
+            self.layout = ShardLayout.balanced(self.neurons, shards)
+        if self.layout is None:
+            # pay the transposes once; the request hot loop never transposes
+            self.layers = tuple(
+                (
+                    weight,
+                    self.backend.transpose(weight),
+                    np.asarray(bias, dtype=np.float64),
+                )
+                for weight, bias in layers
+            )
+            self.shard_layers = ()
+            self.edges_per_sample = int(sum(w.nnz for w, _, _ in self.layers))
+        else:
+            # resident column slices only -- the full weights (and a full
+            # transpose) are never kept, so K sharded replicas split the
+            # model footprint instead of multiplying it.  Per-shard
+            # transposes equal row slices of the full transpose (canonical
+            # CSR is unique), so steps stay bit-identical to unsharded.
+            import dataclasses
+
+            from repro.parallel.sharding import shard_layer
+
+            self.layers = ()
+            sharded = []
+            for weight, bias in layers:
+                sliced = shard_layer(
+                    weight, None, np.asarray(bias, dtype=np.float64), self.layout
+                )
+                sharded.append(
+                    dataclasses.replace(
+                        sliced,
+                        shards=tuple(
+                            (w, self.backend.transpose(w), b)
+                            for w, _, b in sliced.shards
+                        ),
+                    )
+                )
+            self.shard_layers = tuple(sharded)
+            self.edges_per_sample = int(sum(s.nnz for s in self.shard_layers))
 
     # ------------------------------------------------------------------ #
     # construction
@@ -86,6 +125,7 @@ class ServingEngine:
         activations: str | ActivationPolicy | None = None,
         use_cache: bool = True,
         prefetch: int = 2,
+        shards: int | None = None,
     ) -> "ServingEngine":
         """Load a saved network directory resident, once, with prefetch overlap."""
         from repro.challenge.io import read_challenge_meta
@@ -103,6 +143,7 @@ class ServingEngine:
             backend=backend,
             activations=activations,
             source=str(directory),
+            shards=shards,
         )
 
     @classmethod
@@ -112,6 +153,7 @@ class ServingEngine:
         *,
         backend: str | SparseBackend | None = None,
         activations: str | ActivationPolicy | None = None,
+        shards: int | None = None,
     ) -> "ServingEngine":
         return cls(
             list(zip(network.weights, network.biases)),
@@ -119,6 +161,7 @@ class ServingEngine:
             threshold=network.threshold,
             backend=backend,
             activations=activations,
+            shards=shards,
         )
 
     @classmethod
@@ -130,12 +173,13 @@ class ServingEngine:
         activations: str | ActivationPolicy | None = None,
         use_cache: bool = True,
         prefetch: int = 2,
+        shards: int | None = None,
     ) -> "ServingEngine":
         """Warm restart: recover the full serve configuration from a checkpoint.
 
         The checkpoint's context names the network directory and neurons;
-        its recorded backend and activation policy become the engine's
-        defaults unless explicitly overridden.
+        its recorded backend, activation policy, and shard count become
+        the engine's defaults unless explicitly overridden.
         """
         from repro.challenge.pipeline import load_checkpoint
         from repro.errors import SerializationError
@@ -148,6 +192,9 @@ class ServingEngine:
                 f"{ckpt.path}: checkpoint context lacks the network "
                 "directory/neurons needed for a warm restart"
             )
+        if shards is None:
+            recorded = ckpt.context.get("shards")
+            shards = int(recorded) if recorded is not None else None
         return cls.from_directory(
             directory,
             int(neurons),
@@ -155,6 +202,7 @@ class ServingEngine:
             activations=activations if activations is not None else ckpt.policy,
             use_cache=use_cache,
             prefetch=prefetch,
+            shards=shards,
         )
 
     # ------------------------------------------------------------------ #
@@ -162,7 +210,11 @@ class ServingEngine:
     # ------------------------------------------------------------------ #
     @property
     def num_layers(self) -> int:
-        return len(self.layers)
+        return len(self.layers) if self.layout is None else len(self.shard_layers)
+
+    @property
+    def shards(self) -> int:
+        return 1 if self.layout is None else self.layout.shards
 
     def step(self, rows: np.ndarray) -> EngineStep:
         """Run the full recurrence over one stacked ``(rows, neurons)`` batch."""
@@ -173,14 +225,28 @@ class ServingEngine:
             raise ShapeError(
                 f"request rows must have shape (k, {self.neurons}), got {y.shape}"
             )
-        state = run_pipeline(
-            self.layers,
-            PipelineState.initial(y),
-            threshold=self.threshold,
-            backend=self.backend,
-            policy=self.policy,
-            record_timing=False,
-        )
+        if self.layout is not None:
+            from repro.parallel.sharding import ShardedComputeStage
+
+            state = PipelineState.initial(y)
+            stage = ShardedComputeStage(
+                threshold=self.threshold,
+                backend=self.backend,
+                policy=self.policy,
+                record_timing=False,
+                layout=self.layout,
+            )
+            for sharded in self.shard_layers:
+                stage.advance_layer(state, sharded)
+        else:
+            state = run_pipeline(
+                self.layers,
+                PipelineState.initial(y),
+                threshold=self.threshold,
+                backend=self.backend,
+                policy=self.policy,
+                record_timing=False,
+            )
         return EngineStep(
             activations=state.batch.to_array(),
             layer_modes=list(state.layer_modes),
@@ -196,6 +262,7 @@ class ServingEngine:
             "activations": self.policy.mode,
             "edges_per_sample": self.edges_per_sample,
             "source": self.source,
+            "shards": self.shards,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - trivial

@@ -37,6 +37,7 @@ class TestCollection:
         assert data["profile"] == "test"
         assert set(data["metrics"]) == {
             "kernels", "inference", "official_scale", "generation", "serve",
+            "shard",
         }
         assert data["environment"]["numpy"]
 
@@ -57,6 +58,13 @@ class TestCollection:
         serve = ledger.load_ledger(written)["metrics"]["serve"]
         assert serve["requests_per_s"] > 0
         assert serve["latency_p99_ms"] >= serve["latency_p50_ms"] > 0
+
+    def test_shard_metrics_present(self, ledger, written):
+        """K=1,2,4 probes ran; throughput recorded for each shard count."""
+        shard = ledger.load_ledger(written)["metrics"]["shard"]
+        assert shard["unsharded_edges_per_s"] > 0
+        for k in (1, 2, 4):
+            assert shard[f"k{k}"]["edges_per_s"] > 0
 
     def test_unknown_profile_rejected(self, ledger):
         with pytest.raises(ValueError, match="unknown profile"):

@@ -244,6 +244,90 @@ class TestResilienceFlagErrors:
 
 
 # --------------------------------------------------------------------------- #
+# shard flags (PR 9): bad values are argument errors -- exit 2
+# --------------------------------------------------------------------------- #
+class TestShardFlagErrors:
+    """``--shards`` validation: exit 2 with one ``error:`` line.
+
+    Non-positive values die in argparse; a count above the network's
+    neuron count (where some shard would own zero columns *and* the
+    layout constructor rejects it) dies in the command handler with the
+    same exit code, for both ``run`` and ``serve``.
+    """
+
+    def _assert_argparse_error(self, argv, capsys, *needles):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+        for needle in needles:
+            assert needle in err, f"{needle!r} not in stderr: {err!r}"
+
+    def test_run_shards_zero_is_an_argparse_error(self, net_dir, capsys):
+        self._assert_argparse_error(
+            ["challenge", "run", "--dir", str(net_dir),
+             "--neurons", str(NEURONS), "--shards", "0"],
+            capsys, "--shards", "must be >= 1",
+        )
+
+    def test_run_shards_negative_is_an_argparse_error(self, net_dir, capsys):
+        self._assert_argparse_error(
+            ["challenge", "run", "--dir", str(net_dir),
+             "--neurons", str(NEURONS), "--shards", "-2"],
+            capsys, "--shards", "must be >= 1",
+        )
+
+    def test_run_shards_must_be_an_integer(self, net_dir, capsys):
+        self._assert_argparse_error(
+            ["challenge", "run", "--dir", str(net_dir),
+             "--neurons", str(NEURONS), "--shards", "half"],
+            capsys, "--shards", "invalid",
+        )
+
+    def test_run_shards_above_neuron_count_exits_2(self, net_dir, capsys):
+        code, _, err = _run(
+            ["challenge", "run", "--dir", str(net_dir),
+             "--neurons", str(NEURONS), "--shards", str(NEURONS + 1)],
+            capsys,
+        )
+        assert code == 2
+        _assert_clean_error(err, f"--shards must be in 1..{NEURONS}")
+
+    def test_serve_shards_above_neuron_count_exits_2(self, net_dir, capsys):
+        code, _, err = _run(
+            ["challenge", "serve", "--dir", str(net_dir),
+             "--neurons", str(NEURONS), "--shards", str(NEURONS * 2)],
+            capsys,
+        )
+        assert code == 2
+        _assert_clean_error(err, f"--shards must be in 1..{NEURONS}")
+
+    def test_serve_shards_zero_is_an_argparse_error(self, net_dir, capsys):
+        self._assert_argparse_error(
+            ["challenge", "serve", "--dir", str(net_dir),
+             "--neurons", str(NEURONS), "--shards", "0"],
+            capsys, "--shards", "must be >= 1",
+        )
+
+    def test_resume_with_mismatched_shards_exits_1(self, net_dir, tmp_path, capsys):
+        """A recorded shard layout refuses a *different* explicit --shards."""
+        run_challenge_pipeline(
+            net_dir, NEURONS, challenge_input_batch(NEURONS, 4, seed=3),
+            checkpoint_dir=tmp_path / "ck", checkpoint_every=2, stop_after=2,
+            shards=2, shard_transport="serial",
+        )
+        code, _, err = _run(
+            ["challenge", "run", "--resume", str(tmp_path / "ck"),
+             "--shards", "3"],
+            capsys,
+        )
+        assert code == 1
+        _assert_clean_error(err, "--shards 2", "--shards 1")
+
+
+# --------------------------------------------------------------------------- #
 # backend selection errors (exit 2: argument-error convention)
 # --------------------------------------------------------------------------- #
 class TestBackendSelectionErrors:
