@@ -8,7 +8,8 @@ touches performance runs::
 
 which measures the standard metric set -- kernel edges/s per backend,
 end-to-end inference edges/s per backend x activation policy, streaming
-generation throughput, and serve requests/s + p99 latency -- writes
+generation throughput, serve requests/s + p99 latency, and training
+steps/s (dense-masked vs CSR-trainable per backend) -- writes
 ``BENCH_7.json`` at the repo root, and prints a regression table against
 the latest previously committed ledger (``--compare auto``).  CI renders
 the same table into the job summary (``--markdown``).
@@ -54,15 +55,15 @@ PROFILES = {
     "test": dict(neurons=64, layers=4, batch=16, scale_neurons=128,
                  scale_layers=6, scale_batch=4, serve_requests=20,
                  serve_clients=2, sweep_clients=(1, 2), sweep_requests=10,
-                 gen_layers=3, repeats=1),
+                 gen_layers=3, train_steps=3, repeats=1),
     "quick": dict(neurons=256, layers=24, batch=64, scale_neurons=1024,
                   scale_layers=120, scale_batch=16, serve_requests=200,
                   serve_clients=8, sweep_clients=(1, 2, 4, 8),
-                  sweep_requests=60, gen_layers=12, repeats=3),
+                  sweep_requests=60, gen_layers=12, train_steps=25, repeats=3),
     "full": dict(neurons=1024, layers=60, batch=64, scale_neurons=4096,
                  scale_layers=120, scale_batch=16, serve_requests=500,
                  serve_clients=8, sweep_clients=(1, 2, 4, 8, 16),
-                 sweep_requests=100, gen_layers=24, repeats=5),
+                 sweep_requests=100, gen_layers=24, train_steps=50, repeats=5),
 }
 
 
@@ -318,6 +319,62 @@ print(json.dumps({
 """
 
 
+def _train_metrics(cfg: dict, notes: list[str]) -> dict:
+    """Sparse training (PR 10): optimizer steps/s of dense-masked vs
+    CSR-trainable layers per backend, RadiX-Net topology at fixed widths."""
+    import numpy as np
+
+    from repro.core.designer import design_for_widths
+    from repro.core.radixnet import generate_from_spec
+    from repro.nn.builder import model_from_topology
+    from repro.nn.losses import CrossEntropyLoss
+    from repro.nn.optimizers import SGD
+
+    widths = [16, 32, 32, 8]
+    topology = generate_from_spec(design_for_widths(widths).spec)
+    batch, steps = cfg["batch"], cfg["train_steps"]
+    rng = np.random.default_rng(5)
+    x = rng.standard_normal((batch, topology.layer_sizes[0]))
+    labels = rng.integers(0, topology.layer_sizes[-1], size=batch)
+    targets = np.eye(topology.layer_sizes[-1])[labels]
+    loss = CrossEntropyLoss()
+
+    def step_loop(model):
+        optimizer = SGD(0.01)
+
+        def fn():
+            for _ in range(steps):
+                outputs = model.forward(x, training=True)
+                model.backward(loss.gradient(outputs, targets))
+                optimizer.step(model.parameters(), model.gradients())
+
+        return fn
+
+    out: dict = {
+        "widths": widths,
+        "batch": batch,
+        "steps": steps,
+        "density": topology.density(),
+    }
+    # force_masked on both arms so dense submatrices (if any) go through
+    # the same masked/CSR machinery -- the comparison stays apples-to-apples
+    masked = model_from_topology(topology, seed=0, force_masked=True)
+    seconds = _timed_best(step_loop(masked), cfg["repeats"])
+    out["masked_steps_per_s"] = steps / seconds if seconds > 0 else None
+    out["csr"] = {}
+    for name in _perf_backends():
+        model = model_from_topology(
+            topology, seed=0, force_masked=True, sparse_training=True, backend=name
+        )
+        seconds = _timed_best(step_loop(model), cfg["repeats"])
+        out["csr"][name] = {"steps_per_s": steps / seconds if seconds > 0 else None}
+    for name in ("numba", "scipy", "vectorized"):
+        if name not in out["csr"]:
+            out["csr"][name] = {"steps_per_s": None}
+            notes.append(f"train.csr.{name}: backend not available here")
+    return out
+
+
 def _shard_metrics(cfg: dict, notes: list[str]) -> dict:
     """Tensor-parallel sharding (PR 9): edges/s + per-worker peak RSS at
     K=1,2,4 against the unsharded pipeline, official shape."""
@@ -392,6 +449,7 @@ def collect_metrics(profile: str = "quick") -> tuple[dict, list[str]]:
         "generation": _generation_metrics(cfg),
         "serve": _serve_metrics(cfg),
         "shard": _shard_metrics(cfg, notes),
+        "train": _train_metrics(cfg, notes),
     }
     return metrics, notes
 

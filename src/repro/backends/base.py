@@ -3,8 +3,9 @@
 A *backend* is a bundle of the sparse kernels everything else in the
 package bottoms out in: SpGEMM (sparse @ sparse), SpMM (sparse @ dense
 batch), SpMV (sparse @ vector), Kronecker product, transpose, entry-wise
-add, column permutation, and the fused Graph Challenge layer step on
-sparse activations.
+add, column permutation, the fused Graph Challenge layer step on
+sparse activations, and SDMM (sampled dense-dense multiply, the sparse
+training backward primitive).
 The RadiX-Net construction (Kronecker expansion, eq. (3)), its
 verification (Theorem 1 chain products), and the Graph Challenge
 inference recurrence all dispatch through the active backend, so an
@@ -125,6 +126,25 @@ class SparseBackend(Protocol):
         entries the sparse result never stores.  The dispatch layer
         (:func:`repro.sparse.ops.sparse_layer_step`) enforces this;
         backends may assume it.
+        """
+        ...
+
+    def sdmm(
+        self, x: np.ndarray, dy: np.ndarray, pattern: "CSRMatrix"
+    ) -> "CSRMatrix":
+        """Sampled dense-dense multiply: ``x.T @ dy`` restricted to ``pattern``.
+
+        ``x`` is a dense ``(batch, rows)`` operand and ``dy`` a dense
+        ``(batch, cols)`` operand; the result has exactly ``pattern``'s
+        sparsity structure (same ``indptr``/``indices``, new data), with
+        stored entry ``(i, j)`` equal to ``sum_b x[b, i] * dy[b, j]``.
+        This is the backward primitive of sparse training: the weight
+        gradient ``X^T @ dY`` of a CSR-weighted affine layer only ever
+        needs the entries on the layer's fixed connectivity pattern, so
+        the gradient stays O(nnz) and the dense ``rows x cols`` product
+        is never formed.  Stored values of ``pattern`` are ignored (only
+        its structure matters).  Shapes are validated once at the
+        dispatch layer (:func:`repro.sparse.ops.sdmm`).
         """
         ...
 

@@ -1,9 +1,11 @@
-"""Shared building blocks for the fused sparse-activation layer step.
+"""Shared building blocks for the fused sparse kernels.
 
 The bias/ReLU/clamp postprocessing of ``sparse_layer_step`` is identical
-index bookkeeping whichever SpGEMM produced the product; it lives here --
-neutral ground between the backends and the dispatch layer -- so the
-vectorized backend, the scipy backend, and the generic fallback in
+index bookkeeping whichever SpGEMM produced the product, and the
+gather-based sampled dense-dense multiply (``sdmm``) is the same single
+einsum pass for every pure-NumPy tier; they live here -- neutral ground
+between the backends and the dispatch layer -- so the vectorized
+backend, the scipy backend, and the generic fallbacks in
 :mod:`repro.sparse.ops` all run the same code.
 """
 
@@ -26,6 +28,23 @@ def row_sums(matrix: CSRMatrix) -> np.ndarray:
     return np.bincount(
         row_ids(matrix), weights=matrix.data, minlength=matrix.shape[0]
     )
+
+
+def sdmm_gather(
+    x: np.ndarray, dy: np.ndarray, pattern: CSRMatrix, *, row_index: np.ndarray | None = None
+) -> CSRMatrix:
+    """Sampled dense-dense multiply ``x.T @ dy`` on ``pattern``, scatter-free.
+
+    Gathers the operand columns of every stored ``(i, j)`` pair and
+    contracts over the batch axis in one einsum pass, so the work is
+    O(batch * nnz) and the dense ``rows x cols`` product never exists.
+    ``row_index`` lets callers supply a memoized row-id expansion.
+    """
+    if pattern.nnz == 0:
+        return pattern
+    rows = row_ids(pattern) if row_index is None else row_index
+    data = np.einsum("bp,bp->p", x[:, rows], dy[:, pattern.indices])
+    return pattern.with_data(data)
 
 
 def clamp_bias_filter(

@@ -207,6 +207,24 @@ def _fused_layer_step_kernel(
 
 
 @njit(cache=True, parallel=True)
+def _sdmm_kernel(indptr, indices, x, dy, n_rows):
+    # sampled dense-dense multiply on a fixed pattern: entries of one
+    # pattern row are independent, so rows parallelize cleanly and the
+    # inner batch reduction stays cache-friendly (column-major walks of
+    # x and dy for consecutive b)
+    out = np.empty(indices.size, dtype=np.float64)
+    batch = x.shape[0]
+    for i in prange(n_rows):
+        for p in range(indptr[i], indptr[i + 1]):
+            j = indices[p]
+            total = 0.0
+            for b in range(batch):
+                total += x[b, i] * dy[b, j]
+            out[p] = total
+    return out
+
+
+@njit(cache=True, parallel=True)
 def _spmm_kernel(indptr, indices, data, dense, out):
     # out[i, :] accumulated in storage order: bit-identical to the
     # reference scatter-add
@@ -389,6 +407,17 @@ class NumbaBackend:
         )
         return CSRMatrix(out_shape, indptr, indices, data)
 
+    def sdmm(self, x: np.ndarray, dy: np.ndarray, pattern: CSRMatrix) -> CSRMatrix:
+        if pattern.nnz == 0:
+            return pattern
+        data = _sdmm_kernel(
+            pattern.indptr, pattern.indices,
+            np.ascontiguousarray(x, dtype=np.float64),
+            np.ascontiguousarray(dy, dtype=np.float64),
+            pattern.shape[0],
+        )
+        return pattern.with_data(data)
+
     # -- structural kernels ------------------------------------------------- #
     def transpose(self, a: CSRMatrix) -> CSRMatrix:
         out_shape = (a.shape[1], a.shape[0])
@@ -443,6 +472,7 @@ class NumbaBackend:
         self.sparse_layer_step(y, w, np.zeros(3), 4.0)
         self.spmm(y, np.ones((3, 2)))
         self.spmv(y, np.ones(3))
+        self.sdmm(np.ones((2, 2)), np.ones((2, 3)), y)
         self.transpose(y)
         self.add(w, w)
         self.permute_columns(y, np.array([2, 0, 1]))

@@ -111,6 +111,15 @@ class ReferenceBackend:
         data = np.concatenate(out_data) if out_data else np.empty(0, dtype=np.float64)
         return CSRMatrix(a.shape, a.indptr, indices, data)
 
+    def sdmm(self, x: np.ndarray, dy: np.ndarray, pattern: CSRMatrix) -> CSRMatrix:
+        # Deliberately naive per-entry oracle: one dot product over the
+        # batch axis for every stored (i, j) of the pattern.
+        data = np.empty(pattern.nnz, dtype=np.float64)
+        for i in range(pattern.shape[0]):
+            for p in range(pattern.indptr[i], pattern.indptr[i + 1]):
+                data[p] = float(np.dot(x[:, i], dy[:, pattern.indices[p]]))
+        return pattern.with_data(data)
+
     def sparse_layer_step(
         self, y: CSRMatrix, weight: CSRMatrix, bias: np.ndarray, threshold: float
     ) -> CSRMatrix:

@@ -16,7 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.backends.base import register, register_unavailable
-from repro.backends.fused import clamp_bias_filter
+from repro.backends.fused import clamp_bias_filter, sdmm_gather
 from repro.sparse.csr import CSRMatrix
 
 
@@ -70,6 +70,11 @@ class ScipyBackend:
         # scipy's fancy column indexing on CSR is a compiled column remap
         permutation = np.asarray(permutation, dtype=np.int64)
         return _from_scipy(_to_scipy(a)[:, permutation])
+
+    def sdmm(self, x: np.ndarray, dy: np.ndarray, pattern: CSRMatrix) -> CSRMatrix:
+        # scipy.sparse has no sampled-dense-dense primitive; the shared
+        # gather is already a single compiled einsum pass over the batch
+        return sdmm_gather(x, dy, pattern)
 
     def sparse_layer_step(
         self, y: CSRMatrix, weight: CSRMatrix, bias: np.ndarray, threshold: float

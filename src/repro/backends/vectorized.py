@@ -26,7 +26,7 @@ import weakref
 import numpy as np
 
 from repro.backends.base import register
-from repro.backends.fused import clamp_bias_filter
+from repro.backends.fused import clamp_bias_filter, sdmm_gather
 from repro.sparse.csr import CSRMatrix
 
 # id(matrix) -> (weakref to the matrix, its row-id expansion).  The weakref
@@ -154,6 +154,14 @@ class VectorizedBackend:
         cols = invert_permutation(permutation)[a.indices]
         order = np.lexsort((cols, cached_row_ids(a)))
         return CSRMatrix(a.shape, a.indptr, cols[order], a.data[order])
+
+    def sdmm(self, x: np.ndarray, dy: np.ndarray, pattern: CSRMatrix) -> CSRMatrix:
+        if pattern.nnz == 0:
+            return pattern
+        # the fixed pattern is the layer's connectivity, applied every
+        # training step -- the memoized row-id expansion pays off here
+        # exactly as it does in the inference loop
+        return sdmm_gather(x, dy, pattern, row_index=cached_row_ids(pattern))
 
     def sparse_layer_step(
         self, y: CSRMatrix, weight: CSRMatrix, bias: np.ndarray, threshold: float

@@ -24,16 +24,25 @@ from repro.utils.validation import check_probability
 def magnitude_prune_mask(weights: np.ndarray, target_density: float) -> np.ndarray:
     """Binary mask keeping the largest-magnitude fraction ``target_density`` of weights.
 
-    At least one weight per row and per column is always retained so the
-    surviving topology remains a valid FNNT (no dead neurons).
+    Exactly ``keep = round(target_density * size)`` entries survive the
+    magnitude cut; ties at the cut magnitude are broken deterministically
+    by flat (row-major) index, so an all-equal matrix realizes the target
+    density instead of keeping everything.  On top of that, at least one
+    weight per row and per column is always retained so the surviving
+    topology remains a valid FNNT (no dead neurons) -- the realized
+    density can therefore slightly exceed the target.
     """
     target_density = check_probability(target_density, "target_density")
     w = np.asarray(weights, dtype=np.float64)
     if w.ndim != 2:
         raise ValidationError("weights must be a 2-D matrix")
     keep = max(1, int(round(target_density * w.size)))
-    threshold = np.partition(np.abs(w).ravel(), w.size - keep)[w.size - keep]
-    mask = np.abs(w) >= threshold
+    # stable argsort on descending magnitude: ties kept in ascending
+    # flat-index order, and exactly `keep` entries survive
+    order = np.argsort(-np.abs(w).ravel(), kind="stable")
+    mask = np.zeros(w.size, dtype=bool)
+    mask[order[:keep]] = True
+    mask = mask.reshape(w.shape)
     # guarantee FNNT validity: each row and column keeps its largest entry
     row_best = np.argmax(np.abs(w), axis=1)
     mask[np.arange(w.shape[0]), row_best] = True

@@ -16,6 +16,7 @@ generated, inspected, verified, and exported without writing Python::
     python -m repro.cli challenge bench-serve --port 7744 --requests 500 --clients 8
     python -m repro.cli challenge verify --dir nets/ --neurons 128
     python -m repro.cli design --layer-widths 32,64,64,16
+    python -m repro.cli train-study --datasets gaussian_mixture --arms radix-net,dense --epochs 5 --output study.json
     python -m repro.cli backends
 
 The kernel-heavy subcommands (``challenge``, ``verify``) accept
@@ -52,7 +53,12 @@ is the bundled load generator (requests/second + latency percentiles,
 ``--json`` artifact);
 ``challenge verify`` cross-checks a network saved on disk (``--save-dir``
 / :func:`repro.challenge.io.save_challenge_network`) against the naive
-dense reference recurrence.
+dense reference recurrence.  ``train-study`` runs the accuracy-versus-
+density training comparison (RadiX-Net / random X-Net / dense / pruned
+arms, selectable with ``--arms``) over the bundled dataset registry with
+genuinely sparse CSR training through the backend kernels (or the
+dense-masked path with ``--dense-masked``) and emits a JSON report with
+``--output``.
 
 Every subcommand prints a plain-text report and exits 0 on success, 2 on
 argument errors (argparse convention), 1 on library errors.
@@ -356,6 +362,41 @@ def build_parser() -> argparse.ArgumentParser:
     design = subparsers.add_parser("design", help="find a specification matching layer widths")
     design.add_argument("--layer-widths", type=parse_widths, required=True)
     design.add_argument("--max-n-prime", type=int, default=None)
+
+    train_study = subparsers.add_parser(
+        "train-study",
+        help="train the accuracy-vs-density comparison arms and report/emit JSON",
+    )
+    train_study.add_argument(
+        "--datasets", default="gaussian_mixture,two_spirals",
+        help="comma-separated registered dataset names (default: gaussian_mixture,two_spirals)",
+    )
+    train_study.add_argument(
+        "--arms", default="radix-net,random-xnet,dense,pruned",
+        help="comma-separated arms to run (subset of radix-net,random-xnet,dense,pruned; "
+        "random-xnet/pruned need radix-net, pruned also needs dense)",
+    )
+    train_study.add_argument("--epochs", type=_positive_int, default=10, help="training epochs per arm")
+    train_study.add_argument("--samples", type=_positive_int, default=600, help="samples per dataset")
+    train_study.add_argument(
+        "--widths", type=parse_widths, default=[16, 32, 32, 8],
+        help='target layer widths, e.g. "16,32,32,8"',
+    )
+    train_study.add_argument(
+        "--classes", type=_positive_int, default=4,
+        help="classes for class-count-configurable datasets (gaussian_mixture)",
+    )
+    train_study.add_argument("--seed", type=int, default=0)
+    train_study.add_argument(
+        "--dense-masked", action="store_true",
+        help="train sparse arms as dense-masked layers instead of CSR layers "
+        "(the pre-sparse-training code path)",
+    )
+    train_study.add_argument(
+        "--backend", default=None,
+        help="sparse backend for the CSR training kernels (default: active backend)",
+    )
+    train_study.add_argument("--output", default=None, help="write the full JSON report to this path")
 
     backends_parser = subparsers.add_parser(
         "backends", help="report sparse-kernel backend capabilities"
@@ -894,6 +935,49 @@ def _cmd_design(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_train_study(args: argparse.Namespace) -> int:
+    import contextlib
+    import json
+
+    import repro.backends as backends
+    from repro.experiments.training import train_study
+
+    datasets = tuple(part for part in args.datasets.replace(" ", "").split(",") if part)
+    arms = tuple(part for part in args.arms.replace(" ", "").split(",") if part)
+    scope = backends.use(args.backend) if args.backend else contextlib.nullcontext()
+    with scope:
+        report = train_study(
+            datasets=datasets,
+            num_samples=args.samples,
+            num_classes=args.classes,
+            layer_widths=tuple(args.widths),
+            epochs=args.epochs,
+            seed=args.seed,
+            arms=arms,
+            sparse_training=not args.dense_masked,
+        )
+    mode = "dense-masked" if args.dense_masked else "sparse (CSR + backend kernels)"
+    print(f"train-study: {len(report['datasets'])} dataset(s), "
+          f"arms {report['config']['arms']}, {args.epochs} epoch(s), {mode}")
+    for dataset, entry in report["datasets"].items():
+        print(f"\n{dataset} ({entry['num_classes']} classes):")
+        for arm_name, arm in entry["arms"].items():
+            print(
+                f"  {arm_name:<12} density={arm['density']:.4f}  "
+                f"params={arm['parameter_count']:<7d} "
+                f"val_acc={arm['val_accuracy']:.4f}  "
+                f"loss={arm['train_loss']:.4f}"
+            )
+        for arm_name, gap in entry.get("accuracy_gap_vs_dense", {}).items():
+            print(f"  gap vs dense  {arm_name}: {gap:+.4f}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"\nreport written to {args.output}")
+    return 0
+
+
 def _cmd_backends(args: argparse.Namespace) -> int:
     import repro.backends as backends
 
@@ -911,6 +995,7 @@ _COMMANDS = {
     "density": _cmd_density,
     "challenge": _cmd_challenge,
     "design": _cmd_design,
+    "train-study": _cmd_train_study,
     "backends": _cmd_backends,
 }
 

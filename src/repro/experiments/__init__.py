@@ -25,8 +25,10 @@ from repro.experiments.figures import (
     theorem1_path_count_table,
 )
 from repro.experiments.training import (
+    ALL_ARMS,
     TrainingComparisonResult,
     accuracy_vs_density,
+    train_study,
     train_topology_on_dataset,
 )
 from repro.experiments.scaling import (
@@ -47,8 +49,10 @@ __all__ = [
     "figure7_density_surface",
     "equation4_density_table",
     "theorem1_path_count_table",
+    "ALL_ARMS",
     "TrainingComparisonResult",
     "accuracy_vs_density",
+    "train_study",
     "train_topology_on_dataset",
     "graph_challenge_scaling",
     "brain_sizing_table",

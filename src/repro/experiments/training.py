@@ -10,6 +10,13 @@ datasets bundled with the package:
   at matched layer widths;
 * train each through the identical :class:`repro.nn.train.Trainer`;
 * report accuracy, parameter count, and density per arm.
+
+With ``sparse_training=True`` the sparse arms train through
+:class:`repro.nn.layers.CSRTrainableLayer` -- O(nnz) storage with
+forward/backward dispatched through the sparse backend kernels -- instead
+of dense-masked layers; the numbers are identical for the same seed.
+:func:`train_study` wraps the comparison over several datasets and emits a
+JSON-serializable report (the ``repro train-study`` CLI subcommand).
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from repro.baselines.pruning import prune_model_to_topology
 from repro.baselines.xnet import random_xnet
 from repro.core.designer import design_for_widths
 from repro.datasets.registry import load_dataset
+from repro.errors import ValidationError
 from repro.nn.builder import dense_model, input_adapter_matrix, model_from_topology
 from repro.nn.data import one_hot, train_val_split
 from repro.nn.optimizers import Adam
@@ -79,6 +87,7 @@ def train_topology_on_dataset(
     batch_size: int = 32,
     seed: RngLike = 0,
     name: str = "model",
+    sparse_training: bool = False,
 ) -> tuple[ArmResult, list[np.ndarray]]:
     """Train one model (sparse if a topology is given, dense otherwise).
 
@@ -89,10 +98,16 @@ def train_topology_on_dataset(
     width with a fixed random projection, and the number of classes is
     padded to the topology's output width, exactly as described in
     DESIGN.md (the RadiX-Net layer widths are multiples of ``N'``).
+
+    ``sparse_training`` trains sparse submatrices through
+    :class:`~repro.nn.layers.CSRTrainableLayer` (O(nnz) storage, backend
+    kernels) instead of dense-masked layers; dense arms are unaffected.
     """
     targets = one_hot(labels, num_classes)
     if topology is not None:
-        model = model_from_topology(topology, seed=seed, name=name)
+        model = model_from_topology(
+            topology, seed=seed, name=name, sparse_training=sparse_training
+        )
     else:
         if layer_widths is None:
             raise ValueError("layer_widths required for the dense arm")
@@ -120,6 +135,33 @@ def train_topology_on_dataset(
     return result, model.weight_matrices()
 
 
+#: All comparison arms, in execution order.
+ALL_ARMS: tuple[str, ...] = ("radix-net", "random-xnet", "dense", "pruned")
+
+
+def _validate_arms(arms: tuple[str, ...] | list[str]) -> tuple[str, ...]:
+    selected = tuple(arms)
+    if not selected:
+        raise ValidationError("at least one arm must be selected")
+    unknown = [a for a in selected if a not in ALL_ARMS]
+    if unknown:
+        raise ValidationError(f"unknown arms {unknown}; available: {list(ALL_ARMS)}")
+    if len(set(selected)) != len(selected):
+        raise ValidationError(f"duplicate arms in {list(selected)}")
+    if "random-xnet" in selected and "radix-net" not in selected:
+        raise ValidationError(
+            "the random-xnet arm matches the radix-net arm's density; "
+            "select radix-net as well"
+        )
+    if "pruned" in selected and not {"dense", "radix-net"} <= set(selected):
+        raise ValidationError(
+            "the pruned arm prunes the trained dense model to the radix-net "
+            "density; select dense and radix-net as well"
+        )
+    # run in canonical order regardless of how the caller listed them
+    return tuple(a for a in ALL_ARMS if a in selected)
+
+
 def accuracy_vs_density(
     *,
     dataset: str = "gaussian_mixture",
@@ -129,74 +171,159 @@ def accuracy_vs_density(
     epochs: int = 20,
     seed: int = 0,
     dataset_kwargs: dict | None = None,
+    arms: tuple[str, ...] = ALL_ARMS,
+    sparse_training: bool = False,
 ) -> TrainingComparisonResult:
-    """Run the full four-arm comparison: RadiX-Net, random X-Net, dense, pruned.
+    """Run the accuracy-vs-density comparison: RadiX-Net, random X-Net, dense, pruned.
 
     All sparse arms are built at (approximately) the same layer widths as
     the dense arm; the pruned arm prunes the trained dense model down to
-    the RadiX-Net's density and retrains briefly.
+    the RadiX-Net's density and retrains briefly.  ``arms`` selects a
+    subset (dependencies are validated: random-xnet and pruned need
+    radix-net for density matching, pruned additionally needs dense);
+    ``sparse_training`` trains the sparse arms through CSR layers and
+    backend kernels instead of dense masking.
     """
+    selected = _validate_arms(arms)
     kwargs = dict(dataset_kwargs or {})
     if dataset in ("gaussian_mixture",):
         kwargs.setdefault("num_classes", num_classes)
     features, labels = load_dataset(dataset, num_samples, seed=seed, **kwargs)
     result = TrainingComparisonResult(dataset=dataset, layer_widths=tuple(layer_widths))
 
-    # RadiX-Net arm: design a spec matching the requested layer widths.
-    design = design_for_widths(list(layer_widths))
-    radix_topology = design.spec
-    from repro.core.radixnet import generate_from_spec
+    radix_arm = None
+    radix_net = None
+    if "radix-net" in selected:
+        # RadiX-Net arm: design a spec matching the requested layer widths.
+        design = design_for_widths(list(layer_widths))
+        radix_topology = design.spec
+        from repro.core.radixnet import generate_from_spec
 
-    radix_net = generate_from_spec(radix_topology)
-    radix_arm, _ = train_topology_on_dataset(
-        radix_net,
-        features,
-        labels,
-        num_classes=num_classes,
-        epochs=epochs,
-        seed=seed,
-        name="radix-net",
-    )
-    result.arms.append(radix_arm)
+        radix_net = generate_from_spec(radix_topology)
+        radix_arm, _ = train_topology_on_dataset(
+            radix_net,
+            features,
+            labels,
+            num_classes=num_classes,
+            epochs=epochs,
+            seed=seed,
+            name="radix-net",
+            sparse_training=sparse_training,
+        )
+        result.arms.append(radix_arm)
 
-    # Random X-Net arm at matched density: choose out-degree to match the
-    # RadiX-Net arm's density as closely as possible.
-    matched_degree = max(1, int(round(radix_arm.density * max(layer_widths))))
-    xnet_topology = random_xnet(radix_net.layer_sizes, matched_degree, seed=seed)
-    xnet_arm, _ = train_topology_on_dataset(
-        xnet_topology,
-        features,
-        labels,
-        num_classes=num_classes,
-        epochs=epochs,
-        seed=seed,
-        name="random-xnet",
-    )
-    result.arms.append(xnet_arm)
+    if "random-xnet" in selected:
+        # Random X-Net arm at matched density: choose out-degree to match
+        # the RadiX-Net arm's density as closely as possible.
+        matched_degree = max(1, int(round(radix_arm.density * max(layer_widths))))
+        xnet_topology = random_xnet(radix_net.layer_sizes, matched_degree, seed=seed)
+        xnet_arm, _ = train_topology_on_dataset(
+            xnet_topology,
+            features,
+            labels,
+            num_classes=num_classes,
+            epochs=epochs,
+            seed=seed,
+            name="random-xnet",
+            sparse_training=sparse_training,
+        )
+        result.arms.append(xnet_arm)
 
-    # Dense arm on the same layer widths as the RadiX-Net.
-    dense_arm, dense_weights = train_topology_on_dataset(
-        None,
-        features,
-        labels,
-        num_classes=num_classes,
-        layer_widths=radix_net.layer_sizes,
-        epochs=epochs,
-        seed=seed,
-        name="dense",
-    )
-    result.arms.append(dense_arm)
+    if "dense" in selected:
+        # Dense arm on the same layer widths as the RadiX-Net.
+        dense_widths = radix_net.layer_sizes if radix_net is not None else tuple(layer_widths)
+        dense_arm, dense_weights = train_topology_on_dataset(
+            None,
+            features,
+            labels,
+            num_classes=num_classes,
+            layer_widths=dense_widths,
+            epochs=epochs,
+            seed=seed,
+            name="dense",
+        )
+        result.arms.append(dense_arm)
 
-    # Pruned arm: prune the trained dense model to the RadiX-Net density and retrain.
-    pruned_topology = prune_model_to_topology(dense_weights, radix_arm.density, name="pruned")
-    pruned_arm, _ = train_topology_on_dataset(
-        pruned_topology,
-        features,
-        labels,
-        num_classes=num_classes,
-        epochs=max(1, epochs // 2),
-        seed=seed,
-        name="pruned",
-    )
-    result.arms.append(pruned_arm)
+    if "pruned" in selected:
+        # Pruned arm: prune the trained dense model to the RadiX-Net density and retrain.
+        pruned_topology = prune_model_to_topology(dense_weights, radix_arm.density, name="pruned")
+        pruned_arm, _ = train_topology_on_dataset(
+            pruned_topology,
+            features,
+            labels,
+            num_classes=num_classes,
+            epochs=max(1, epochs // 2),
+            seed=seed,
+            name="pruned",
+            sparse_training=sparse_training,
+        )
+        result.arms.append(pruned_arm)
     return result
+
+
+def train_study(
+    *,
+    datasets: tuple[str, ...] = ("gaussian_mixture", "two_spirals"),
+    num_samples: int = 600,
+    num_classes: int = 4,
+    layer_widths: tuple[int, ...] = (16, 32, 32, 8),
+    epochs: int = 10,
+    seed: int = 0,
+    arms: tuple[str, ...] = ALL_ARMS,
+    sparse_training: bool = True,
+) -> dict:
+    """The accuracy-versus-density frontier over several datasets, as JSON.
+
+    Runs :func:`accuracy_vs_density` per dataset and collects everything
+    into one JSON-serializable report: per-arm accuracy/density/parameter
+    counts plus the accuracy gap to the dense reference (when the dense
+    arm is selected).  ``num_classes`` applies to class-count-configurable
+    datasets (``gaussian_mixture``); others use their intrinsic classes.
+    This is the engine behind the ``repro train-study`` CLI subcommand.
+    """
+    if not datasets:
+        raise ValidationError("at least one dataset is required")
+    selected = _validate_arms(arms)
+    report: dict = {
+        "config": {
+            "datasets": list(datasets),
+            "num_samples": int(num_samples),
+            "layer_widths": [int(w) for w in layer_widths],
+            "epochs": int(epochs),
+            "seed": int(seed),
+            "arms": list(selected),
+            "sparse_training": bool(sparse_training),
+        },
+        "datasets": {},
+    }
+    for dataset in datasets:
+        features, labels = load_dataset(dataset, num_samples, seed=seed)
+        classes = int(np.max(labels)) + 1 if dataset != "gaussian_mixture" else int(num_classes)
+        del features
+        comparison = accuracy_vs_density(
+            dataset=dataset,
+            num_samples=num_samples,
+            num_classes=classes,
+            layer_widths=layer_widths,
+            epochs=epochs,
+            seed=seed,
+            arms=selected,
+            sparse_training=sparse_training,
+        )
+        entry: dict = {"num_classes": classes, "arms": {}}
+        for arm in comparison.arms:
+            entry["arms"][arm.name] = {
+                "density": arm.density,
+                "parameter_count": arm.parameter_count,
+                "val_accuracy": arm.val_accuracy,
+                "train_loss": arm.train_loss,
+                "epochs_run": arm.epochs_run,
+            }
+        if "dense" in entry["arms"]:
+            entry["accuracy_gap_vs_dense"] = {
+                arm.name: comparison.accuracy_gap(arm.name)
+                for arm in comparison.arms
+                if arm.name != "dense"
+            }
+        report["datasets"][dataset] = entry
+    return report

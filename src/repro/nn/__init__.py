@@ -8,8 +8,10 @@ This subpackage provides:
 
 * layers whose weights live either in a dense array (``DenseLayer``), a
   dense array multiplied by a binary mask (``MaskedSparseLayer`` -- the
-  training representation of a sparse topology), or a CSR matrix
-  (``CSRSparseLayer`` -- the inference representation);
+  dense-hardware training representation of a sparse topology), or a CSR
+  matrix (``CSRTrainableLayer`` -- genuinely sparse O(nnz) training
+  through the backend kernel plane; ``CSRSparseLayer`` -- the
+  inference-only representation);
 * activations, losses, initializers (with sparse fan-in correction),
   optimizers (SGD / momentum / Nesterov / RMSProp / Adam) and learning-rate
   schedules;
@@ -25,7 +27,12 @@ This subpackage provides:
 from repro.nn.activations import Activation, relu, sigmoid, tanh, identity, softmax_stable
 from repro.nn.initializers import glorot_uniform, he_normal, sparse_corrected_scale
 from repro.nn.losses import CrossEntropyLoss, MeanSquaredErrorLoss
-from repro.nn.layers import DenseLayer, MaskedSparseLayer, CSRSparseLayer
+from repro.nn.layers import (
+    DenseLayer,
+    MaskedSparseLayer,
+    CSRSparseLayer,
+    CSRTrainableLayer,
+)
 from repro.nn.model import FeedforwardNetwork
 from repro.nn.optimizers import SGD, Momentum, RMSProp, Adam
 from repro.nn.schedulers import ConstantSchedule, StepDecaySchedule, CosineSchedule
@@ -49,6 +56,7 @@ __all__ = [
     "DenseLayer",
     "MaskedSparseLayer",
     "CSRSparseLayer",
+    "CSRTrainableLayer",
     "FeedforwardNetwork",
     "SGD",
     "Momentum",

@@ -6,6 +6,11 @@ nets) and the training half: every adjacency submatrix becomes the
 connectivity mask of a :class:`repro.nn.layers.MaskedSparseLayer` (or a
 plain :class:`DenseLayer` when the submatrix is all ones), so any topology
 family can be trained, evaluated, and compared through identical code.
+With ``sparse_training=True`` the sparse submatrices become
+:class:`repro.nn.layers.CSRTrainableLayer` objects instead -- O(nnz)
+parameter storage with forward/backward running through the backend
+kernel plane -- numerically equivalent to the masked layers for the same
+seed.
 """
 
 from __future__ import annotations
@@ -14,8 +19,9 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.backends.base import SparseBackend
 from repro.errors import ValidationError
-from repro.nn.layers import DenseLayer, MaskedSparseLayer
+from repro.nn.layers import CSRTrainableLayer, DenseLayer, MaskedSparseLayer
 from repro.nn.model import FeedforwardNetwork
 from repro.topology.fnnt import FNNT
 from repro.utils.rng import RngLike, spawn_rngs
@@ -29,6 +35,8 @@ def model_from_topology(
     seed: RngLike = None,
     fan_in_correction: bool = True,
     force_masked: bool = False,
+    sparse_training: bool = False,
+    backend: str | SparseBackend | None = None,
     name: str | None = None,
 ) -> FeedforwardNetwork:
     """Build a trainable model whose connectivity is exactly ``topology``.
@@ -38,6 +46,11 @@ def model_from_topology(
     can apply its own softmax).  Fully-dense submatrices become ordinary
     :class:`DenseLayer` objects unless ``force_masked`` is set (useful when
     benchmarking the masked code path itself).
+
+    With ``sparse_training=True``, sparse submatrices (and dense ones when
+    ``force_masked`` is also set) become :class:`CSRTrainableLayer` objects
+    bound to ``backend``: same seeds, same numbers, O(nnz) storage, with
+    forward/backward dispatched through the sparse kernel plane.
     """
     layer_count = len(topology.submatrices)
     seeds = spawn_rngs(seed, layer_count)
@@ -52,6 +65,16 @@ def model_from_topology(
                     submatrix.shape[1],
                     activation=activation,
                     seed=seeds[index],
+                )
+            )
+        elif sparse_training:
+            layers.append(
+                CSRTrainableLayer(
+                    submatrix,
+                    activation=activation,
+                    seed=seeds[index],
+                    fan_in_correction=fan_in_correction,
+                    backend=backend,
                 )
             )
         else:

@@ -1,7 +1,7 @@
 """Network layers.
 
-Three affine layer types share one interface (``forward``, ``backward``,
-``parameters``, ``gradients``):
+Four affine layer types share one interface (``forward``, ``backward``,
+``parameters``, ``gradients``; :class:`CSRSparseLayer` is forward-only):
 
 * :class:`DenseLayer` -- ordinary fully-connected affine layer;
 * :class:`MaskedSparseLayer` -- a dense weight array multiplied elementwise
@@ -10,6 +10,13 @@ Three affine layer types share one interface (``forward``, ``backward``,
   connections stay exactly zero throughout training.  This is the standard
   way to train a fixed sparse topology on dense hardware and is how the
   sparse-training companion experiments were run.
+* :class:`CSRTrainableLayer` -- weights stored in a CSR matrix whose
+  ``data`` array *is* the trainable parameter vector: O(nnz) parameter,
+  gradient, and optimizer-state storage.  Forward runs through the
+  backend ``spmm`` kernel and backward through the backend ``sdmm``
+  (sampled dense-dense multiply) kernel, so training dispatches through
+  the same kernel plane as inference.  Numerically equivalent to
+  :class:`MaskedSparseLayer` for the same topology and seed.
 * :class:`CSRSparseLayer` -- weights stored in a CSR matrix; forward-only
   (inference), used by the Graph Challenge engine and for deploying
   trained masked layers in a genuinely sparse representation.  Its sparse
@@ -77,7 +84,15 @@ class DenseLayer:
         return output
 
     def backward(self, upstream_gradient: np.ndarray) -> np.ndarray:
-        """Accumulate parameter gradients and return the gradient w.r.t. the inputs."""
+        """Compute parameter gradients and return the gradient w.r.t. the inputs.
+
+        Gradients are *set*, not accumulated: each backward pass overwrites
+        ``weight_gradient``/``bias_gradient`` with this batch's gradients.
+        The forward caches are consumed by the call, so a second backward
+        without an intervening training-mode forward raises
+        :class:`~repro.errors.ValidationError` instead of silently reusing
+        stale activations.
+        """
         if self._last_input is None or self._last_output is None:
             raise ValidationError("backward called before a training-mode forward pass")
         grad = np.asarray(upstream_gradient, dtype=np.float64)
@@ -90,6 +105,8 @@ class DenseLayer:
         self.weight_gradient = self._last_input.T @ local
         self.bias_gradient = local.sum(axis=0)
         self._mask_gradient()
+        self._last_input = None
+        self._last_output = None
         return local @ self.effective_weights().T
 
     def _mask_gradient(self) -> None:
@@ -241,6 +258,169 @@ class CSRSparseLayer:
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (
             f"CSRSparseLayer(fan_in={self.fan_in}, fan_out={self.fan_out}, "
+            f"nnz={self.weights.nnz}, activation={self.activation.name!r}, "
+            f"backend={self.backend.name!r})"
+        )
+
+
+class CSRTrainableLayer:
+    """A trainable sparse affine layer with genuinely sparse O(nnz) storage.
+
+    Weights live in a :class:`~repro.sparse.csr.CSRMatrix` of shape
+    ``(fan_in, fan_out)`` whose ``data`` array is handed directly to the
+    optimizer: parameters, gradients, and any optimizer state (momentum,
+    Adam moments, ...) are all vectors of length ``nnz``, never dense
+    ``fan_in x fan_out`` arrays.  The connectivity pattern is fixed at
+    construction, so weights outside the topology do not exist at all --
+    mask invariance is structural rather than enforced by re-masking.
+
+    The forward pass is the backend ``spmm`` kernel (as in
+    :class:`CSRSparseLayer`); the backward pass computes the weight
+    gradient with the backend ``sdmm`` kernel (``x.T @ dy`` sampled on the
+    pattern) and the input gradient with ``spmm`` against the stored
+    weights.  Initialization replays :class:`MaskedSparseLayer`'s exact
+    draw sequence (full dense draw, sparse fan-in correction, gather at
+    the mask's nonzeros), so the two layer types are numerically
+    equivalent for the same mask, seed, and options.
+    """
+
+    def __init__(
+        self,
+        mask: np.ndarray | CSRMatrix,
+        *,
+        activation: str | Activation = "relu",
+        seed: RngLike = None,
+        init: str = "he",
+        fan_in_correction: bool = True,
+        backend: str | SparseBackend | None = None,
+    ) -> None:
+        mask_dense = mask.to_dense() if isinstance(mask, CSRMatrix) else np.asarray(mask, dtype=np.float64)
+        if mask_dense.ndim != 2:
+            raise ShapeError("mask must be a 2-D adjacency submatrix")
+        binary = (mask_dense != 0.0).astype(np.float64)
+        self.fan_in = int(binary.shape[0])
+        self.fan_out = int(binary.shape[1])
+        if self.fan_in == 0 or self.fan_out == 0:
+            raise ValidationError("mask must have positive dimensions")
+        self.activation = get_activation(activation)
+        if init == "he":
+            dense = he_normal(self.fan_in, self.fan_out, seed=seed)
+        elif init == "glorot":
+            dense = glorot_uniform(self.fan_in, self.fan_out, seed=seed)
+        else:
+            raise ValidationError(f"unknown init {init!r}; use 'he' or 'glorot'")
+        if fan_in_correction:
+            dense *= sparse_corrected_scale(binary)[None, :]
+        pattern = CSRMatrix.from_dense(binary)
+        # np.nonzero is row-major, matching CSR storage order exactly.
+        rows, cols = np.nonzero(binary)
+        self.weights = pattern.with_data(dense[rows, cols])
+        self.biases = zeros_bias(self.fan_out)
+        self.backend = resolve_backend(backend)
+        # x @ W is computed as (W^T @ x^T)^T, but the optimizer mutates
+        # weights.data in place, so the transpose cannot be cached whole.
+        # Tag every stored entry with its 1-based position (1-based so an
+        # explicitly stored zero weight cannot zero out a tag), transpose
+        # once, and recover the CSR->CSC data permutation; each forward
+        # then re-syncs the transposed values with one O(nnz) gather.
+        tag = self.weights.with_data(
+            np.arange(1, self.weights.nnz + 1, dtype=np.float64)
+        )
+        tag_t = self.backend.transpose(tag)
+        self._pattern_t = tag_t.astype_binary()
+        self._t_perm = tag_t.data.astype(np.int64) - 1
+        self.weight_gradient = np.zeros(self.weights.nnz, dtype=np.float64)
+        self.bias_gradient = np.zeros_like(self.biases)
+        self._last_input: np.ndarray | None = None
+        self._last_output: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    def forward(self, inputs: np.ndarray, *, training: bool = True) -> np.ndarray:
+        """Compute ``activation(inputs @ W + b)`` through the backend spmm kernel."""
+        x = np.asarray(inputs, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.fan_in:
+            raise ShapeError(
+                f"inputs must have shape (batch, {self.fan_in}), got {x.shape}"
+            )
+        weights_t = self._pattern_t.with_data(self.weights.data[self._t_perm])
+        pre_activation = self.backend.spmm(weights_t, x.T).T + self.biases
+        output = self.activation(pre_activation)
+        if training:
+            self._last_input = x
+            self._last_output = output
+        return output
+
+    def backward(self, upstream_gradient: np.ndarray) -> np.ndarray:
+        """Compute O(nnz) parameter gradients and return the input gradient.
+
+        The weight gradient is the backend's sampled dense-dense multiply
+        (:meth:`~repro.backends.base.SparseBackend.sdmm`) of the cached
+        input against the local gradient, restricted to the fixed pattern.
+        As in :class:`DenseLayer`, the forward caches are consumed: a
+        second backward without a new training-mode forward raises
+        :class:`~repro.errors.ValidationError`.
+        """
+        if self._last_input is None or self._last_output is None:
+            raise ValidationError("backward called before a training-mode forward pass")
+        grad = np.asarray(upstream_gradient, dtype=np.float64)
+        if grad.shape != self._last_output.shape:
+            raise ShapeError(
+                f"upstream gradient shape {grad.shape} does not match output "
+                f"shape {self._last_output.shape}"
+            )
+        local = grad * self.activation.derivative_from_output(self._last_output)
+        self.weight_gradient = self.backend.sdmm(
+            self._last_input, local, self.weights
+        ).data
+        self.bias_gradient = local.sum(axis=0)
+        # grad_x = local @ W^T, computed sparse-side as (W @ local^T)^T.
+        grad_input = self.backend.spmm(self.weights, local.T).T
+        self._last_input = None
+        self._last_output = None
+        return grad_input
+
+    # ------------------------------------------------------------------ #
+    def parameters(self) -> list[np.ndarray]:
+        """The trainable arrays: the CSR data vector (length nnz) and the biases."""
+        return [self.weights.data, self.biases]
+
+    def gradients(self) -> list[np.ndarray]:
+        """Gradients corresponding to :meth:`parameters` (both O(nnz))."""
+        return [self.weight_gradient, self.bias_gradient]
+
+    def effective_weights(self) -> np.ndarray:
+        """The dense equivalent of the CSR weights (diagnostics only)."""
+        return self.weights.to_dense()
+
+    @property
+    def connection_count(self) -> int:
+        """Number of actual connections (stored CSR entries)."""
+        return self.weights.nnz
+
+    @property
+    def density(self) -> float:
+        """Fraction of possible connections that exist."""
+        return self.weights.nnz / (self.fan_in * self.fan_out)
+
+    @property
+    def parameter_count(self) -> int:
+        """Trainable scalars: one weight per stored entry plus the biases."""
+        return self.weights.nnz + self.biases.size
+
+    def to_csr_layer(
+        self, *, backend: str | SparseBackend | None = None
+    ) -> CSRSparseLayer:
+        """Deploy as a forward-only :class:`CSRSparseLayer` (weights copied)."""
+        return CSRSparseLayer(
+            self.weights.with_data(self.weights.data.copy()),
+            self.biases.copy(),
+            activation=self.activation,
+            backend=self.backend if backend is None else backend,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"CSRTrainableLayer(fan_in={self.fan_in}, fan_out={self.fan_out}, "
             f"nnz={self.weights.nnz}, activation={self.activation.name!r}, "
             f"backend={self.backend.name!r})"
         )

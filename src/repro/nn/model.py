@@ -7,7 +7,12 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.errors import ShapeError, ValidationError
-from repro.nn.layers import CSRSparseLayer, DenseLayer, MaskedSparseLayer
+from repro.nn.layers import (
+    CSRSparseLayer,
+    CSRTrainableLayer,
+    DenseLayer,
+    MaskedSparseLayer,
+)
 from repro.sparse.csr import CSRMatrix
 
 
@@ -53,8 +58,11 @@ class FeedforwardNetwork:
         return (self.layers[0].fan_in, *(layer.fan_out for layer in self.layers))
 
     def is_sparse(self) -> bool:
-        """True if any layer carries a connectivity mask."""
-        return any(isinstance(layer, MaskedSparseLayer) for layer in self.layers)
+        """True if any layer carries a connectivity mask or CSR weights."""
+        return any(
+            isinstance(layer, (MaskedSparseLayer, CSRTrainableLayer))
+            for layer in self.layers
+        )
 
     # ------------------------------------------------------------------ #
     def forward(self, inputs: np.ndarray, *, training: bool = True) -> np.ndarray:
@@ -116,6 +124,12 @@ class FeedforwardNetwork:
         """
         sparse_layers = []
         for layer in self.layers:
+            if isinstance(layer, CSRTrainableLayer):
+                # Already CSR: reuse the trained pattern directly instead of
+                # a dense round-trip (which would drop weights trained to
+                # exactly 0.0 from the stored pattern).
+                sparse_layers.append(layer.to_csr_layer())
+                continue
             csr = CSRMatrix.from_dense(layer.effective_weights())
             sparse_layers.append(
                 CSRSparseLayer(csr, layer.biases.copy(), activation=layer.activation)

@@ -74,14 +74,19 @@ class RMSProp:
         learning_rate: float = 0.001,
         decay: float = 0.9,
         epsilon: float = 1e-8,
+        *,
+        weight_decay: float = 0.0,
     ) -> None:
         if learning_rate <= 0:
             raise ValidationError("learning_rate must be positive")
         if not 0.0 <= decay < 1.0:
             raise ValidationError("decay must be in [0, 1)")
+        if weight_decay < 0:
+            raise ValidationError("weight_decay must be >= 0")
         self.learning_rate = float(learning_rate)
         self.decay = float(decay)
         self.epsilon = float(epsilon)
+        self.weight_decay = float(weight_decay)
         self._mean_square: list[np.ndarray] | None = None
 
     def step(self, parameters: list[np.ndarray], gradients: list[np.ndarray]) -> None:
@@ -89,9 +94,12 @@ class RMSProp:
         if self._mean_square is None:
             self._mean_square = [np.zeros_like(p) for p in parameters]
         for param, grad, mean_square in zip(parameters, gradients, self._mean_square):
+            update = grad
+            if self.weight_decay:
+                update = update + self.weight_decay * param
             mean_square *= self.decay
-            mean_square += (1.0 - self.decay) * grad * grad
-            param -= self.learning_rate * grad / (np.sqrt(mean_square) + self.epsilon)
+            mean_square += (1.0 - self.decay) * update * update
+            param -= self.learning_rate * update / (np.sqrt(mean_square) + self.epsilon)
 
 
 class Adam:

@@ -68,6 +68,12 @@ class Trainer:
             raise ValidationError("batch_size must be positive")
         if gradient_clip is not None and gradient_clip <= 0:
             raise ValidationError("gradient_clip must be positive when given")
+        if lr_schedule is not None and not hasattr(optimizer, "learning_rate"):
+            raise ValidationError(
+                "lr_schedule requires an optimizer with a learning_rate "
+                f"attribute; {type(optimizer).__name__} has none, so the "
+                "schedule would be silently ignored"
+            )
         self.model = model
         self.optimizer = optimizer
         self.loss = loss if loss is not None else CrossEntropyLoss()
@@ -76,6 +82,7 @@ class Trainer:
         self.gradient_clip = gradient_clip
         self.seed = seed
         self.history = TrainingHistory()
+        self._epochs_trained = 0
 
     # ------------------------------------------------------------------ #
     def _clip_gradients(self, gradients: list[np.ndarray]) -> None:
@@ -88,13 +95,20 @@ class Trainer:
                 g *= scale
 
     def train_epoch(self, features: np.ndarray, targets: np.ndarray, *, epoch_seed: RngLike = None) -> float:
-        """One pass over the training data; returns the mean batch loss."""
+        """One pass over the training data; returns the mean per-sample loss.
+
+        Batch losses are weighted by batch size, so a ragged last batch
+        contributes proportionally to its sample count rather than
+        counting as a full batch.
+        """
         losses = []
+        batch_sizes = []
         for batch_x, batch_y in minibatches(
             features, targets, self.batch_size, shuffle=True, seed=epoch_seed
         ):
             outputs = self.model.forward(batch_x, training=True)
             losses.append(self.loss.value(outputs, batch_y))
+            batch_sizes.append(batch_x.shape[0])
             gradient = self.loss.gradient(outputs, batch_y)
             self.model.backward(gradient)
             grads = self.model.gradients()
@@ -102,7 +116,7 @@ class Trainer:
             self.optimizer.step(self.model.parameters(), grads)
         if not losses:
             raise ValidationError("training data produced no minibatches")
-        return float(np.mean(losses))
+        return float(np.average(losses, weights=batch_sizes))
 
     def evaluate(self, features: np.ndarray, targets: np.ndarray) -> tuple[float, float]:
         """Return ``(loss, accuracy)`` on a held-out set without updating weights."""
@@ -124,20 +138,34 @@ class Trainer:
 
         Early stopping monitors validation accuracy and halts after
         ``early_stopping_patience`` epochs without improvement.
+
+        Calling ``fit`` repeatedly continues training: the per-epoch
+        shuffle seed stream advances across calls (two 1-epoch fits see
+        the same shuffles as one 2-epoch fit, not the first epoch twice)
+        and ``lr_schedule`` receives the global epoch index.
         """
         if epochs <= 0:
             raise ValidationError("epochs must be positive")
         has_validation = val_x is not None and val_y is not None
         if early_stopping_patience is not None and not has_validation:
             raise ValidationError("early stopping requires validation data")
-        epoch_rngs = spawn_rngs(self.seed, epochs)
+        start = self._epochs_trained
+        if isinstance(self.seed, np.random.Generator):
+            # Generator spawning is stateful: each call advances the
+            # parent's child counter, so the stream continues by itself.
+            epoch_rngs = spawn_rngs(self.seed, epochs)
+        else:
+            # Int/None seeds build a fresh SeedSequence per call; spawning
+            # is prefix-stable, so skip the children already consumed.
+            epoch_rngs = spawn_rngs(self.seed, start + epochs)[start:]
         best_val = -np.inf
         epochs_without_improvement = 0
         for epoch in range(epochs):
-            if self.lr_schedule is not None and hasattr(self.optimizer, "learning_rate"):
-                self.optimizer.learning_rate = float(self.lr_schedule(epoch))
+            if self.lr_schedule is not None:
+                self.optimizer.learning_rate = float(self.lr_schedule(start + epoch))
             current_lr = float(getattr(self.optimizer, "learning_rate", np.nan))
             train_loss = self.train_epoch(train_x, train_y, epoch_seed=epoch_rngs[epoch])
+            self._epochs_trained += 1
             train_acc = accuracy(self.model.predict(train_x), train_y)
             self.history.train_loss.append(train_loss)
             self.history.train_accuracy.append(train_acc)

@@ -3,9 +3,10 @@
 These are the operations the RadiX-Net construction (Kronecker products
 of adjacency submatrices), its verification (chain products of
 submatrices for Theorem 1), the Graph Challenge recurrence (the fused
-:func:`sparse_layer_step` on sparse activation batches), and the
+:func:`sparse_layer_step` on sparse activation batches), the
 challenge generator's per-layer neuron shuffling
-(:func:`permute_columns`) require.
+(:func:`permute_columns`), and the sparse training backward pass (the
+sampled dense-dense :func:`sdmm` weight-gradient kernel) require.
 
 This module is a thin *dispatch layer*: it validates operand shapes and
 forwards to the active :mod:`repro.backends` implementation (``scipy``
@@ -211,6 +212,55 @@ def sparse_layer_step(
     active_rows = _row_sums(y) > 0.0
     z = impl.spgemm(y, weight)
     return _clamp_bias_filter(z, active_rows, bias_arr, float(threshold))
+
+
+def sdmm(
+    x: np.ndarray,
+    dy: np.ndarray,
+    pattern: CSRMatrix,
+    *,
+    backend: str | SparseBackend | None = None,
+) -> CSRMatrix:
+    """Sampled dense-dense multiply: ``x.T @ dy`` restricted to ``pattern``.
+
+    The backward primitive of sparse training.  For a CSR-weighted affine
+    layer ``Y = X W + b`` with fixed connectivity ``pattern``, the weight
+    gradient ``X^T @ dY`` is only ever *applied* on the pattern's stored
+    entries -- connections outside the topology stay exactly zero -- so
+    this kernel computes just those entries: the result shares
+    ``pattern``'s structure and has stored entry ``(i, j)`` equal to
+    ``sum_b x[b, i] * dy[b, j]``.  Work and output are O(batch * nnz) and
+    O(nnz); the dense ``rows x cols`` outer product is never formed.
+    Stored values of ``pattern`` are ignored.
+
+    Backends without an ``sdmm`` kernel (e.g. custom registrations
+    predating it) fall back to the shared gather/einsum implementation
+    :func:`repro.backends.fused.sdmm_gather`.
+    """
+    x_arr = np.asarray(x, dtype=np.float64)
+    dy_arr = np.asarray(dy, dtype=np.float64)
+    if x_arr.ndim != 2 or dy_arr.ndim != 2:
+        raise ShapeError(
+            f"sdmm operands must be 2-D (batch, features) arrays, got "
+            f"ndim {x_arr.ndim} and {dy_arr.ndim}"
+        )
+    if x_arr.shape[0] != dy_arr.shape[0]:
+        raise ShapeError(
+            f"sdmm operands must share the batch dimension, got "
+            f"{x_arr.shape} and {dy_arr.shape}"
+        )
+    if pattern.shape != (x_arr.shape[1], dy_arr.shape[1]):
+        raise ShapeError(
+            f"pattern shape {pattern.shape} does not match sampled product "
+            f"shape ({x_arr.shape[1]}, {dy_arr.shape[1]})"
+        )
+    impl = _resolve(backend)
+    kernel = getattr(impl, "sdmm", None)
+    if kernel is not None:
+        return kernel(x_arr, dy_arr, pattern)
+    from repro.backends.fused import sdmm_gather
+
+    return sdmm_gather(x_arr, dy_arr, pattern)
 
 
 def matrix_power(

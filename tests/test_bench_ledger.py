@@ -37,7 +37,7 @@ class TestCollection:
         assert data["profile"] == "test"
         assert set(data["metrics"]) == {
             "kernels", "inference", "official_scale", "generation", "serve",
-            "shard",
+            "shard", "train",
         }
         assert data["environment"]["numpy"]
 
@@ -65,6 +65,19 @@ class TestCollection:
         assert shard["unsharded_edges_per_s"] > 0
         for k in (1, 2, 4):
             assert shard[f"k{k}"]["edges_per_s"] > 0
+
+    def test_train_metrics_present(self, ledger, written):
+        """Masked baseline measured; CSR steps/s per tier, nulls when missing."""
+        import repro.backends as backends
+
+        train = ledger.load_ledger(written)["metrics"]["train"]
+        assert train["masked_steps_per_s"] > 0
+        for name in ("numba", "scipy", "vectorized"):
+            value = train["csr"][name]["steps_per_s"]
+            if name in backends.available_backends():
+                assert value > 0
+            else:
+                assert value is None
 
     def test_unknown_profile_rejected(self, ledger):
         with pytest.raises(ValueError, match="unknown profile"):

@@ -1,0 +1,529 @@
+"""Tests for the sparse training loop (PR 10).
+
+Covers the ``sdmm`` backward kernel across every registered backend, the
+:class:`CSRTrainableLayer` (gradient checks, O(nnz) storage, numerical
+equivalence with :class:`MaskedSparseLayer`, structural mask invariance
+under every optimizer), the trainer bugfix sweep (batch-size-weighted
+epoch loss, fit-twice seed-stream advance, lr-schedule/optimizer
+mismatch), the magnitude-pruning tie-break, and the ``train-study``
+experiment harness and CLI subcommand.
+"""
+
+import copy
+import json
+
+import numpy as np
+import pytest
+
+import repro.backends as backends
+from repro.baselines.pruning import magnitude_prune_mask
+from repro.errors import ShapeError, ValidationError
+from repro.experiments.training import accuracy_vs_density, train_study
+from repro.nn.builder import dense_model, model_from_topology
+from repro.nn.data import minibatches, one_hot
+from repro.nn.layers import (
+    CSRSparseLayer,
+    CSRTrainableLayer,
+    DenseLayer,
+    MaskedSparseLayer,
+)
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.model import FeedforwardNetwork
+from repro.nn.optimizers import SGD, Adam, Momentum, RMSProp
+from repro.nn.train import Trainer
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import sdmm
+from repro.topology.random_graphs import erdos_renyi_fnnt
+
+ALL_BACKENDS = backends.available_backends()
+
+
+def _random_pattern(rng, shape, density=0.4):
+    dense = (rng.random(shape) < density).astype(float)
+    dense[0, 0] = 1.0  # never fully empty
+    return dense, CSRMatrix.from_dense(dense)
+
+
+# --------------------------------------------------------------------------- #
+# sdmm kernel
+# --------------------------------------------------------------------------- #
+class TestSdmm:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_matches_dense_product_sampled_at_pattern(self, backend):
+        rng = np.random.default_rng(0)
+        dense_pat, pattern = _random_pattern(rng, (7, 5))
+        x = rng.standard_normal((4, 7))
+        dy = rng.standard_normal((4, 5))
+        out = sdmm(x, dy, pattern, backend=backend)
+        assert out.same_pattern(pattern)
+        rows, cols = np.nonzero(dense_pat)
+        np.testing.assert_allclose(out.data, (x.T @ dy)[rows, cols])
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_pattern_values_are_ignored(self, backend):
+        rng = np.random.default_rng(1)
+        _, pattern = _random_pattern(rng, (6, 4))
+        scaled = pattern.with_data(pattern.data * 17.0)
+        x = rng.standard_normal((3, 6))
+        dy = rng.standard_normal((3, 4))
+        np.testing.assert_array_equal(
+            sdmm(x, dy, pattern, backend=backend).data,
+            sdmm(x, dy, scaled, backend=backend).data,
+        )
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_empty_pattern(self, backend):
+        out = sdmm(np.ones((2, 3)), np.ones((2, 4)), CSRMatrix.zeros((3, 4)), backend=backend)
+        assert out.nnz == 0
+        assert out.shape == (3, 4)
+
+    def test_backends_agree_pairwise(self):
+        rng = np.random.default_rng(2)
+        _, pattern = _random_pattern(rng, (12, 9), density=0.25)
+        x = rng.standard_normal((8, 12))
+        dy = rng.standard_normal((8, 9))
+        results = [sdmm(x, dy, pattern, backend=b).data for b in ALL_BACKENDS]
+        for other in results[1:]:
+            np.testing.assert_allclose(results[0], other)
+
+    def test_generic_fallback_without_kernel(self):
+        """Backends registered without an sdmm kernel still dispatch."""
+
+        class Minimal:
+            name = "minimal"
+
+            def __getattr__(self, attr):
+                if attr == "sdmm":
+                    raise AttributeError(attr)
+                return getattr(backends.get_backend("reference"), attr)
+
+        rng = np.random.default_rng(3)
+        dense_pat, pattern = _random_pattern(rng, (5, 6))
+        x = rng.standard_normal((4, 5))
+        dy = rng.standard_normal((4, 6))
+        got = sdmm(x, dy, pattern, backend=Minimal())
+        rows, cols = np.nonzero(dense_pat)
+        np.testing.assert_allclose(got.data, (x.T @ dy)[rows, cols])
+
+    def test_shape_validation(self):
+        pattern = CSRMatrix.eye(3)
+        with pytest.raises(ShapeError):
+            sdmm(np.ones(3), np.ones((2, 3)), pattern)
+        with pytest.raises(ShapeError):
+            sdmm(np.ones((2, 3)), np.ones((4, 3)), pattern)
+        with pytest.raises(ShapeError):
+            sdmm(np.ones((2, 3)), np.ones((2, 4)), pattern)
+
+
+# --------------------------------------------------------------------------- #
+# CSRTrainableLayer
+# --------------------------------------------------------------------------- #
+class TestCSRTrainableLayer:
+    def _mask(self, seed=1, shape=(8, 6), density=0.4):
+        rng = np.random.default_rng(seed)
+        mask = (rng.random(shape) < density).astype(float)
+        # repair dead rows/columns so the FNNT invariant holds
+        mask[mask.sum(axis=1) == 0, 0] = 1.0
+        mask[0, mask.sum(axis=0) == 0] = 1.0
+        return mask
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    @pytest.mark.parametrize("activation", ["relu", "sigmoid", "identity"])
+    def test_matches_masked_layer_exactly(self, backend, activation):
+        mask = self._mask()
+        masked = MaskedSparseLayer(mask, activation=activation, seed=3)
+        csr = CSRTrainableLayer(mask, activation=activation, seed=3, backend=backend)
+        np.testing.assert_allclose(csr.effective_weights(), masked.effective_weights())
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((5, mask.shape[0]))
+        up = rng.standard_normal((5, mask.shape[1]))
+        np.testing.assert_allclose(csr.forward(x), masked.forward(x))
+        np.testing.assert_allclose(csr.backward(up), masked.backward(up))
+        rows, cols = np.nonzero(mask)
+        np.testing.assert_allclose(csr.weight_gradient, masked.weight_gradient[rows, cols])
+        np.testing.assert_allclose(csr.bias_gradient, masked.bias_gradient)
+
+    def test_storage_is_o_nnz(self):
+        mask = self._mask(shape=(20, 15), density=0.2)
+        nnz = int(np.count_nonzero(mask))
+        layer = CSRTrainableLayer(mask, seed=0)
+        weights_param, biases_param = layer.parameters()
+        assert weights_param.size == nnz
+        assert weights_param.size < mask.size
+        assert layer.gradients()[0].size == nnz
+        assert layer.parameter_count == nnz + mask.shape[1]
+        # optimizer state is keyed by the parameter arrays, so it is O(nnz) too
+        optimizer = Adam(0.01)
+        layer.forward(np.ones((2, 20)))
+        layer.backward(np.ones((2, 15)))
+        optimizer.step(layer.parameters(), layer.gradients())
+        assert optimizer._first_moment[0].size == nnz
+        assert optimizer._second_moment[0].size == nnz
+
+    def test_optimizer_updates_reach_forward(self):
+        mask = self._mask()
+        layer = CSRTrainableLayer(mask, seed=0, activation="identity")
+        x = np.ones((1, mask.shape[0]))
+        before = layer.forward(x, training=False).copy()
+        layer.forward(x)
+        layer.backward(np.ones((1, mask.shape[1])))
+        SGD(0.5).step(layer.parameters(), layer.gradients())
+        after = layer.forward(x, training=False)
+        assert not np.allclose(before, after)
+
+    def test_second_backward_raises(self):
+        mask = self._mask()
+        layer = CSRTrainableLayer(mask, seed=0)
+        up = np.ones((2, mask.shape[1]))
+        layer.forward(np.ones((2, mask.shape[0])))
+        layer.backward(up)
+        with pytest.raises(ValidationError):
+            layer.backward(up)
+
+    def test_inference_forward_does_not_cache(self):
+        mask = self._mask()
+        layer = CSRTrainableLayer(mask, seed=0)
+        layer.forward(np.ones((2, mask.shape[0])), training=False)
+        with pytest.raises(ValidationError):
+            layer.backward(np.ones((2, mask.shape[1])))
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            CSRTrainableLayer(np.ones(4))
+        with pytest.raises(ValidationError):
+            CSRTrainableLayer(np.ones((2, 2)), init="bogus")
+        layer = CSRTrainableLayer(self._mask(), seed=0)
+        with pytest.raises(ShapeError):
+            layer.forward(np.ones((2, 99)))
+        layer.forward(np.ones((2, 8)))
+        with pytest.raises(ShapeError):
+            layer.backward(np.ones((2, 99)))
+
+    def test_accepts_csr_mask_and_glorot(self):
+        layer = CSRTrainableLayer(CSRMatrix.eye(4), seed=0, init="glorot")
+        assert layer.connection_count == 4
+        assert layer.density == pytest.approx(0.25)
+
+    def test_to_csr_layer_detaches_weights(self):
+        mask = self._mask()
+        layer = CSRTrainableLayer(mask, seed=0)
+        deployed = layer.to_csr_layer()
+        assert isinstance(deployed, CSRSparseLayer)
+        x = np.random.default_rng(0).standard_normal((3, mask.shape[0]))
+        np.testing.assert_allclose(deployed.forward(x), layer.forward(x, training=False))
+        layer.weights.data[:] += 1.0  # training must not mutate the deployed copy
+        assert not np.allclose(deployed.weights.data, layer.weights.data)
+
+
+class TestCSRTrainableGradients:
+    def _numeric_gradient(self, model, loss, x, y, param, index, eps=1e-6):
+        original = param.flat[index]
+        param.flat[index] = original + eps
+        plus = loss.value(model.forward(x, training=False), y)
+        param.flat[index] = original - eps
+        minus = loss.value(model.forward(x, training=False), y)
+        param.flat[index] = original
+        return (plus - minus) / (2 * eps)
+
+    def _layer(self, kind, mask, activation, backend):
+        if kind == "dense":
+            return DenseLayer(mask.shape[0], mask.shape[1], activation=activation, seed=2)
+        if kind == "masked":
+            return MaskedSparseLayer(mask, activation=activation, seed=2)
+        return CSRTrainableLayer(mask, activation=activation, seed=2, backend=backend)
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    @pytest.mark.parametrize("activation", ["relu", "sigmoid", "identity"])
+    @pytest.mark.parametrize("kind", ["dense", "masked", "csr"])
+    def test_backprop_matches_finite_differences(self, kind, activation, backend):
+        rng = np.random.default_rng(10)
+        mask = (rng.random((5, 4)) < 0.6).astype(float)
+        mask[mask.sum(axis=1) == 0, 0] = 1.0
+        mask[0, mask.sum(axis=0) == 0] = 1.0
+        hidden = self._layer(kind, mask, activation, backend)
+        model = FeedforwardNetwork(
+            [hidden, DenseLayer(4, 3, activation="identity", seed=3)]
+        )
+        loss = CrossEntropyLoss()
+        x = rng.standard_normal((6, 5))
+        y = one_hot(rng.integers(0, 3, size=6), 3)
+        outputs = model.forward(x)
+        model.backward(loss.gradient(outputs, y))
+        analytic = [g.copy() for g in model.gradients()]
+        for param, grad in zip(model.parameters(), analytic):
+            indices = np.random.default_rng(11).choice(
+                param.size, size=min(4, param.size), replace=False
+            )
+            for index in indices:
+                numeric = self._numeric_gradient(model, loss, x, y, param, index)
+                assert grad.flat[index] == pytest.approx(numeric, abs=1e-5)
+
+
+OPTIMIZERS = {
+    "sgd": lambda wd: SGD(0.05, weight_decay=wd),
+    "momentum": lambda wd: Momentum(0.05, momentum=0.9, weight_decay=wd),
+    "rmsprop": lambda wd: RMSProp(0.01, weight_decay=wd),
+    "adam": lambda wd: Adam(0.01, weight_decay=wd),
+}
+
+
+class TestMaskInvariance:
+    @pytest.mark.parametrize("weight_decay", [0.0, 0.01])
+    @pytest.mark.parametrize("opt_name", sorted(OPTIMIZERS))
+    def test_weights_outside_mask_stay_exactly_zero(self, opt_name, weight_decay):
+        rng = np.random.default_rng(20)
+        mask = (rng.random((7, 5)) < 0.4).astype(float)
+        mask[mask.sum(axis=1) == 0, 0] = 1.0
+        mask[0, mask.sum(axis=0) == 0] = 1.0
+        masked = MaskedSparseLayer(mask, seed=6)
+        csr = CSRTrainableLayer(mask, seed=6)
+        for layer in (masked, csr):
+            model = FeedforwardNetwork(
+                [layer, DenseLayer(5, 2, activation="identity", seed=7)]
+            )
+            optimizer = OPTIMIZERS[opt_name](weight_decay)
+            loss = CrossEntropyLoss()
+            data_rng = np.random.default_rng(21)
+            for _ in range(15):
+                x = data_rng.standard_normal((8, 7))
+                y = one_hot(data_rng.integers(0, 2, size=8), 2)
+                model.backward(loss.gradient(model.forward(x), y))
+                optimizer.step(model.parameters(), model.gradients())
+            dense = layer.effective_weights()
+            assert np.all(dense[mask == 0] == 0.0)
+            assert np.any(dense[mask == 1] != 0.0)
+
+
+class TestTrainingEquivalence:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_csr_training_equals_masked_training(self, backend):
+        """Same topology, seed, optimizer: identical curves and weights."""
+        topology = erdos_renyi_fnnt([6, 10, 4], 0.5, seed=30)
+        rng = np.random.default_rng(31)
+        x = rng.standard_normal((60, 6))
+        y = one_hot((x[:, 0] > 0).astype(int), 4)
+        histories, weights = [], []
+        for sparse_training in (False, True):
+            model = model_from_topology(
+                topology, seed=8, sparse_training=sparse_training, backend=backend
+            )
+            trainer = Trainer(model, Adam(0.01), batch_size=16, seed=9)
+            history = trainer.fit(x, y, epochs=3)
+            histories.append(history)
+            weights.append(model.weight_matrices())
+        assert histories[0].train_loss == pytest.approx(histories[1].train_loss)
+        assert histories[0].train_accuracy == pytest.approx(histories[1].train_accuracy)
+        for w_masked, w_csr in zip(weights[0], weights[1]):
+            np.testing.assert_allclose(w_masked, w_csr, atol=1e-12)
+
+    def test_builder_flag_produces_csr_layers(self):
+        topology = erdos_renyi_fnnt([5, 8, 3], 0.5, seed=32)
+        model = model_from_topology(topology, seed=0, sparse_training=True)
+        assert any(isinstance(layer, CSRTrainableLayer) for layer in model.layers)
+        assert not any(isinstance(layer, MaskedSparseLayer) for layer in model.layers)
+        assert model.is_sparse()
+
+    def test_to_sparse_inference_reuses_csr_pattern(self):
+        topology = erdos_renyi_fnnt([5, 8, 3], 0.5, seed=33)
+        model = model_from_topology(topology, seed=0, sparse_training=True)
+        deployed = model.to_sparse_inference()
+        x = np.random.default_rng(34).standard_normal((4, 5))
+        expected = model.predict(x)
+        got = x
+        for layer in deployed:
+            got = layer.forward(got)
+        np.testing.assert_allclose(got, expected)
+
+
+# --------------------------------------------------------------------------- #
+# trainer bugfix sweep
+# --------------------------------------------------------------------------- #
+class TestTrainerFixes:
+    def _toy(self, n=10, seed=0):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((n, 3))
+        return x, one_hot((x[:, 0] > 0).astype(int), 2)
+
+    def test_epoch_loss_weighted_by_batch_size(self):
+        """A ragged last batch contributes per-sample, not per-batch."""
+        x, y = self._toy(n=10)  # batch_size 4 -> batches of 4, 4, 2
+        model = dense_model([3, 5, 2], seed=1)
+        replica = copy.deepcopy(model)
+        trainer = Trainer(model, SGD(0.1), batch_size=4, seed=0)
+        reported = trainer.train_epoch(x, y, epoch_seed=42)
+        # replay the identical shuffle/update sequence to get batch losses
+        loss = CrossEntropyLoss()
+        optimizer = SGD(0.1)
+        losses, sizes = [], []
+        for bx, by in minibatches(x, y, 4, shuffle=True, seed=42):
+            out = replica.forward(bx)
+            losses.append(loss.value(out, by))
+            sizes.append(bx.shape[0])
+            replica.backward(loss.gradient(out, by))
+            optimizer.step(replica.parameters(), replica.gradients())
+        assert sizes.count(2) == 1  # the ragged batch is actually present
+        weighted = float(np.average(losses, weights=sizes))
+        unweighted = float(np.mean(losses))
+        assert abs(weighted - unweighted) > 1e-12
+        assert reported == pytest.approx(weighted)
+
+    @pytest.mark.parametrize("seed_kind", ["int", "generator"])
+    def test_fit_twice_continues_the_shuffle_stream(self, seed_kind):
+        """Two 1-epoch fits must replay one 2-epoch fit, not epoch 0 twice."""
+        x, y = self._toy(n=40, seed=3)
+
+        def make_trainer():
+            model = dense_model([3, 5, 2], seed=4)
+            seed = 7 if seed_kind == "int" else np.random.default_rng(7)
+            return Trainer(model, SGD(0.1), batch_size=8, seed=seed), model
+
+        split_trainer, split_model = make_trainer()
+        split_trainer.fit(x, y, epochs=1)
+        split_trainer.fit(x, y, epochs=1)
+        whole_trainer, whole_model = make_trainer()
+        whole_trainer.fit(x, y, epochs=2)
+        for a, b in zip(split_model.parameters(), whole_model.parameters()):
+            np.testing.assert_array_equal(a, b)
+        assert split_trainer.history.train_loss == pytest.approx(
+            whole_trainer.history.train_loss
+        )
+        # and the two epochs of the split run saw *different* shuffles
+        assert split_trainer.history.train_loss[0] != pytest.approx(
+            split_trainer.history.train_loss[1]
+        )
+
+    def test_lr_schedule_requires_learning_rate_attribute(self):
+        class NoLrOptimizer:
+            def step(self, parameters, gradients):  # pragma: no cover - never reached
+                pass
+
+        model = dense_model([3, 4, 2], seed=0)
+        with pytest.raises(ValidationError, match="learning_rate"):
+            Trainer(model, NoLrOptimizer(), lr_schedule=lambda epoch: 0.1)
+
+    def test_lr_schedule_advances_across_fits(self):
+        x, y = self._toy(n=24, seed=5)
+        model = dense_model([3, 4, 2], seed=1)
+        schedule = [1.0, 0.1, 0.01]
+        trainer = Trainer(
+            model, SGD(1.0), batch_size=8,
+            lr_schedule=lambda epoch: schedule[epoch], seed=2,
+        )
+        trainer.fit(x, y, epochs=2)
+        trainer.fit(x, y, epochs=1)
+        assert trainer.history.learning_rates == pytest.approx(schedule)
+
+
+# --------------------------------------------------------------------------- #
+# magnitude pruning tie-break
+# --------------------------------------------------------------------------- #
+class TestPruningTieBreak:
+    def test_all_equal_matrix_realizes_target_density(self):
+        w = np.ones((6, 6))
+        target = 0.25
+        mask = magnitude_prune_mask(w, target)
+        keep = max(1, int(round(target * w.size)))
+        # exactly `keep` from the magnitude cut, plus at most one repair
+        # entry per row and column
+        assert keep <= int(mask.sum()) <= keep + sum(w.shape)
+        assert mask.mean() < 1.0  # the old >=-threshold rule kept everything
+
+    def test_tie_break_is_deterministic_row_major(self):
+        w = np.full((4, 4), 2.0)
+        mask = magnitude_prune_mask(w, 0.5)
+        np.testing.assert_array_equal(mask, magnitude_prune_mask(w.copy(), 0.5))
+        keep = 8
+        # the magnitude cut keeps the first `keep` flat indices (rows 0-1);
+        # repair adds the first column of the remaining rows
+        expected = np.zeros(16, dtype=bool)
+        expected[:keep] = True
+        expected = expected.reshape(4, 4)
+        expected[:, 0] = True
+        np.testing.assert_array_equal(mask, expected)
+
+    def test_distinct_magnitudes_unchanged(self):
+        rng = np.random.default_rng(40)
+        w = rng.standard_normal((8, 8))
+        mask = magnitude_prune_mask(w, 0.25)
+        keep = int(round(0.25 * w.size))
+        cutoff = np.sort(np.abs(w).ravel())[-keep]
+        assert int(mask.sum()) >= keep
+        # with distinct magnitudes the top-keep set is unambiguous and must survive
+        top = np.abs(w) >= cutoff
+        assert int(top.sum()) == keep
+        assert np.all(mask[top])
+
+
+# --------------------------------------------------------------------------- #
+# train-study harness and CLI
+# --------------------------------------------------------------------------- #
+class TestTrainStudy:
+    def test_arm_validation(self):
+        with pytest.raises(ValidationError, match="unknown arms"):
+            accuracy_vs_density(arms=("radix-net", "bogus"))
+        with pytest.raises(ValidationError, match="radix-net"):
+            accuracy_vs_density(arms=("random-xnet",))
+        with pytest.raises(ValidationError, match="dense"):
+            accuracy_vs_density(arms=("radix-net", "pruned"))
+        with pytest.raises(ValidationError, match="at least one arm"):
+            accuracy_vs_density(arms=())
+        with pytest.raises(ValidationError, match="duplicate"):
+            accuracy_vs_density(arms=("dense", "dense"))
+
+    def test_report_is_json_serializable_and_complete(self):
+        report = train_study(
+            datasets=("gaussian_mixture",),
+            num_samples=120,
+            epochs=1,
+            seed=0,
+            arms=("radix-net", "dense"),
+            sparse_training=True,
+        )
+        encoded = json.loads(json.dumps(report))
+        entry = encoded["datasets"]["gaussian_mixture"]
+        assert set(entry["arms"]) == {"radix-net", "dense"}
+        assert set(entry["accuracy_gap_vs_dense"]) == {"radix-net"}
+        for arm in entry["arms"].values():
+            assert 0.0 <= arm["val_accuracy"] <= 1.0
+            assert 0.0 < arm["density"] <= 1.0
+            assert arm["epochs_run"] == 1
+        assert entry["arms"]["radix-net"]["density"] < 1.0
+        assert encoded["config"]["sparse_training"] is True
+
+    def test_sparse_and_masked_studies_agree(self):
+        common = dict(
+            datasets=("gaussian_mixture",), num_samples=120, epochs=1,
+            seed=1, arms=("radix-net",),
+        )
+        sparse = train_study(sparse_training=True, **common)
+        masked = train_study(sparse_training=False, **common)
+        a = sparse["datasets"]["gaussian_mixture"]["arms"]["radix-net"]
+        b = masked["datasets"]["gaussian_mixture"]["arms"]["radix-net"]
+        assert a["train_loss"] == pytest.approx(b["train_loss"])
+        assert a["val_accuracy"] == pytest.approx(b["val_accuracy"])
+
+    def test_cli_train_study_writes_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "study.json"
+        code = main([
+            "train-study", "--datasets", "gaussian_mixture",
+            "--arms", "radix-net,dense", "--epochs", "1",
+            "--samples", "120", "--output", str(out),
+        ])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "radix-net" in captured and "gap vs dense" in captured
+        report = json.loads(out.read_text())
+        assert report["config"]["arms"] == ["radix-net", "dense"]
+        assert "gaussian_mixture" in report["datasets"]
+
+    def test_cli_rejects_bad_arms(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "train-study", "--datasets", "gaussian_mixture",
+            "--arms", "bogus", "--epochs", "1", "--samples", "80",
+        ])
+        assert code == 1
+        assert "unknown arms" in capsys.readouterr().err
